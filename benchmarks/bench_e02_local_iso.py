@@ -1,0 +1,59 @@
+"""E2 — decidability and cost of local isomorphism (Proposition 2.2).
+
+Claim: ≅ₗ is decidable, with cost O(Σᵢ nᵃⁱ) oracle questions for
+rank-n tuples of a fixed type.  Measured: decision time across ranks
+(polynomial growth for binary types), and the oracle-question count
+matching the formula exactly.
+"""
+
+import pytest
+
+from repro.core import (
+    DatabaseOracle,
+    database_from_predicates,
+    locally_isomorphic,
+)
+from repro.core.query import _local_type_via_oracle
+
+from conftest import report
+
+
+def mod_db(k=5):
+    return database_from_predicates(
+        [(2, lambda x, y: (x + y) % k == 0)], name=f"mod{k}")
+
+
+@pytest.mark.parametrize("rank", [2, 4, 8, 16, 32])
+def test_e2_decision_cost_by_rank(benchmark, rank):
+    B = mod_db()
+    u = tuple(range(rank))
+    v = tuple(x + 5 for x in range(rank))  # shifted: same local type
+    p, q = B.point(u), B.point(v)
+
+    result = benchmark(locally_isomorphic, p, q)
+    assert result is True
+
+
+def test_e2_question_count_formula():
+    """Deciding a local type asks exactly Σᵢ blocksᵃⁱ questions."""
+    B = mod_db()
+    rows = []
+    for rank in (2, 4, 8):
+        u = tuple(range(rank))
+        oracle = DatabaseOracle(B)
+        _local_type_via_oracle(oracle, u)
+        expected = rank ** 2  # one binary relation, all-distinct tuple
+        rows.append((f"rank {rank}", "questions", oracle.questions,
+                     "expected", expected))
+        assert oracle.questions == expected
+    report("E2 oracle questions", rows)
+
+
+def test_e2_early_rejection_is_fast(benchmark):
+    """Mismatched equality patterns reject without touching relations."""
+    B = mod_db()
+    p = B.point(tuple([0] + list(range(1, 16))))
+    q = B.point(tuple([1] + [1] + list(range(2, 16))))
+
+    result = benchmark(locally_isomorphic, p, q)
+    assert result is False

@@ -1,0 +1,63 @@
+"""E3 — Theorem 2.1: L⁻ is r-complete, as an executable roundtrip.
+
+Claim: computable r-query = union of classes = DNF of class formulas,
+with both compiler directions exact.  Measured: compile time and
+formula size versus the number of selected classes; soundness-direction
+(classes-of-expression) time versus rank.
+"""
+
+import pytest
+
+from repro.core import LocallyGenericQuery, enumerate_local_types
+from repro.logic import (
+    classes_of_expression,
+    expression_for_classes,
+    expression_for_query,
+)
+from repro.logic.transform import formula_size
+
+from conftest import report
+
+UNIVERSE = list(enumerate_local_types((2,), 2))
+
+
+@pytest.mark.parametrize("k", [1, 4, 9, 18])
+def test_e3_compile_time_by_class_count(benchmark, k):
+    classes = UNIVERSE[:k]
+    expr = benchmark(expression_for_classes, classes)
+    assert classes_of_expression(expr, (2,)) == frozenset(classes)
+
+
+def test_e3_formula_size_series():
+    rows = []
+    for k in (1, 4, 9, 18):
+        expr = expression_for_classes(UNIVERSE[:k])
+        rows.append((f"{k} classes", "formula nodes",
+                     formula_size(expr.formula)))
+    report("E3 formula sizes", rows)
+    sizes = [formula_size(expression_for_classes(UNIVERSE[:k]).formula)
+             for k in (1, 4, 9, 18)]
+    assert sizes == sorted(sizes)  # linear in the class count
+
+
+@pytest.mark.parametrize("rank", [1, 2])
+def test_e3_soundness_direction(benchmark, rank):
+    universe = list(enumerate_local_types((2,), rank))
+    query = LocallyGenericQuery(universe[: max(1, len(universe) // 2)])
+    expr = expression_for_query(query)
+
+    recovered = benchmark(classes_of_expression, expr, (2,))
+    assert recovered == query.classes
+
+
+@pytest.mark.parametrize("k", [4, 9, 18])
+def test_e3_minimization(benchmark, k):
+    """Quine–McCluskey minimization of the compiled DNF: exactness plus
+    the compression the verbose compiler leaves on the table."""
+    from repro.logic.minimize import minimize_classes
+
+    classes = UNIVERSE[:k]
+    minimized = benchmark(minimize_classes, classes)
+    assert classes_of_expression(minimized, (2,)) == frozenset(classes)
+    verbose = expression_for_classes(classes)
+    assert formula_size(minimized.formula) <= formula_size(verbose.formula)

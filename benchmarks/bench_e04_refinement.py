@@ -1,0 +1,61 @@
+"""E4 — Vⁿᵣ stabilization (Propositions 3.6/3.7, Corollaries 3.2/3.3).
+
+Claim: on a highly symmetric database the stratified partitions Vⁿᵣ
+refine to the class partition Vⁿ at a *fixed* radius r*; Proposition 3.7
+computes each round by projecting the next level.  Measured: r* per
+database and rank, block-count traces, and refinement cost.
+"""
+
+import pytest
+
+from repro.graphs import cycles_hsdb, triangles_hsdb
+from repro.symmetric import (
+    fixed_r,
+    infinite_clique,
+    partition_nr,
+    rado_hsdb,
+    refinement_trace,
+    stable_partition,
+)
+
+from conftest import report
+
+
+def test_e4_radius_table(k3_k2):
+    rows = []
+    cases = [
+        ("clique", infinite_clique()),
+        ("rado", rado_hsdb()),
+        ("K3+K2", k3_k2),
+        ("inf-C4", cycles_hsdb(4)),
+    ]
+    for name, hs in cases:
+        radii = [fixed_r(hs, n) for n in (1, 2)]
+        rows.append((name, "r* for ranks 1,2:", radii))
+    report("E4 stabilization radii", rows)
+    # Shapes: random/clique separate at radius 0; component unions need
+    # neighbourhood depth to see component size.
+    assert fixed_r(infinite_clique(), 1) == 0
+    assert fixed_r(rado_hsdb(), 2) == 0
+    assert fixed_r(k3_k2, 1) == 2
+
+
+def test_e4_trace_is_monotone(k3_k2):
+    trace = refinement_trace(k3_k2, 1)
+    report("E4 K3+K2 rank-1 trace", [("block counts", trace)])
+    assert trace == sorted(trace)
+    assert trace[-1] == k3_k2.class_count(1)
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_e4_stabilization_cost(benchmark, k3_k2, n):
+    def run():
+        return stable_partition(k3_k2, n)
+
+    part, r = benchmark(run)
+    assert part.all_singletons()
+
+
+def test_e4_single_round_cost(benchmark, k3_k2):
+    result = benchmark(partition_nr, k3_k2, 1, 1)
+    assert result.block_count() >= 1

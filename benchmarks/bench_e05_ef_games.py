@@ -1,0 +1,51 @@
+"""E5 — Ehrenfeucht–Fraïssé games decide ≅_B (Propositions 3.3-3.6).
+
+Claim: on an hs-r-db, the r*-round game relativized to the
+characteristic tree decides tuple equivalence exactly.  Measured: game
+cost versus rounds (exponential in rounds — why Proposition 3.6's fixed
+radius matters) and agreement with the ≅_B oracle.
+"""
+
+import pytest
+
+from repro.symmetric import (
+    game_decides_equivalence,
+    game_equivalent,
+)
+
+from conftest import report
+
+PAIRS = [
+    (((0, 0, 0),), ((0, 5, 2),), True),    # two triangle nodes
+    (((0, 0, 0),), ((1, 5, 1),), False),   # triangle vs edge node
+    (((0, 0, 0), (0, 0, 1)), ((0, 7, 2), (0, 7, 0)), True),
+    (((0, 0, 0), (0, 0, 1)), ((1, 7, 0), (1, 7, 1)), False),
+]
+
+
+def test_e5_games_agree_with_oracle(k3_k2):
+    rows = []
+    for u, v, expected in PAIRS:
+        got = game_decides_equivalence(k3_k2, u, v)
+        rows.append((u, "~", v, "->", got))
+        assert got == expected == k3_k2.equivalent(u, v)
+    report("E5 game decisions", rows)
+
+
+@pytest.mark.parametrize("rounds", [0, 1, 2, 3])
+def test_e5_cost_by_rounds(benchmark, k3_k2, rounds):
+    u, v = ((0, 0, 0),), ((1, 5, 1),)
+
+    result = benchmark(game_equivalent, k3_k2, u, v, rounds)
+    # Rounds 0-1 conflate the node kinds; round >= 2 separates them.
+    assert result == (rounds < 2)
+
+
+def test_e5_round_stratification(k3_k2):
+    """#₀ ⊋ #₁ ⊇ #₂ = ≅_B on the node classes — the strict hierarchy of
+    Definition 3.4."""
+    u, v = ((0, 0, 0),), ((1, 5, 1),)
+    series = [game_equivalent(k3_k2, u, v, r) for r in range(4)]
+    report("E5 stratification (triangle vs K2 node)",
+           [("rounds 0-3", series)])
+    assert series == [True, True, False, False]

@@ -1,0 +1,88 @@
+"""E9 — generic machines: spawn/collapse accounting (Theorem 5.1).
+
+Claim: the GM loading protocol terminates via the spawn-then-collapse
+discipline, with work governed by the loaded relation's size (the proof
+narrates "too many [units], in fact … PQ then discontinues the ones that
+loaded identical tuples"); GMhs's tree-loading spawns per extension
+class.  Measured: spawn/collapse/step counts over size sweeps.
+"""
+
+import pytest
+
+from repro.graphs import cycles_hsdb, triangles_hsdb
+from repro.machines.generic import loading_protocol
+from repro.machines.gmhs import children_explorer
+
+from conftest import report
+
+
+def relation_of_size(n: int) -> frozenset:
+    return frozenset({(i, i + 1) for i in range(n)})
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4])
+def test_e9_loading_cost(benchmark, size):
+    relation = relation_of_size(size)
+
+    def run():
+        return loading_protocol("C").run(
+            {"C": relation, "NEW": frozenset()})
+
+    store, metrics = benchmark(run)
+    assert store["OUT"] == relation
+
+
+def test_e9_spawn_series():
+    rows = []
+    for size in (1, 2, 3, 4):
+        __, metrics = loading_protocol("C").run(
+            {"C": relation_of_size(size), "NEW": frozenset()})
+        rows.append((f"|C| = {size}", "spawns", metrics.spawns,
+                     "collapses", metrics.collapses,
+                     "peak units", metrics.peak_units))
+    report("E9 GM loading", rows)
+    spawns = []
+    for size in (1, 2, 3, 4):
+        __, metrics = loading_protocol("C").run(
+            {"C": relation_of_size(size), "NEW": frozenset()})
+        spawns.append(metrics.spawns)
+    assert spawns == sorted(spawns)
+    assert spawns[-1] > spawns[0]
+
+
+@pytest.mark.parametrize("depth", [1, 2])
+def test_e9_gmhs_tree_exploration(benchmark, depth):
+    tri = triangles_hsdb()
+
+    def run():
+        return children_explorer(tri, depth).run_on_cb()
+
+    store, metrics = benchmark(run)
+    assert store["LEVEL"] == frozenset(tri.tree.level(depth))
+
+
+def test_e9_full_pipeline(benchmark, k3_k2):
+    """The Theorem 5.1 end-to-end query run (load → encode → M → store)."""
+    from repro.machines.gmhs_pipeline import run_query_gmhs
+
+    def edges(oracle):
+        return set(oracle.relations()[0])
+
+    def run():
+        return run_query_gmhs(k3_k2, edges)
+
+    value, metrics = benchmark(run)
+    assert value.paths == k3_k2.representatives[0]
+    assert metrics.collapses > 0
+
+
+def test_e9_gmhs_spawns_track_level_sizes():
+    rows = []
+    for hs in (triangles_hsdb(), cycles_hsdb(4)):
+        series = []
+        for depth in (1, 2):
+            __, metrics = children_explorer(hs, depth).run_on_cb()
+            series.append(metrics.spawns)
+        rows.append((hs.name, "spawns by depth", series,
+                     "level sizes", [hs.class_count(1), hs.class_count(2)]))
+    report("E9 GMhs exploration", rows)

@@ -1,0 +1,71 @@
+"""E12 — Theorem 6.3: FO is BP-complete for hs-r-dbs.
+
+Claims: relativized FO evaluation is finite (quantifiers range over tree
+representatives), and every preserving relation compiles to a Hintikka
+disjunction of quantifier rank r* that defines it exactly.  Measured:
+evaluation cost versus quantifier depth, compilation cost and formula
+size versus r, and roundtrip exactness.
+"""
+
+import pytest
+
+from repro.bp import relation_to_formula, roundtrip_holds, separating_radius
+from repro.logic import Var, evaluate, parse
+from repro.logic.hintikka import hintikka_formula
+from repro.logic.transform import formula_size, quantifier_rank
+
+from conftest import report
+
+SENTENCES = {
+    1: "forall x. exists y. R1(x, y)",
+    2: "forall x. exists y. (x != y and R1(x, y))",
+    3: ("forall x. forall y. (R1(x, y) -> exists z. (R1(y, z) and "
+        "z != x))"),
+    4: ("forall x. exists y. forall z. (R1(x, z) -> exists w. "
+        "(R1(z, w) and w != y))"),
+}
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_e12_evaluation_cost_by_depth(benchmark, k3_k2, depth):
+    sentence = parse(SENTENCES[depth])
+
+    result = benchmark(evaluate, k3_k2, sentence)
+    assert isinstance(result, bool)
+
+
+def test_e12_compile_cost(benchmark, k3_k2):
+    pred = lambda u: u[0][0] == 0
+
+    formula = benchmark(relation_to_formula, k3_k2, pred, 1)
+    assert quantifier_rank(formula) == separating_radius(k3_k2, 1)
+
+
+def test_e12_roundtrip(k3_k2):
+    cases = [
+        ("triangle nodes", lambda u: u[0][0] == 0, 1,
+         [((0, 11, 2),), ((1, 11, 0),)]),
+        ("edges", lambda u: k3_k2.contains(0, u), 2,
+         [((0, 3, 0), (0, 3, 1)), ((0, 3, 0), (0, 4, 1))]),
+    ]
+    rows = []
+    for label, pred, rank, samples in cases:
+        ok = roundtrip_holds(k3_k2, pred, rank, samples=samples)
+        rows.append((label, "roundtrip exact:", ok))
+        assert ok
+    report("E12 compile-evaluate roundtrips", rows)
+
+
+def test_e12_hintikka_size_by_rounds(k3_k2):
+    p = k3_k2.tree.level(1)[0]
+    rows = []
+    sizes = []
+    for r in range(3):
+        size = formula_size(hintikka_formula(k3_k2, p, r))
+        sizes.append(size)
+        rows.append((f"rounds {r}", "formula nodes", size))
+    report("E12 Hintikka sizes", rows)
+    assert sizes == sorted(sizes)
+    # Growth is steep (product over children per round) — the price of
+    # syntactic definability.
+    assert sizes[2] > 5 * sizes[1]

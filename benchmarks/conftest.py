@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the experiment benchmarks.
+
+Each ``bench_eNN_*.py`` module regenerates one experiment of DESIGN.md's
+index (the paper has no tables or figures; the experiments reify its
+constructive claims).  Benchmarks print their measured series — the
+"rows" of the synthesized evaluation — in addition to pytest-benchmark's
+timing table; EXPERIMENTS.md records claim-vs-measured.
+"""
+
+import pytest
+
+from repro.core import finite_database
+from repro.symmetric import INFINITE, component_union
+
+
+def report(title: str, rows: list[tuple]) -> None:
+    """Print an experiment's data series (visible with -s; harmless
+    otherwise)."""
+    print(f"\n[{title}]")
+    for row in rows:
+        print("   ", *row)
+
+
+@pytest.fixture(scope="module")
+def k3_k2():
+    """The canonical two-kind highly symmetric graph."""
+    tri = finite_database(
+        [(2, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])],
+        [0, 1, 2], name="K3")
+    edge = finite_database([(2, [(0, 1), (1, 0)])], [0, 1], name="K2")
+    return component_union([(tri, INFINITE), (edge, INFINITE)],
+                           name="K3+K2")

@@ -1,0 +1,61 @@
+"""Telling infinite databases apart (Corollary 3.1).
+
+For finite structures, elementary equivalence is isomorphism; for
+general recursive structures it is not (one infinite line and two
+infinite lines satisfy the same sentences).  Corollary 3.1: *highly
+symmetric* databases behave like finite ones — isomorphic iff
+elementarily equivalent — and on the CB representation the comparison
+is a depth-bounded bisimulation of characteristic trees that, on
+divergence, coughs up an explicit separating sentence.
+
+Run:  python examples/compare_databases.py
+"""
+
+from repro.graphs import cycles_hsdb, mixed_components_hsdb, triangles_hsdb
+from repro.logic import holds_sentence, quantifier_rank, to_text
+from repro.symmetric import (
+    class_growth,
+    distinguishing_sentence,
+    equivalent_to_depth,
+    first_divergence,
+)
+
+
+def main() -> None:
+    tri_a = triangles_hsdb("triangles-A")
+    tri_b = triangles_hsdb("triangles-B")
+    squares = cycles_hsdb(4, "squares")
+    mixed = mixed_components_hsdb()
+
+    print("Class-count fingerprints (|T^n| for n = 0..3):")
+    for hs in (tri_a, squares, mixed):
+        print(f"  {hs.name:12s}", class_growth(hs, 3))
+
+    print("\nDepth-bounded comparison (agree on all sentences of rank <= d):")
+    pairs = [
+        (tri_a, tri_b),
+        (tri_a, squares),
+        (tri_a, mixed),
+    ]
+    for a, b in pairs:
+        verdicts = [equivalent_to_depth(a, b, d) for d in range(4)]
+        d = first_divergence(a, b, 3)
+        where = f"diverge at depth {d}" if d is not None else \
+            "indistinguishable to depth 3"
+        print(f"  {a.name:12s} vs {b.name:12s}: {verdicts}  -> {where}")
+
+    print("\nTriangles vs squares — an explicit separating sentence:")
+    sentence = distinguishing_sentence(tri_a, squares, max_depth=3)
+    assert sentence is not None
+    print(f"  quantifier rank {quantifier_rank(sentence)}")
+    print(f"  {to_text(sentence)[:140]} …")
+    print("  holds in triangles:", holds_sentence(tri_a, sentence))
+    print("  holds in squares:  ", holds_sentence(squares, sentence))
+
+    print("\nIndependent builds of the same database stay inseparable:")
+    s = distinguishing_sentence(tri_a, tri_b, max_depth=2)
+    print("  separating sentence found:", s is not None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""The paper's motivating example: a trigonometric recursive database.
+
+"Values for the trigonometric functions, for example, can be viewed as
+a recursive data base, since we might be interested in the sines or
+cosines of infinitely many angles.  Instead of keeping them all in a
+table, which is impossible, we keep rules for computing the values from
+the angles."  (Hirst & Harel, Section 1.)
+
+The domain is ℕ, read as angles in degrees.  Four recursive relations,
+each a rule rather than a table:
+
+* ``SinPos(a)``       — sin(a°) > 0
+* ``SameSin(a, b)``   — sin(a°) = sin(b°)
+* ``Compl(a, b)``     — a + b ≡ 90 (mod 360)  (so sin a = cos b)
+* ``SinZero(a)``      — sin(a°) = 0
+
+All are decided by integer arithmetic — exactly the "effective way of
+telling whether an edge is present" the paper describes.  We then query
+the infinite database in L⁻ and observe genericity at work.
+
+Run:  python examples/trigonometry_db.py
+"""
+
+from repro.core import OracleQuery, database_from_predicates
+from repro.core.genericity import find_local_genericity_violation
+from repro.logic import QFExpression
+
+
+def sin_positive(a: int) -> bool:
+    return 0 < a % 360 < 180
+
+
+def same_sin(a: int, b: int) -> bool:
+    return a % 360 == b % 360 or (a + b) % 360 == 180
+
+
+def complementary(a: int, b: int) -> bool:
+    return (a + b) % 360 == 90
+
+
+def sin_zero(a: int) -> bool:
+    return a % 180 == 0
+
+
+def main() -> None:
+    trig = database_from_predicates(
+        [(1, sin_positive), (2, same_sin), (2, complementary),
+         (1, sin_zero)],
+        name="trig")
+    print("Database:", trig, "type:", trig.type_signature)
+
+    print("\nRules at work (no table anywhere):")
+    print("  sin(45°) > 0:", trig.contains(0, (45,)))
+    print("  sin(30°) = sin(150°):", trig.contains(1, (30, 150)))
+    print("  sin(30°) = cos(60°):", trig.contains(2, (30, 60)))
+    print("  sin(720°) = 0:", trig.contains(3, (720,)))
+    print("  sin(1234567°) > 0:", trig.contains(0, (1234567,)))
+
+    # An L⁻ query over the infinite database: angles whose sine is
+    # positive and equal to the sine of their complement's complement.
+    q = QFExpression.from_text(
+        "a b",
+        "R1(a) and R2(a, b) and a != b",
+        name="same-positive-sine")
+    print("\nL⁻ query", q.to_text())
+    window = [(a, b) for a in range(0, 361, 15) for b in range(0, 361, 15)]
+    answers = sorted(q.evaluate_over(trig, window))[:8]
+    print("  first answers:", answers)
+
+    # Genericity: "the angle 0 itself" is not a legal query — it names a
+    # constant, so it fails to preserve isomorphisms.  The library's
+    # bounded search (which probes renamed copies of each class's
+    # canonical representative) finds the violation.
+    bad = OracleQuery(
+        trig.type_signature,
+        lambda oracle, u: len(u) == 1 and u[0] == 0,
+        output_rank=1, name="is-zero")
+    violation = find_local_genericity_violation(bad, max_rank=1)
+    print("\nNon-generic query 'a = 0' caught:", violation is not None)
+
+    # A generic query by contrast passes the same search.
+    good = QFExpression.from_text("a", "R1(a) and not R4(a)").as_rquery(
+        trig.type_signature)
+    print("Generic query survives the search:",
+          find_local_genericity_violation(good, max_rank=1) is None)
+
+
+if __name__ == "__main__":
+    main()

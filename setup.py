@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+Offline environments without the ``wheel`` package cannot complete
+PEP-517 editable installs (``pip install -e .`` needs ``bdist_wheel``);
+this shim keeps ``pip install -e . --no-build-isolation`` and
+``python setup.py develop`` working there.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

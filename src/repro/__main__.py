@@ -1,0 +1,116 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library overview: version, subpackages, the paper reference.
+``classes TYPE RANK``
+    Count the ≅ₗ equivalence classes for a database type (comma-
+    separated arities) and rank, e.g. ``python -m repro classes 2,1 2``
+    prints the paper's 68.
+``tree NAME [DEPTH]``
+    Print the characteristic tree of a built-in hs-r-db (``clique``,
+    ``rado``, ``triangles``, ``k3k2``) to the given depth.
+``eval NAME FORMULA``
+    Evaluate a first-order sentence over a built-in hs-r-db, e.g.
+    ``python -m repro eval rado "forall x. exists y. R1(x, y)"``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import __version__
+
+
+def _builtin_hsdb(name: str):
+    from .graphs import mixed_components_hsdb, triangles_hsdb
+    from .symmetric import infinite_clique, rado_hsdb
+
+    builders = {
+        "clique": infinite_clique,
+        "rado": rado_hsdb,
+        "triangles": triangles_hsdb,
+        "k3k2": mixed_components_hsdb,
+    }
+    if name not in builders:
+        raise SystemExit(
+            f"unknown database {name!r}; choose from {sorted(builders)}")
+    return builders[name]()
+
+
+def cmd_info(args: list[str]) -> int:
+    print(f"recdb {__version__} — computable queries over recursive "
+          "(infinite) relational databases")
+    print("Reproduction of: Hirst & Harel, 'Completeness Results for "
+          "Recursive Data Bases', PODS 1993 / JCSS 52 (1996).")
+    print("\nSubpackages: core, logic, symmetric, qlhs, finite, fcf, "
+          "machines, bp, graphs")
+    print("Docs: README.md, DESIGN.md, EXPERIMENTS.md; runnable demos "
+          "in examples/")
+    return 0
+
+
+def cmd_classes(args: list[str]) -> int:
+    from .core import count_local_types
+
+    if len(args) != 2:
+        raise SystemExit("usage: python -m repro classes TYPE RANK "
+                         "(e.g. classes 2,1 2)")
+    signature = tuple(int(a) for a in args[0].split(","))
+    rank = int(args[1])
+    total = count_local_types(signature, rank)
+    print(f"type {signature}, rank {rank}: {total} classes of local "
+          "isomorphism")
+    return 0
+
+
+def cmd_tree(args: list[str]) -> int:
+    if not args:
+        raise SystemExit("usage: python -m repro tree NAME [DEPTH]")
+    hsdb = _builtin_hsdb(args[0])
+    depth = int(args[1]) if len(args) > 1 else 2
+    print(f"{hsdb.name}: characteristic tree to depth {depth}")
+    for n in range(depth + 1):
+        level = hsdb.tree.level(n)
+        print(f"  T^{n} ({len(level)} classes)")
+        for p in level:
+            print("   ", "  " * n, p)
+    return 0
+
+
+def cmd_eval(args: list[str]) -> int:
+    from .logic import holds_sentence, parse
+
+    if len(args) != 2:
+        raise SystemExit('usage: python -m repro eval NAME "SENTENCE"')
+    hsdb = _builtin_hsdb(args[0])
+    sentence = parse(args[1])
+    answer = holds_sentence(hsdb, sentence)
+    print(f"{hsdb.name} |= {args[1]}  ->  {answer}")
+    return 0
+
+
+COMMANDS = {
+    "info": cmd_info,
+    "classes": cmd_classes,
+    "tree": cmd_tree,
+    "eval": cmd_eval,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, *rest = argv
+    if command not in COMMANDS:
+        print(f"unknown command {command!r}; choose from "
+              f"{sorted(COMMANDS)}", file=sys.stderr)
+        return 2
+    return COMMANDS[command](rest)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""BP-completeness (Section 6): defining relations over a fixed database.
+
+* :mod:`~repro.bp.preserving` — automorphism-preserving relations
+  (Definition 6.1) and their canonical finite descriptions;
+* :mod:`~repro.bp.reduction` — the Theorem 6.1 gadget reducing graph
+  isomorphism to separating two points;
+* :mod:`~repro.bp.unary` — Proposition 6.1 and the Theorem 6.2 compiler
+  (``L⁻`` BP-complete for unary r-dbs);
+* :mod:`~repro.bp.hs_compiler` — Theorem 6.3 in both directions
+  (first-order logic BP-complete for hs-r-dbs, via Hintikka formulas).
+"""
+
+from .hs_compiler import (
+    formula_to_representatives,
+    relation_to_formula,
+    roundtrip_holds,
+    separating_radius,
+)
+from .preserving import (
+    class_coarseness,
+    preserves_automorphisms,
+    preserves_automorphisms_on,
+    relation_from_representatives,
+    representatives_of,
+)
+from .reduction import (
+    ANCHOR,
+    LEFT_HUB,
+    RIGHT_HUB,
+    bp_gadget,
+    finite_gadget,
+    gadget_equivalence,
+    refute_equivalence_bounded,
+    separating_relation,
+    theorem_61_iff,
+)
+from .unary import (
+    expression_defines_relation,
+    is_unary,
+    proposition_61_automorphism,
+    realized_types,
+    unary_relation_to_expression,
+)
+
+__all__ = [
+    "ANCHOR",
+    "LEFT_HUB",
+    "RIGHT_HUB",
+    "bp_gadget",
+    "class_coarseness",
+    "expression_defines_relation",
+    "finite_gadget",
+    "formula_to_representatives",
+    "gadget_equivalence",
+    "is_unary",
+    "preserves_automorphisms",
+    "preserves_automorphisms_on",
+    "proposition_61_automorphism",
+    "realized_types",
+    "refute_equivalence_bounded",
+    "relation_from_representatives",
+    "relation_to_formula",
+    "representatives_of",
+    "roundtrip_holds",
+    "separating_radius",
+    "separating_relation",
+    "theorem_61_iff",
+    "unary_relation_to_expression",
+]

@@ -1,0 +1,93 @@
+"""Automorphism-preserving relations (Definition 6.1).
+
+BP-completeness is about a language's ability to *define relations over
+a fixed database* rather than queries: for a fixed ``B``, a relation
+``R`` qualifies when ``u ≅_B v`` implies ``u ∈ R ⇔ v ∈ R`` — i.e. ``R``
+is a union of ``≅_B`` classes.
+
+On an hs-r-db the classes of each rank are finite in number, so the
+property is *decidable* for a given rank (check the representatives) and
+a qualifying relation has a canonical finite description: the set of
+representatives it contains.  This module provides the checkers and the
+two canonical forms (predicate ⇄ representative set).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from ..symmetric.hsdb import HSDatabase
+from ..symmetric.tree import Path
+
+Predicate = Callable[[tuple], bool]
+
+
+def preserves_automorphisms_on(hsdb: HSDatabase, predicate: Predicate,
+                               pairs: Iterable[tuple[tuple, tuple]]
+                               ) -> tuple[tuple, tuple] | None:
+    """Check preservation on explicit equivalent pairs; return a violator.
+
+    Each pair must satisfy ``u ≅_B v``; a violation is a pair with
+    differing predicate values.
+    """
+    for u, v in pairs:
+        if not hsdb.equivalent(u, v):
+            raise ValueError(f"witness pair {u!r} ~ {v!r} is not ≅_B")
+        if bool(predicate(u)) != bool(predicate(v)):
+            return (u, v)
+    return None
+
+
+def preserves_automorphisms(hsdb: HSDatabase, predicate: Predicate,
+                            rank: int, samples_per_class: int = 3,
+                            window: int = 48) -> bool:
+    """Decide preservation at a rank, by sampling each class.
+
+    For every rank-``rank`` representative, finds up to
+    ``samples_per_class`` concrete equivalent tuples among tuples over
+    the first ``window`` domain elements and requires the predicate to
+    be constant on each class *and* to match the representative's value.
+    """
+    from itertools import product
+
+    level = hsdb.tree.level(rank)
+    values = {p: bool(predicate(p)) for p in level}
+    found = {p: 0 for p in level}
+    pool = hsdb.domain.first(window)
+    for u in product(pool, repeat=rank):
+        rep = hsdb.canonical_representative(u)
+        if found[rep] >= samples_per_class:
+            continue
+        found[rep] += 1
+        if bool(predicate(u)) != values[rep]:
+            return False
+    return True
+
+
+def representatives_of(hsdb: HSDatabase, predicate: Predicate,
+                       rank: int) -> frozenset[Path]:
+    """The canonical description of a preserving relation: the
+    representatives it contains."""
+    return frozenset(p for p in hsdb.tree.level(rank) if predicate(p))
+
+
+def relation_from_representatives(hsdb: HSDatabase,
+                                  reps: Iterable[Path]) -> Predicate:
+    """The preserving relation with the given representatives."""
+    reps = frozenset(tuple(p) for p in reps)
+
+    def predicate(u: tuple) -> bool:
+        return any(hsdb.equivalent(u, p) for p in reps)
+
+    return predicate
+
+
+def class_coarseness(hsdb: HSDatabase, predicate: Predicate,
+                     rank: int) -> tuple[int, int]:
+    """``(selected classes, total classes)`` at a rank — the paper's
+    remark that a preserving relation's classes are coarser than B's,
+    "the number of equivalence classes of ≅_R cannot be larger than
+    that of ≅_B"."""
+    level = hsdb.tree.level(rank)
+    selected = sum(1 for p in level if predicate(p))
+    return selected, len(level)

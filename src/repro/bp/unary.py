@@ -1,0 +1,109 @@
+"""BP-completeness for unary databases (Proposition 6.1, Theorem 6.2).
+
+Proposition 6.1: in a unary r-db, ``u ≅_B v`` iff ``u ≅ₗ v`` — the
+explicit automorphism is the double transposition swapping the supports
+and fixing everything else (unary facts travel with the elements).
+
+Theorem 6.2: consequently, ``L⁻`` is BP-complete for unary r-dbs: every
+recursive automorphism-preserving relation is a union of ``≅ₗ`` classes
+and hence a disjunction of class formulas; the compiler here emits it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from itertools import product
+
+from ..core.database import RecursiveDatabase
+from ..core.isomorphism import locally_isomorphic
+from ..core.localtypes import LocalType, enumerate_local_types, local_type_of
+from ..errors import TypeSignatureError
+from ..logic.qf import QFExpression, expression_for_classes
+
+Predicate = Callable[[tuple], bool]
+
+
+def is_unary(database: RecursiveDatabase) -> bool:
+    """Whether every relation of the database is unary."""
+    return all(a == 1 for a in database.type_signature)
+
+
+def proposition_61_automorphism(database: RecursiveDatabase, u: tuple,
+                                v: tuple) -> dict | None:
+    """The explicit automorphism of the Proposition 6.1 proof, or None.
+
+    For locally isomorphic tuples over a unary db, returns the finite
+    support of the swap permutation (u₁↦v₁, …, vᵢ↦uᵢ, rest fixed);
+    returns None when the tuples are not locally isomorphic.
+    """
+    if not is_unary(database):
+        raise TypeSignatureError("Proposition 6.1 concerns unary databases")
+    if not locally_isomorphic(database.point(u), database.point(v)):
+        return None
+    # The double transposition of the proof: u_i ↦ v_i and, for elements
+    # of v not already mapped, v_i ↦ u_i; everything else is fixed.
+    mapping: dict = {}
+    for a, b in zip(u, v):
+        mapping[a] = b
+    for a, b in zip(u, v):
+        mapping.setdefault(b, a)
+    return mapping
+
+
+def realized_types(database: RecursiveDatabase, rank: int,
+                   window: int = 64) -> dict[LocalType, tuple]:
+    """Local types realized by tuples over the first ``window`` elements,
+    each with one witnessing tuple.
+
+    A unary r-db need not realize every abstract type (e.g. a relation
+    may be empty); only realized types matter for defining relations
+    *over this* ``B``.
+    """
+    pool = database.domain.first(window)
+    out: dict[LocalType, tuple] = {}
+    total = sum(1 for __ in enumerate_local_types(
+        database.type_signature, rank))
+    for u in product(pool, repeat=rank):
+        t = local_type_of(database.point(u))
+        if t not in out:
+            out[t] = u
+            if len(out) == total:
+                break
+    return out
+
+
+def unary_relation_to_expression(database: RecursiveDatabase,
+                                 predicate: Predicate, rank: int,
+                                 window: int = 64,
+                                 name: str = "R") -> QFExpression:
+    """Theorem 6.2's compiler: a preserving relation → an ``L⁻`` formula.
+
+    Evaluates the predicate on one witness per realized local type; the
+    output formula is the disjunction of the selected classes' defining
+    formulas.  (Unrealized types are omitted — they hold of no tuple of
+    this ``B``, so either inclusion choice defines the same relation;
+    including none keeps the formula small.)
+    """
+    if not is_unary(database):
+        raise TypeSignatureError("Theorem 6.2 concerns unary databases")
+    selected = [t for t, witness in realized_types(database, rank,
+                                                   window=window).items()
+                if predicate(witness)]
+    if not selected:
+        from ..logic.qf import default_variables
+        from ..logic.syntax import FALSE
+        return QFExpression(default_variables(rank), FALSE, name=name)
+    return expression_for_classes(selected, name=name)
+
+
+def expression_defines_relation(database: RecursiveDatabase,
+                                expression: QFExpression,
+                                predicate: Predicate, rank: int,
+                                window: int = 16) -> bool:
+    """Validate a compiled expression against the original predicate on
+    all tuples over a window."""
+    pool = database.domain.first(window)
+    for u in product(pool, repeat=rank):
+        if expression.holds(database, u) != bool(predicate(u)):
+            return False
+    return True

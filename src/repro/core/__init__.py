@@ -1,0 +1,120 @@
+"""Core substrate: recursive databases, local isomorphism, computable queries.
+
+Implements Section 2 of Hirst & Harel: r-dbs (Definition 2.1), pointed
+databases, local isomorphism (Proposition 2.2), the finite-index class
+structure ``Cⁿ`` (Proposition 2.4), r-queries with oracle discipline
+(Definitions 2.3–2.4), and genericity (Definition 2.5, Propositions
+2.3/2.5 as executable constructions).
+"""
+
+from .database import (
+    PointedDatabase,
+    RecursiveDatabase,
+    database_from_predicates,
+    finite_database,
+    rdb,
+)
+from .domain import (
+    Domain,
+    Element,
+    finite_domain,
+    integers_domain,
+    naturals_domain,
+    shifted_naturals,
+    subset_domain,
+    tagged_domain,
+    union_domain,
+)
+from .genericity import (
+    TranscriptTransport,
+    amalgamate,
+    check_local_genericity,
+    classify_query,
+    find_local_genericity_violation,
+)
+from .isomorphism import (
+    finite_automorphisms,
+    finite_isomorphism,
+    finite_pointed_isomorphic,
+    local_isomorphism_witness,
+    locally_isomorphic,
+    orbit_partition,
+)
+from .localtypes import (
+    LocalType,
+    atom_slots,
+    canonical_pointed,
+    count_local_types,
+    enumerate_local_types,
+    local_type_of,
+    matches,
+)
+from .query import (
+    UNDEFINED_QUERY,
+    DatabaseOracle,
+    EmptyResultQuery,
+    LocallyGenericQuery,
+    OracleQuery,
+    RQuery,
+    empty_query,
+    query_from_pointed_examples,
+)
+from .relation import (
+    CoFiniteRelation,
+    FiniteRelation,
+    RecursiveRelation,
+    RelationOracle,
+    empty_relation,
+    full_relation,
+    relation_from_predicate,
+)
+
+__all__ = [
+    "CoFiniteRelation",
+    "DatabaseOracle",
+    "Domain",
+    "Element",
+    "EmptyResultQuery",
+    "FiniteRelation",
+    "LocalType",
+    "LocallyGenericQuery",
+    "OracleQuery",
+    "PointedDatabase",
+    "RQuery",
+    "RecursiveDatabase",
+    "RecursiveRelation",
+    "RelationOracle",
+    "TranscriptTransport",
+    "UNDEFINED_QUERY",
+    "amalgamate",
+    "atom_slots",
+    "canonical_pointed",
+    "check_local_genericity",
+    "classify_query",
+    "count_local_types",
+    "database_from_predicates",
+    "empty_query",
+    "empty_relation",
+    "enumerate_local_types",
+    "finite_automorphisms",
+    "finite_database",
+    "finite_domain",
+    "finite_isomorphism",
+    "finite_pointed_isomorphic",
+    "find_local_genericity_violation",
+    "full_relation",
+    "integers_domain",
+    "local_isomorphism_witness",
+    "local_type_of",
+    "locally_isomorphic",
+    "matches",
+    "naturals_domain",
+    "orbit_partition",
+    "query_from_pointed_examples",
+    "rdb",
+    "relation_from_predicate",
+    "shifted_naturals",
+    "subset_domain",
+    "tagged_domain",
+    "union_domain",
+]

@@ -1,0 +1,179 @@
+"""Recursive relational databases (r-dbs) and pointed databases.
+
+Definition 2.1: ``B = (D, R₁, …, R_k)`` is a *recursive relational data
+base of type a = (a₁, …, a_k)* when ``D`` is a countably infinite
+recursive set and each ``Rᵢ ⊆ D^{aᵢ}`` is a recursive relation.
+
+A :class:`PointedDatabase` is a pair ``(B, u)`` of a database and a tuple
+over its domain — the unit on which local isomorphism, genericity, and
+the equivalence classes ``Cⁿ`` are defined.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..errors import ArityError, DomainError, TypeSignatureError
+from .domain import Domain, Element, finite_domain, naturals_domain
+from .relation import (
+    FiniteRelation,
+    RecursiveRelation,
+    RelationOracle,
+    relation_from_predicate,
+)
+
+TypeSignature = tuple  # tuple of arities, e.g. (2, 1)
+
+
+class RecursiveDatabase:
+    """An r-db: a recursive domain plus a tuple of recursive relations.
+
+    The *type* of the database is the tuple of its relations' arities.
+    Databases are compared and combined only through their type — never
+    through relation names — matching the paper's positional convention
+    ``R₁, …, R_k``.
+    """
+
+    def __init__(self, domain: Domain,
+                 relations: Sequence[RecursiveRelation],
+                 name: str = "B"):
+        self.domain = domain
+        self.relations: tuple[RecursiveRelation, ...] = tuple(relations)
+        self.name = name
+
+    @property
+    def type_signature(self) -> TypeSignature:
+        """The type ``a = (a₁, …, a_k)`` of the database."""
+        return tuple(r.arity for r in self.relations)
+
+    @property
+    def k(self) -> int:
+        """Number of relations."""
+        return len(self.relations)
+
+    def relation(self, i: int) -> RecursiveRelation:
+        """The ``i``-th relation, 0-based (the paper writes ``R_{i+1}``)."""
+        return self.relations[i]
+
+    def contains(self, i: int, u: Sequence[Element]) -> bool:
+        """Whether tuple ``u`` is in relation ``i`` (0-based)."""
+        return tuple(u) in self.relations[i]
+
+    def oracles(self) -> list[RelationOracle]:
+        """Fresh counting oracles for all relations (Definition 2.4 access)."""
+        return [RelationOracle(r) for r in self.relations]
+
+    def check_same_type(self, other: "RecursiveDatabase") -> None:
+        if self.type_signature != other.type_signature:
+            raise TypeSignatureError(
+                f"type mismatch: {self.name} has type {self.type_signature}, "
+                f"{other.name} has type {other.type_signature}")
+
+    def check_tuple(self, u: Sequence[Element]) -> tuple[Element, ...]:
+        """Validate that every component of ``u`` is in the domain."""
+        u = tuple(u)
+        for x in u:
+            if x not in self.domain:
+                raise DomainError(
+                    f"{x!r} is not in the domain of {self.name}")
+        return u
+
+    def point(self, u: Sequence[Element]) -> "PointedDatabase":
+        """The pointed database ``(B, u)``."""
+        return PointedDatabase(self, u)
+
+    def restrict_to(self, elements: Iterable[Element]) -> "RecursiveDatabase":
+        """The finite restriction of B to the given elements.
+
+        Definition 2.2.3 compares restrictions of databases to the
+        elements of tuples; the result is a database over a finite domain
+        whose relations are explicit finite sets.
+        """
+        pool = list(dict.fromkeys(elements))
+        return RecursiveDatabase(
+            finite_domain(pool, name=f"{self.domain.name}|fin"),
+            [r.restrict_to(pool) for r in self.relations],
+            name=f"{self.name}|fin",
+        )
+
+    def stretch(self, constants: Sequence[Element]) -> "RecursiveDatabase":
+        """The *stretching* of B by ``constants`` (Section 3.1).
+
+        Appends, for each constant ``d``, the singleton unary relation
+        ``{(d,)}``.  Proposition 3.1: B is highly symmetric iff every
+        stretching has finitely many rank-1 equivalence classes.
+        """
+        extra = [FiniteRelation(1, [(self.domain.check(d),)], name=f"c_{d}")
+                 for d in constants]
+        return RecursiveDatabase(
+            self.domain, list(self.relations) + extra,
+            name=f"{self.name}+{len(extra)}c",
+        )
+
+    def __repr__(self) -> str:
+        return (f"RecursiveDatabase({self.name}, type={self.type_signature}, "
+                f"domain={self.domain.name})")
+
+
+class PointedDatabase:
+    """A pair ``(B, u)``: a database together with a tuple over its domain."""
+
+    def __init__(self, database: RecursiveDatabase, u: Sequence[Element]):
+        self.database = database
+        self.u = database.check_tuple(u)
+
+    @property
+    def rank(self) -> int:
+        """The rank |u| of the distinguished tuple."""
+        return len(self.u)
+
+    def restriction(self) -> RecursiveDatabase:
+        """The restriction of B to the elements of u (Definition 2.2.3)."""
+        return self.database.restrict_to(self.u)
+
+    def extend(self, *items: Element) -> "PointedDatabase":
+        """``(B, ua₁a₂…)`` — the paper's tuple-extension shorthand."""
+        return PointedDatabase(self.database, self.u + items)
+
+    def __repr__(self) -> str:
+        return f"({self.database.name}, {self.u!r})"
+
+
+def rdb(domain: Domain | None, *relations: RecursiveRelation,
+        name: str = "B") -> RecursiveDatabase:
+    """Convenience constructor; ``domain=None`` means ℕ."""
+    return RecursiveDatabase(domain or naturals_domain(), relations, name=name)
+
+
+def database_from_predicates(predicates: Sequence[tuple[int, object]],
+                             domain: Domain | None = None,
+                             name: str = "B") -> RecursiveDatabase:
+    """Build an r-db from ``(arity, callable)`` pairs.
+
+    >>> B = database_from_predicates([(3, lambda x, y, z: z == x * y)])
+    >>> B.contains(0, (6, 7, 42))
+    True
+    """
+    rels = [relation_from_predicate(a, fn, name=f"R{i + 1}")
+            for i, (a, fn) in enumerate(predicates)]
+    return RecursiveDatabase(domain or naturals_domain(), rels, name=name)
+
+
+def finite_database(relations_tuples: Sequence[tuple[int, Iterable]],
+                    domain_elements: Iterable[Element] | None = None,
+                    name: str = "F") -> RecursiveDatabase:
+    """Build a database over a finite domain from explicit tuple sets.
+
+    When ``domain_elements`` is omitted the domain is the active domain
+    (all elements mentioned in any tuple).
+    """
+    rels = [FiniteRelation(a, ts, name=f"R{i + 1}")
+            for i, (a, ts) in enumerate(relations_tuples)]
+    if domain_elements is None:
+        active: dict[Element, None] = {}
+        for r in rels:
+            for t in r.tuples:
+                for x in t:
+                    active[x] = None
+        domain_elements = active
+    return RecursiveDatabase(finite_domain(domain_elements), rels, name=name)

@@ -1,0 +1,217 @@
+"""Recursive domains: decidable, enumerable sets of elements.
+
+Definition 2.1 of the paper requires a *countably infinite recursive set*
+``D`` as the domain of a recursive database.  A :class:`Domain` packages
+the two effective capabilities such a set has:
+
+* decidable membership (``x in domain``), and
+* a fair enumeration (``iter(domain)`` reaches every element eventually).
+
+Finite domains are also supported because the Chandra–Harel substrate
+(finite databases, Section 4's ``Df``) needs them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Iterator
+from itertools import count, islice
+
+from ..errors import DomainError
+
+Element = Hashable
+
+
+class Domain:
+    """A recursive set of elements.
+
+    Parameters
+    ----------
+    contains:
+        Decision procedure for membership.
+    enumerate_fn:
+        Zero-argument callable returning a fresh fair enumerator.
+    name:
+        Human-readable name used in reprs and error messages.
+    finite_size:
+        ``None`` for infinite domains, otherwise the exact cardinality
+        (the enumerator must then be finite and duplicate-free).
+    """
+
+    def __init__(self, contains: Callable[[Element], bool],
+                 enumerate_fn: Callable[[], Iterator[Element]],
+                 name: str = "D",
+                 finite_size: int | None = None):
+        self._contains = contains
+        self._enumerate_fn = enumerate_fn
+        self.name = name
+        self.finite_size = finite_size
+
+    @property
+    def is_finite(self) -> bool:
+        return self.finite_size is not None
+
+    def __contains__(self, x: Element) -> bool:
+        return bool(self._contains(x))
+
+    def __iter__(self) -> Iterator[Element]:
+        return self._enumerate_fn()
+
+    def first(self, n: int) -> list[Element]:
+        """The first ``n`` elements of the enumeration."""
+        return list(islice(iter(self), n))
+
+    def first_not_in(self, excluded: Iterable[Element]) -> Element:
+        """The enumeration's first element outside ``excluded``.
+
+        This is the paper's recurring step "let a₁ be the first element of
+        D not appearing in u" (back-and-forth constructions of
+        Propositions 3.2, 3.3, 3.5).
+        """
+        pool = set(excluded)
+        for x in self:
+            if x not in pool:
+                return x
+        raise DomainError(
+            f"domain {self.name} has no element outside the excluded set")
+
+    def fresh(self, excluded: Iterable[Element], n: int) -> list[Element]:
+        """``n`` distinct elements outside ``excluded``, in enumeration order."""
+        pool = set(excluded)
+        out: list[Element] = []
+        for x in self:
+            if x not in pool:
+                out.append(x)
+                pool.add(x)
+                if len(out) == n:
+                    return out
+        raise DomainError(
+            f"domain {self.name} has fewer than {n} elements outside the "
+            "excluded set")
+
+    def check(self, x: Element) -> Element:
+        """Return ``x`` if it is in the domain, else raise :class:`DomainError`."""
+        if x not in self:
+            raise DomainError(f"{x!r} is not in domain {self.name}")
+        return x
+
+    def __repr__(self) -> str:
+        size = "infinite" if not self.is_finite else f"|{self.finite_size}|"
+        return f"Domain({self.name}, {size})"
+
+
+def naturals_domain(name: str = "N") -> Domain:
+    """The canonical countably infinite recursive domain ℕ."""
+    return Domain(
+        contains=lambda x: isinstance(x, int) and not isinstance(x, bool) and x >= 0,
+        enumerate_fn=lambda: iter(count(0)),
+        name=name,
+    )
+
+
+def integers_domain(name: str = "Z") -> Domain:
+    """The integers, enumerated fairly: 0, 1, -1, 2, -2, …"""
+
+    def enum() -> Iterator[int]:
+        yield 0
+        for k in count(1):
+            yield k
+            yield -k
+
+    return Domain(
+        contains=lambda x: isinstance(x, int) and not isinstance(x, bool),
+        enumerate_fn=enum,
+        name=name,
+    )
+
+
+def finite_domain(elements: Iterable[Element], name: str = "Df") -> Domain:
+    """A finite recursive domain over explicit elements."""
+    elems = list(dict.fromkeys(elements))
+    pool = set(elems)
+    return Domain(
+        contains=lambda x: x in pool,
+        enumerate_fn=lambda: iter(list(elems)),
+        name=name,
+        finite_size=len(elems),
+    )
+
+
+def subset_domain(base: Domain, predicate: Callable[[Element], bool],
+                  name: str | None = None) -> Domain:
+    """The decidable subset ``{x ∈ base : predicate(x)}``.
+
+    The subset inherits the base enumeration filtered by the predicate;
+    if the subset is finite the enumeration will not terminate on its own
+    (membership stays decidable), so only use this for infinite subsets or
+    with explicit bounds.
+    """
+    return Domain(
+        contains=lambda x: x in base and bool(predicate(x)),
+        enumerate_fn=lambda: (x for x in base if predicate(x)),
+        name=name or f"{base.name}|p",
+    )
+
+
+def shifted_naturals(offset: int, name: str | None = None) -> Domain:
+    """The recursive domain ``{offset, offset+1, …}``.
+
+    Used to build disjoint copies of ℕ (the paper's "assume D₁ and D₂ are
+    disjoint" steps are realized by tagging or shifting).
+    """
+    return Domain(
+        contains=lambda x: isinstance(x, int) and not isinstance(x, bool) and x >= offset,
+        enumerate_fn=lambda: iter(count(offset)),
+        name=name or f"N+{offset}",
+    )
+
+
+def tagged_domain(base: Domain, tag: Element, name: str | None = None) -> Domain:
+    """The domain ``{(tag, x) : x ∈ base}`` — a disjoint copy of ``base``.
+
+    Tagging realizes the paper's disjoint-union constructions (e.g. the
+    amalgamated database of Proposition 2.3's proof and the gadget of
+    Theorem 6.1) without assuming anything about the carriers.
+    """
+    def contains(x: Element) -> bool:
+        return (isinstance(x, tuple) and len(x) == 2 and x[0] == tag
+                and x[1] in base)
+
+    return Domain(
+        contains=contains,
+        enumerate_fn=lambda: ((tag, x) for x in base),
+        name=name or f"{tag}:{base.name}",
+        finite_size=base.finite_size,
+    )
+
+
+def union_domain(parts: list[Domain], name: str = "D1+D2") -> Domain:
+    """The union of pairwise-disjoint domains, enumerated fairly.
+
+    Disjointness is the caller's responsibility (use :func:`tagged_domain`
+    when in doubt); membership is the disjunction of the parts'.
+    """
+    if not parts:
+        raise ValueError("union_domain requires at least one part")
+
+    def enum() -> Iterator[Element]:
+        iters = [iter(p) for p in parts]
+        active = list(iters)
+        while active:
+            nxt = []
+            for it in active:
+                try:
+                    yield next(it)
+                except StopIteration:
+                    continue
+                nxt.append(it)
+            active = nxt
+
+    finite = None
+    if all(p.is_finite for p in parts):
+        finite = sum(p.finite_size for p in parts)  # type: ignore[misc]
+    return Domain(
+        contains=lambda x: any(x in p for p in parts),
+        enumerate_fn=enum,
+        name=name,
+        finite_size=finite,
+    )

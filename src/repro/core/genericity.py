@@ -1,0 +1,302 @@
+"""Genericity and local genericity of r-queries (Definition 2.5).
+
+An r-query is *generic* when it preserves isomorphisms of pointed
+databases, and *locally generic* when it preserves local isomorphisms.
+Both properties quantify over all databases, so they are not decidable in
+general; what *is* effective — and what this module implements — is:
+
+* checking preservation on supplied witness pairs,
+* searching small canonical databases for violations (enough to expose
+  every counterexample the paper exhibits),
+* the amalgamation construction from the proof of Proposition 2.3.3
+  (two pointed databases glued over disjoint supports), and
+* the transcript-transport construction from the proof of
+  Proposition 2.5 (building ``B₃``, ``B₄`` from the oracle transcripts of
+  a run so that a generic query must behave locally generically).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..errors import TypeSignatureError
+from ..util.seqs import is_over
+from .database import PointedDatabase, RecursiveDatabase
+from .domain import Element, naturals_domain, tagged_domain, union_domain
+from .localtypes import enumerate_local_types, local_type_of
+from .isomorphism import locally_isomorphic
+from .query import DatabaseOracle, RQuery
+from .relation import RecursiveRelation
+
+
+def check_local_genericity(query: RQuery,
+                           pairs: Iterable[tuple[PointedDatabase, PointedDatabase]]
+                           ) -> tuple[PointedDatabase, PointedDatabase] | None:
+    """Check local-genericity on witness pairs; return a violator or None.
+
+    Each pair must satisfy ``(B₁,u) ≅ₗ (B₂,v)``; a violation is a pair on
+    which the query's answers differ.
+    """
+    for p1, p2 in pairs:
+        if not locally_isomorphic(p1, p2):
+            raise ValueError(
+                f"witness pair {p1!r}, {p2!r} is not locally isomorphic")
+        d1 = query.is_defined_on(p1.database)
+        d2 = query.is_defined_on(p2.database)
+        if d1 != d2:
+            return (p1, p2)
+        if not d1:
+            continue
+        a1 = query.membership(DatabaseOracle(p1.database), p1.u)
+        a2 = query.membership(DatabaseOracle(p2.database), p2.u)
+        if a1 != a2:
+            return (p1, p2)
+    return None
+
+
+def find_local_genericity_violation(query: RQuery, max_rank: int = 2
+                                    ) -> tuple[PointedDatabase, PointedDatabase] | None:
+    """Search canonical class representatives for a local-genericity violation.
+
+    For each rank up to ``max_rank`` and each local type of the query's
+    signature, the canonical pointed database of the class is evaluated;
+    a *locally generic* query must answer identically on any two pointed
+    databases of the same class, so comparing each class's canonical
+    representative against a renamed copy exposes violations that depend
+    on concrete element identities, and comparing the answer across
+    *different* databases realizing the same class exposes violations
+    that depend on off-support structure (the paper's §2 example
+    ``{x | ∃y (x ≠ y ∧ (x, y) ∈ R)}``).
+    """
+    from .localtypes import canonical_pointed
+
+    declared = getattr(query, "output_rank", None)
+    ranks = [declared] if declared is not None else range(max_rank + 1)
+    for rank in ranks:
+        for local_type in enumerate_local_types(query.type_signature, rank):
+            base = canonical_pointed(local_type)
+            for variant in _same_class_variants(base):
+                violation = check_local_genericity(query, [(base, variant)])
+                if violation is not None:
+                    return violation
+    return None
+
+
+def _same_class_variants(pointed: PointedDatabase) -> list[PointedDatabase]:
+    """Pointed databases in the same ``≅ₗ`` class as ``pointed`` but with
+    renamed elements and/or extra off-support structure."""
+    db, u = pointed.database, pointed.u
+    shift = 1000
+
+    def rename(x: Element) -> Element:
+        return x + shift if isinstance(x, int) else x
+
+    renamed_rels = [
+        RecursiveRelation(
+            r.arity,
+            (lambda rel: lambda t: tuple(
+                x - shift if isinstance(x, int) and x >= shift else x
+                for x in t) in rel)(r),
+            name=r.name)
+        for r in db.relations
+    ]
+    renamed = RecursiveDatabase(naturals_domain(), renamed_rels,
+                                name=f"{db.name}+shift")
+    variants = [PointedDatabase(renamed, tuple(rename(x) for x in u))]
+
+    # Same support facts, but extra tuples involving off-support elements:
+    # still the same local type, different global structure.
+    support = set(u)
+    enriched_rels = []
+    for r in db.relations:
+        def member(t, rel=r):
+            if is_over(t, support):
+                return t in rel
+            return True  # everything off-support is related
+        enriched_rels.append(RecursiveRelation(r.arity, member, name=r.name))
+    enriched = RecursiveDatabase(db.domain, enriched_rels,
+                                 name=f"{db.name}+noise")
+    variants.append(PointedDatabase(enriched, u))
+    return variants
+
+
+def amalgamate(p1: PointedDatabase, p2: PointedDatabase,
+               name: str = "B3") -> tuple[RecursiveDatabase, tuple, tuple]:
+    """The Proposition 2.3.3 construction.
+
+    Given ``(B₁, u)`` and ``(B₂, v)``, build ``B₃`` whose domain contains
+    disjoint copies of the supports of ``u`` and ``v`` plus infinitely
+    many fresh elements, with ``z ∈ Sᵢ`` iff ``z`` is (a copy of) a tuple
+    over ``{u}`` in ``Rᵢ`` or over ``{v}`` in ``R'ᵢ``.  Returns
+    ``(B₃, u', v')`` where ``u'``/``v'`` are the copies; by construction
+    ``(B₁,u) ≅ₗ (B₃,u')`` and ``(B₂,v) ≅ₗ (B₃,v')``.
+    """
+    b1, u = p1.database, p1.u
+    b2, v = p2.database, p2.u
+    b1.check_same_type(b2)
+
+    u_tagged = tuple(("u", x) for x in u)
+    v_tagged = tuple(("v", x) for x in v)
+    domain = union_domain([
+        tagged_domain(b1.domain, "u"),
+        tagged_domain(b2.domain, "v"),
+        tagged_domain(naturals_domain(), "pad"),
+    ], name="D3")
+
+    relations = []
+    for i, arity in enumerate(b1.type_signature):
+        def member(z, i=i, arity=arity):
+            if len(z) != arity:
+                return False
+            tags = {x[0] for x in z} if z else set()
+            if z == () or tags == {"u"}:
+                raw = tuple(x[1] for x in z)
+                return is_over(raw, set(u)) and b1.contains(i, raw)
+            if tags == {"v"}:
+                raw = tuple(x[1] for x in z)
+                return is_over(raw, set(v)) and b2.contains(i, raw)
+            return False
+        relations.append(RecursiveRelation(arity, member, name=f"S{i + 1}"))
+
+    b3 = RecursiveDatabase(domain, relations, name=name)
+    return b3, u_tagged, v_tagged
+
+
+class TranscriptTransport:
+    """The Proposition 2.5 construction, made executable.
+
+    Run an oracle procedure on ``(B₁, u)`` and on ``(B₂, v)`` where
+    ``(B₁,u) ≅ₗ (B₂,v)``; collect the transcripts; then build the
+    databases ``B₃`` and ``B₄`` of the proof:
+
+    * ``D₃`` contains ``u₁,…,uₙ`` and the off-support elements
+      ``d₁,…,d_m`` touched by the first run — *under their original
+      names*, exactly as in the paper — plus primed copies ``e'₁,e'₂,…``
+      of the elements the second run touched, plus fresh padding;
+    * ``x ∈ Sᵢ`` iff ``x`` is over ``{u, d}`` and ``x ∈ Rᵢ``, or ``x`` is
+      over ``{u, e'}`` and its translation (``uᵢ ↦ vᵢ``, ``e'ⱼ ↦ eⱼ``) is
+      in ``R'ᵢ``;
+    * ``B₄`` is built symmetrically.
+
+    The proof's permutation (``uᵢ ↦ vᵢ``, ``dⱼ ↦ d'ⱼ``, ``e'ⱼ ↦ eⱼ``) is
+    an isomorphism ``B₃ → B₄`` taking ``u`` to ``v``.  What is executable
+    and tested:
+
+    * *replay*: the first run's transcript evaluated against ``B₃`` gives
+      the original answers (and the second run's against ``B₄``) — this
+      is the proof's "the computation paths are identical" step; and
+    * *isomorphism*: the permutation carries the touched finite part of
+      ``B₃`` onto that of ``B₄`` (checked exhaustively on those pools).
+    """
+
+    def __init__(self, p1: PointedDatabase, p2: PointedDatabase):
+        if not locally_isomorphic(p1, p2):
+            raise ValueError("Proposition 2.5 transport requires (B1,u) ≅ₗ (B2,v)")
+        self.p1 = p1
+        self.p2 = p2
+
+    def run(self, query: RQuery) -> dict:
+        """Run the query on both pointed databases and transport."""
+        o1 = DatabaseOracle(self.p1.database)
+        a1 = query.membership(o1, self.p1.u)
+        o2 = DatabaseOracle(self.p2.database)
+        a2 = query.membership(o2, self.p2.u)
+
+        b3, pools3 = self._transport(self.p1, o1, self.p2, o2, label="B3")
+        b4, pools4 = self._transport(self.p2, o2, self.p1, o1, label="B4")
+
+        replay3 = all(b3.contains(i, q) == ans
+                      for (i, q, ans) in o1.transcript())
+        replay4 = all(b4.contains(i, q) == ans
+                      for (i, q, ans) in o2.transcript())
+
+        return {
+            "answer_B1": a1, "answer_B2": a2,
+            "replay_B3_matches_B1": replay3,
+            "replay_B4_matches_B2": replay4,
+            "B3": b3.point(self.p1.u), "B4": b4.point(self.p2.u),
+            "isomorphism_holds": self._check_isomorphism(
+                b3, pools3, b4, pools4),
+            "transcript_B1": o1.transcript(),
+            "transcript_B2": o2.transcript(),
+        }
+
+    @staticmethod
+    def _transport(p_own: PointedDatabase, o_own: DatabaseOracle,
+                   p_other: PointedDatabase, o_other: DatabaseOracle,
+                   label: str) -> tuple[RecursiveDatabase, dict]:
+        """Build B₃ (or B₄) per the proof; return it with its name pools."""
+        own_db, u = p_own.database, p_own.u
+        other_db, v = p_other.database, p_other.u
+        own_support = list(dict.fromkeys(u))
+        other_support = list(dict.fromkeys(v))
+        ds = sorted(o_own.elements_touched() - set(own_support), key=repr)
+        es = sorted(o_other.elements_touched() - set(other_support), key=repr)
+
+        own_pool = set(own_support) | set(ds)
+        u_to_v = dict(zip(u, v))
+        primes = [("prime", j) for j in range(len(es))]
+        prime_to_e = dict(zip(primes, es))
+
+        domain = union_domain([
+            own_db.domain,
+            tagged_domain(naturals_domain(), "prime"),
+            tagged_domain(naturals_domain(), "pad"),
+        ], name=f"D({label})")
+
+        relations = []
+        for i, arity in enumerate(own_db.type_signature):
+            def member(z, i=i, arity=arity):
+                if len(z) != arity:
+                    return False
+                # First clause: tuple over {u, d}, answered by the own db.
+                if all(x in own_pool for x in z):
+                    return own_db.contains(i, z)
+                # Second clause: tuple over {u, e'}, translated and
+                # answered by the other db.
+                translated = []
+                for x in z:
+                    if x in u_to_v:
+                        translated.append(u_to_v[x])
+                    elif x in prime_to_e:
+                        translated.append(prime_to_e[x])
+                    else:
+                        return False
+                return other_db.contains(i, tuple(translated))
+            relations.append(RecursiveRelation(arity, member, name=f"S{i + 1}"))
+
+        b = RecursiveDatabase(domain, relations, name=label)
+        pools = {"support": own_support, "ds": ds, "primes": primes}
+        return b, pools
+
+    @staticmethod
+    def _check_isomorphism(b3: RecursiveDatabase, pools3: dict,
+                           b4: RecursiveDatabase, pools4: dict) -> bool:
+        """Verify the proof's permutation on the touched finite pools.
+
+        Maps: uᵢ ↦ vᵢ, dⱼ ↦ d'ⱼ (B₄'s primes), e'ⱼ (B₃'s primes) ↦ eⱼ
+        (B₄'s ds); every relation must agree on every tuple over the pool.
+        """
+        mapping: dict = {}
+        mapping.update(zip(pools3["support"], pools4["support"]))
+        mapping.update(zip(pools3["ds"], pools4["primes"]))
+        mapping.update(zip(pools3["primes"], pools4["ds"]))
+        pool = list(mapping)
+        from itertools import product as _product
+        for i, arity in enumerate(b3.type_signature):
+            for z in _product(pool, repeat=arity):
+                image = tuple(mapping[x] for x in z)
+                if b3.contains(i, z) != b4.contains(i, image):
+                    return False
+        return True
+
+
+def classify_query(query: RQuery, max_rank: int = 2) -> str:
+    """A best-effort classification: "locally-generic-compatible" when no
+    violation is found on canonical representatives up to ``max_rank``,
+    else "not-locally-generic".  (Genericity itself is undecidable; this
+    is the bounded search the library offers.)"""
+    violation = find_local_genericity_violation(query, max_rank=max_rank)
+    if violation is None:
+        return "locally-generic-compatible"
+    return "not-locally-generic"

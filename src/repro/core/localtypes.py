@@ -1,0 +1,210 @@
+"""Local types: the equivalence classes ``Cⁿ`` of local isomorphism.
+
+For a fixed database type ``a`` and rank ``n``, local isomorphism ``≅ₗ``
+is an equivalence relation *of finite index* on pointed databases
+(Section 2).  Each class is determined by finite data:
+
+* the *equality pattern* of the tuple (which positions coincide), and
+* the *atom set*: which projections of the tuple belong to which
+  relations.
+
+A :class:`LocalType` is a canonical, hashable descriptor of one class.
+The paper's worked example — type ``(2, 1)`` has ``2² + 2⁴·2² = 68``
+classes of rank 2 — is reproduced by :func:`count_local_types`, and
+Theorem 2.1's completeness proof becomes executable because queries,
+class descriptors, and ``L⁻`` formulas are inter-convertible
+(see :mod:`repro.logic.qf`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+from itertools import product
+
+from ..errors import ArityError, TypeSignatureError
+from ..util.partitions import block_count, equality_pattern, set_partitions
+from ..util.seqs import all_position_tuples, project
+from .database import PointedDatabase, RecursiveDatabase
+from .domain import naturals_domain
+from .relation import FiniteRelation
+
+Atom = tuple  # (relation_index, block_index_tuple)
+
+
+@dataclass(frozen=True)
+class LocalType:
+    """A canonical descriptor of one ``≅ₗ``-equivalence class.
+
+    Attributes
+    ----------
+    signature:
+        The database type ``a = (a₁, …, a_k)``.
+    pattern:
+        The equality pattern of the tuple as a restricted growth string;
+        its length is the rank ``n`` of the class.
+    atoms:
+        The set of true atomic facts, each ``(i, blocks)`` meaning: the
+        projection of the tuple onto (representatives of) the block
+        indices ``blocks`` belongs to relation ``Rᵢ`` (0-based ``i``,
+        arity ``aᵢ = len(blocks)``).  Atoms are recorded over *block*
+        indices, not positions, so equal positions automatically agree.
+    """
+
+    signature: tuple[int, ...]
+    pattern: tuple[int, ...]
+    atoms: frozenset[Atom]
+
+    def __post_init__(self) -> None:
+        blocks = block_count(self.pattern)
+        for i, blk in self.atoms:
+            if not 0 <= i < len(self.signature):
+                raise TypeSignatureError(f"atom relation index {i} out of range")
+            if len(blk) != self.signature[i]:
+                raise ArityError(
+                    f"atom {blk!r} has rank {len(blk)}, relation {i} has "
+                    f"arity {self.signature[i]}")
+            if any(not 0 <= b < blocks for b in blk):
+                raise ArityError(f"atom {blk!r} mentions a non-existent block")
+
+    @property
+    def rank(self) -> int:
+        """The rank ``n`` of tuples in this class."""
+        return len(self.pattern)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of distinct elements in tuples of this class."""
+        return block_count(self.pattern)
+
+    def holds_atom(self, relation_index: int,
+                   positions: Sequence[int]) -> bool:
+        """Whether the atom on the given *positions* is true in this class."""
+        blocks = tuple(self.pattern[p] for p in positions)
+        return (relation_index, blocks) in self.atoms
+
+    def canonical_tuple(self) -> tuple[int, ...]:
+        """The canonical tuple (block indices as elements) of this class."""
+        return self.pattern
+
+    def describe(self) -> str:
+        """A human-readable rendering mirroring the paper's φᵢ formulas."""
+        parts = []
+        n = self.rank
+        for i in range(n):
+            for j in range(i + 1, n):
+                op = "=" if self.pattern[i] == self.pattern[j] else "!="
+                parts.append(f"x{i + 1} {op} x{j + 1}")
+        for i, arity in enumerate(self.signature):
+            for positions in all_position_tuples(n, arity):
+                blocks = tuple(self.pattern[p] for p in positions)
+                # Only report each block-level atom once, via its first
+                # positional realization.
+                first = min(
+                    pos for pos in all_position_tuples(n, arity)
+                    if tuple(self.pattern[p] for p in pos) == blocks)
+                if positions != first:
+                    continue
+                args = ", ".join(f"x{p + 1}" for p in positions)
+                member = "in" if (i, blocks) in self.atoms else "not in"
+                parts.append(f"({args}) {member} R{i + 1}")
+        return " and ".join(parts) if parts else "true"
+
+    def __repr__(self) -> str:
+        return (f"LocalType(a={self.signature}, pattern={self.pattern}, "
+                f"{len(self.atoms)} atoms)")
+
+
+def local_type_of(pointed: PointedDatabase) -> LocalType:
+    """The local type of ``(B, u)`` — computable, per Proposition 2.2."""
+    db, u = pointed.database, pointed.u
+    signature = db.type_signature
+    pattern = equality_pattern(u)
+    blocks = block_count(pattern)
+    # Pick one representative position per block.
+    rep_position = {}
+    for pos, b in enumerate(pattern):
+        rep_position.setdefault(b, pos)
+    atoms = set()
+    for i, arity in enumerate(signature):
+        for blk in product(range(blocks), repeat=arity):
+            positions = tuple(rep_position[b] for b in blk)
+            if db.contains(i, project(u, positions)):
+                atoms.add((i, blk))
+    return LocalType(signature, pattern, frozenset(atoms))
+
+
+def atom_slots(signature: Sequence[int], blocks: int) -> list[Atom]:
+    """All possible atoms over ``blocks`` distinct elements for a type.
+
+    The count is ``Σᵢ blocks^{aᵢ}`` slots, each independently true or
+    false — the source of the ``2^…`` factors in the paper's 68-class
+    example.
+    """
+    out: list[Atom] = []
+    for i, arity in enumerate(signature):
+        for blk in product(range(blocks), repeat=arity):
+            out.append((i, blk))
+    return out
+
+
+def enumerate_local_types(signature: Sequence[int],
+                          rank: int) -> Iterator[LocalType]:
+    """Enumerate all of ``Cⁿ`` for a type — every ``≅ₗ`` class of rank ``n``.
+
+    Classes are produced grouped by equality pattern; within a pattern the
+    atom subsets are enumerated in binary-counter order, so the output
+    order is deterministic.
+    """
+    signature = tuple(signature)
+    for pattern in set_partitions(rank):
+        slots = atom_slots(signature, block_count(pattern))
+        for mask in range(1 << len(slots)):
+            atoms = frozenset(
+                slots[j] for j in range(len(slots)) if mask >> j & 1)
+            yield LocalType(signature, pattern, atoms)
+
+
+def count_local_types(signature: Sequence[int], rank: int) -> int:
+    """The size of ``Cⁿ`` in closed form: ``Σ_partitions 2^(Σᵢ blocksᵃⁱ)``.
+
+    Reproduces the paper's example:
+
+    >>> count_local_types((2, 1), 2)
+    68
+    """
+    total = 0
+    for pattern in set_partitions(rank):
+        blocks = block_count(pattern)
+        exponent = sum(blocks ** a for a in signature)
+        total += 1 << exponent
+    return total
+
+
+def canonical_pointed(local_type: LocalType) -> PointedDatabase:
+    """A canonical pointed database realizing exactly one local type.
+
+    The domain is ℕ; the distinguished tuple is the canonical tuple of
+    block indices; each relation contains exactly the listed atoms (over
+    the blocks) and nothing else.  By construction
+    ``local_type_of(canonical_pointed(t)) == t`` — the representative that
+    Proposition 2.4 builds classes from.
+    """
+    relations = []
+    for i, arity in enumerate(local_type.signature):
+        tuples = [blk for (j, blk) in local_type.atoms if j == i]
+        relations.append(FiniteRelation(arity, tuples, name=f"R{i + 1}"))
+    db = RecursiveDatabase(naturals_domain(), relations,
+                           name=f"canon[{local_type.pattern}]")
+    return db.point(local_type.canonical_tuple())
+
+
+def matches(local_type: LocalType, pointed: PointedDatabase) -> bool:
+    """Whether ``(B, u)`` belongs to the class described by ``local_type``."""
+    if pointed.database.type_signature != local_type.signature:
+        raise TypeSignatureError(
+            f"pointed database has type {pointed.database.type_signature}, "
+            f"local type expects {local_type.signature}")
+    if len(pointed.u) != local_type.rank:
+        return False
+    return local_type_of(pointed) == local_type

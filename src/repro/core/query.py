@@ -1,0 +1,293 @@
+"""Queries over recursive databases (r-queries).
+
+Definition 2.3: an r-query of type ``a`` is a partial function ``Q``
+yielding, for each r-db of type ``a``, a recursive relation over its
+domain (or being undefined).  Definition 2.4 makes *recursive* r-queries
+effective via oracle machines: membership ``u ∈ Q(B)`` is decided by a
+procedure that may only ask "is w ∈ Rᵢ?" questions of the input database.
+
+This module provides:
+
+* :class:`DatabaseOracle` — the only interface through which evaluation
+  code may consult a database (query-counted, transcript-recorded);
+* :class:`OracleQuery` — an r-query given by an oracle procedure;
+* :class:`LocallyGenericQuery` — an r-query given by a finite set of
+  local types of common rank; Proposition 2.4 says these are *exactly*
+  the locally generic r-queries, and Theorem 2.1 says they are exactly
+  the computable ones;
+* :data:`UNDEFINED_QUERY` — the everywhere-undefined query, the ``L⁻``
+  expression ``undefined``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from ..errors import TypeSignatureError, UndefinedQueryError
+from .database import PointedDatabase, RecursiveDatabase
+from .domain import Element
+from .localtypes import LocalType, local_type_of
+from .relation import RelationOracle
+
+
+class DatabaseOracle:
+    """Oracle access to a whole database (Definition 2.4 discipline).
+
+    Exposes the domain (needed to enumerate candidate tuples) and
+    membership questions, nothing else — in particular, no access to the
+    relations' defining code, which is what lets genericity arguments
+    (Proposition 2.5) go through.
+    """
+
+    def __init__(self, database: RecursiveDatabase):
+        self._database = database
+        self._oracles = [RelationOracle(r) for r in database.relations]
+
+    @property
+    def type_signature(self) -> tuple[int, ...]:
+        return self._database.type_signature
+
+    @property
+    def domain(self):
+        return self._database.domain
+
+    def ask(self, relation_index: int, u: Sequence[Element]) -> bool:
+        """Ask "is u ∈ R_{relation_index}?" (0-based index)."""
+        return self._oracles[relation_index].ask(u)
+
+    @property
+    def questions(self) -> int:
+        """Total number of oracle questions asked so far."""
+        return sum(o.questions for o in self._oracles)
+
+    def transcript(self) -> list[tuple[int, tuple, bool]]:
+        """All questions asked, as ``(relation_index, tuple, answer)``."""
+        out = []
+        for i, o in enumerate(self._oracles):
+            out.extend((i, u, ans) for (u, ans) in o.transcript)
+        return out
+
+    def elements_touched(self) -> set[Element]:
+        """Domain elements appearing in any question (Prop 2.5's d's/e's)."""
+        out: set[Element] = set()
+        for o in self._oracles:
+            out.update(o.elements_touched())
+        return out
+
+    def reset(self) -> None:
+        for o in self._oracles:
+            o.reset()
+
+
+class RQuery:
+    """Base class for r-queries of a fixed type signature."""
+
+    def __init__(self, type_signature: Sequence[int], name: str = "Q"):
+        self.type_signature = tuple(type_signature)
+        self.name = name
+
+    def is_defined_on(self, database: RecursiveDatabase) -> bool:
+        """Whether ``Q(B)`` is defined.  Locally generic queries are
+        either everywhere- or nowhere-defined (Proposition 2.3.1)."""
+        raise NotImplementedError
+
+    def membership(self, oracle: DatabaseOracle,
+                   u: Sequence[Element]) -> bool:
+        """Decide ``u ∈ Q(B)`` through the oracle."""
+        raise NotImplementedError
+
+    def _check(self, database: RecursiveDatabase) -> None:
+        if database.type_signature != self.type_signature:
+            raise TypeSignatureError(
+                f"query {self.name} has type {self.type_signature}, "
+                f"database {database.name} has type {database.type_signature}")
+
+    def holds(self, database: RecursiveDatabase,
+              u: Sequence[Element]) -> bool:
+        """Convenience: evaluate ``u ∈ Q(B)`` with a fresh oracle."""
+        self._check(database)
+        if not self.is_defined_on(database):
+            raise UndefinedQueryError(
+                f"query {self.name} is undefined on {database.name}")
+        return self.membership(DatabaseOracle(database), tuple(u))
+
+    def evaluate_over(self, database: RecursiveDatabase,
+                      candidates: Iterable[Sequence[Element]]) -> set[tuple]:
+        """The finite slice ``{u ∈ candidates : u ∈ Q(B)}``.
+
+        ``Q(B)`` itself may be infinite; callers choose the window.
+        """
+        self._check(database)
+        if not self.is_defined_on(database):
+            raise UndefinedQueryError(
+                f"query {self.name} is undefined on {database.name}")
+        oracle = DatabaseOracle(database)
+        return {tuple(u) for u in candidates
+                if self.membership(oracle, tuple(u))}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, type={self.type_signature})"
+
+
+class OracleQuery(RQuery):
+    """An r-query computed by an arbitrary oracle procedure.
+
+    ``procedure(oracle, u) -> bool`` decides membership; it must consult
+    the database *only* through ``oracle.ask``.  Nothing forces the
+    procedure to be generic — that is the point: Section 2's
+    counterexamples (non-generic, generic-but-not-locally-generic) are
+    instances of this class, and the genericity checkers in
+    :mod:`repro.core.genericity` hunt for their violations.
+    """
+
+    def __init__(self, type_signature: Sequence[int],
+                 procedure: Callable[[DatabaseOracle, tuple], bool],
+                 output_rank: int | None = None,
+                 name: str = "Q"):
+        super().__init__(type_signature, name=name)
+        self._procedure = procedure
+        self.output_rank = output_rank
+
+    def is_defined_on(self, database: RecursiveDatabase) -> bool:
+        return True
+
+    def membership(self, oracle: DatabaseOracle,
+                   u: Sequence[Element]) -> bool:
+        return bool(self._procedure(oracle, tuple(u)))
+
+
+class LocallyGenericQuery(RQuery):
+    """An r-query given as a finite union of ``≅ₗ`` classes.
+
+    Proposition 2.4: ``Q`` is a locally generic r-query iff
+    ``Q̄ = ⋃ⱼ Cⁿ_{iⱼ}`` for some classes of a common rank ``n``.
+    Membership is decided by computing the local type of ``(B, u)``
+    (finitely many oracle questions) and checking set membership.
+    """
+
+    def __init__(self, classes: Iterable[LocalType], name: str = "Q"):
+        classes = frozenset(classes)
+        if not classes:
+            raise ValueError(
+                "a locally generic query needs at least one class; use "
+                "empty_query(...) for the empty result of a given rank, or "
+                "UNDEFINED_QUERY for the nowhere-defined query")
+        signatures = {c.signature for c in classes}
+        ranks = {c.rank for c in classes}
+        if len(signatures) != 1:
+            raise TypeSignatureError(
+                f"classes mix database types: {sorted(signatures)}")
+        if len(ranks) != 1:
+            raise TypeSignatureError(
+                f"classes mix ranks {sorted(ranks)}; Proposition 2.3.3 "
+                "requires a common rank")
+        super().__init__(next(iter(signatures)), name=name)
+        self.classes = classes
+        self.output_rank = next(iter(ranks))
+
+    def is_defined_on(self, database: RecursiveDatabase) -> bool:
+        return True
+
+    def membership(self, oracle: DatabaseOracle,
+                   u: Sequence[Element]) -> bool:
+        if len(u) != self.output_rank:
+            return False
+        local_type = _local_type_via_oracle(oracle, tuple(u))
+        return local_type in self.classes
+
+    def complement(self, universe: Iterable[LocalType],
+                   name: str | None = None) -> "LocallyGenericQuery":
+        """The query selecting the classes of ``universe`` not selected here."""
+        rest = frozenset(universe) - self.classes
+        return LocallyGenericQuery(rest, name=name or f"not-{self.name}")
+
+    def union(self, other: "LocallyGenericQuery",
+              name: str | None = None) -> "LocallyGenericQuery":
+        return LocallyGenericQuery(self.classes | other.classes,
+                                   name=name or f"{self.name}|{other.name}")
+
+    def intersection(self, other: "LocallyGenericQuery",
+                     name: str | None = None) -> "LocallyGenericQuery":
+        return LocallyGenericQuery(self.classes & other.classes,
+                                   name=name or f"{self.name}&{other.name}")
+
+
+def _local_type_via_oracle(oracle: DatabaseOracle, u: tuple) -> LocalType:
+    """Compute the local type of ``(B, u)`` asking only oracle questions."""
+    from itertools import product
+
+    from ..util.partitions import block_count, equality_pattern
+
+    signature = oracle.type_signature
+    pattern = equality_pattern(u)
+    blocks = block_count(pattern)
+    rep_position: dict[int, int] = {}
+    for pos, b in enumerate(pattern):
+        rep_position.setdefault(b, pos)
+    atoms = set()
+    for i, arity in enumerate(signature):
+        for blk in product(range(blocks), repeat=arity):
+            witness = tuple(u[rep_position[b]] for b in blk)
+            if oracle.ask(i, witness):
+                atoms.add((i, blk))
+    return LocalType(tuple(signature), pattern, frozenset(atoms))
+
+
+class _UndefinedQuery(RQuery):
+    """The everywhere-undefined r-query (the ``L⁻`` expression ``undefined``)."""
+
+    def __init__(self):
+        super().__init__((), name="undefined")
+
+    def _check(self, database: RecursiveDatabase) -> None:
+        pass  # undefined on every database, of every type
+
+    def is_defined_on(self, database: RecursiveDatabase) -> bool:
+        return False
+
+    def membership(self, oracle: DatabaseOracle,
+                   u: Sequence[Element]) -> bool:
+        raise UndefinedQueryError("the everywhere-undefined query has no value")
+
+
+UNDEFINED_QUERY = _UndefinedQuery()
+
+
+class EmptyResultQuery(RQuery):
+    """The everywhere-defined query with empty result of a fixed rank.
+
+    This corresponds to selecting *zero* classes — allowed by
+    Proposition 2.4's "each subset of Cⁿ" but excluded from
+    :class:`LocallyGenericQuery` so that the latter always knows its type
+    signature from its classes.
+    """
+
+    def __init__(self, type_signature: Sequence[int], output_rank: int,
+                 name: str = "empty"):
+        super().__init__(type_signature, name=name)
+        self.output_rank = output_rank
+        self.classes: frozenset[LocalType] = frozenset()
+
+    def is_defined_on(self, database: RecursiveDatabase) -> bool:
+        return True
+
+    def membership(self, oracle: DatabaseOracle,
+                   u: Sequence[Element]) -> bool:
+        return False
+
+
+def empty_query(type_signature: Sequence[int], output_rank: int) -> EmptyResultQuery:
+    """The empty-result locally generic query of the given rank."""
+    return EmptyResultQuery(type_signature, output_rank)
+
+
+def query_from_pointed_examples(examples: Iterable[PointedDatabase],
+                                name: str = "Q") -> LocallyGenericQuery:
+    """The least locally generic query containing the given examples.
+
+    Computes each example's local type and takes the union of classes —
+    the "closure under ≅ₗ" that Proposition 2.3.2 forces on any locally
+    generic query.
+    """
+    classes = {local_type_of(p) for p in examples}
+    return LocallyGenericQuery(classes, name=name)

@@ -1,0 +1,205 @@
+"""Recursive relations: decidable sets of tuples of a fixed arity.
+
+A *recursive relation* (Section 2) is a recursive set of tuples over a
+recursive countably infinite domain; the paper thinks of it as a Turing
+machine deciding membership.  Here a :class:`RecursiveRelation` wraps a
+decision procedure together with its arity, and :class:`FiniteRelation` /
+:class:`CoFiniteRelation` provide the explicitly-listed special cases that
+Section 4 works with.
+
+All access by query evaluators goes through :class:`RelationOracle`, which
+only exposes "is u ∈ R?" questions and records how many were asked — the
+oracle discipline of Definition 2.4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from ..errors import ArityError
+from .domain import Element
+
+TupleValue = tuple  # a tuple of domain elements
+
+
+class RecursiveRelation:
+    """A decidable relation of fixed arity.
+
+    Parameters
+    ----------
+    arity:
+        The rank of the relation's tuples (0 is allowed: a rank-0 relation
+        is either ``{()}`` or ``{}``, i.e. a proposition).
+    membership:
+        Decision procedure taking a tuple of the right arity.
+    name:
+        Label used in reprs and formulas.
+    """
+
+    def __init__(self, arity: int, membership: Callable[[TupleValue], bool],
+                 name: str = "R"):
+        if arity < 0:
+            raise ArityError("arity must be >= 0")
+        self.arity = arity
+        self._membership = membership
+        self.name = name
+
+    def __contains__(self, u: Sequence[Element]) -> bool:
+        u = tuple(u)
+        if len(u) != self.arity:
+            raise ArityError(
+                f"relation {self.name} has arity {self.arity}, "
+                f"got rank-{len(u)} tuple {u!r}")
+        return bool(self._membership(u))
+
+    def contains(self, u: Sequence[Element]) -> bool:
+        """Alias for ``u in relation`` with explicit naming."""
+        return tuple(u) in self
+
+    def restrict_to(self, elements: Iterable[Element]) -> "FiniteRelation":
+        """The restriction of the relation to tuples over ``elements``.
+
+        This is the finite relation used by local isomorphism: the
+        restriction of B to the elements of a tuple (Definition 2.2.3).
+        """
+        from itertools import product
+
+        pool = list(dict.fromkeys(elements))
+        tuples = {t for t in product(pool, repeat=self.arity) if t in self}
+        return FiniteRelation(self.arity, tuples, name=f"{self.name}|fin")
+
+    def __repr__(self) -> str:
+        return f"RecursiveRelation({self.name}/{self.arity})"
+
+
+class FiniteRelation(RecursiveRelation):
+    """A relation given by an explicit finite set of tuples."""
+
+    def __init__(self, arity: int, tuples: Iterable[Sequence[Element]],
+                 name: str = "R"):
+        tuple_set = frozenset(tuple(t) for t in tuples)
+        for t in tuple_set:
+            if len(t) != arity:
+                raise ArityError(
+                    f"tuple {t!r} has rank {len(t)}, expected arity {arity}")
+        super().__init__(arity, lambda u: u in tuple_set, name=name)
+        self.tuples = tuple_set
+
+    def __iter__(self):
+        return iter(sorted(self.tuples, key=repr))
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FiniteRelation):
+            return NotImplemented
+        return self.arity == other.arity and self.tuples == other.tuples
+
+    def __hash__(self) -> int:
+        return hash((self.arity, self.tuples))
+
+    def __repr__(self) -> str:
+        return f"FiniteRelation({self.name}/{self.arity}, {len(self.tuples)} tuples)"
+
+
+class CoFiniteRelation(RecursiveRelation):
+    """A relation whose *complement* (within ``Dⁿ``) is an explicit finite set.
+
+    Definition 4.1 represents co-finite relations by their finite
+    complement plus an indicator; this class is that representation.
+    Membership additionally requires every component to lie in the ambient
+    domain when one is supplied.
+    """
+
+    def __init__(self, arity: int, complement: Iterable[Sequence[Element]],
+                 name: str = "R",
+                 domain_contains: Callable[[Element], bool] | None = None):
+        comp = frozenset(tuple(t) for t in complement)
+        for t in comp:
+            if len(t) != arity:
+                raise ArityError(
+                    f"tuple {t!r} has rank {len(t)}, expected arity {arity}")
+
+        def member(u: TupleValue) -> bool:
+            if domain_contains is not None and not all(domain_contains(x) for x in u):
+                return False
+            return u not in comp
+
+        super().__init__(arity, member, name=name)
+        self.complement = comp
+
+    def __repr__(self) -> str:
+        return (f"CoFiniteRelation({self.name}/{self.arity}, "
+                f"complement of {len(self.complement)} tuples)")
+
+
+def relation_from_predicate(arity: int, predicate: Callable[..., bool],
+                            name: str = "R") -> RecursiveRelation:
+    """Build a relation from an ``arity``-argument boolean function.
+
+    >>> times = relation_from_predicate(3, lambda x, y, z: z == x * y, "times")
+    >>> (3, 4, 12) in times
+    True
+    """
+    return RecursiveRelation(arity, lambda u: bool(predicate(*u)), name=name)
+
+
+def empty_relation(arity: int, name: str = "empty") -> FiniteRelation:
+    """The empty relation of a given arity."""
+    return FiniteRelation(arity, (), name=name)
+
+
+def full_relation(arity: int, name: str = "full") -> RecursiveRelation:
+    """The full relation ``Dⁿ`` of a given arity (membership is constant)."""
+    return RecursiveRelation(arity, lambda u: True, name=name)
+
+
+class RelationOracle:
+    """Oracle access to a relation, counting the questions asked.
+
+    Definition 2.4: a recursive r-query is computed by a machine that may
+    only ask its input database questions of the form "is u ∈ Rᵢ?".  All
+    evaluators in this library honor that discipline by consulting
+    relations through oracles; the transcript makes genericity arguments
+    (Proposition 2.5) executable.
+    """
+
+    def __init__(self, relation: RecursiveRelation):
+        self.relation = relation
+        self.questions = 0
+        self.transcript: list[tuple[TupleValue, bool]] = []
+
+    @property
+    def arity(self) -> int:
+        return self.relation.arity
+
+    @property
+    def name(self) -> str:
+        return self.relation.name
+
+    def ask(self, u: Sequence[Element]) -> bool:
+        """Ask "is u ∈ R?"; the question and answer are recorded."""
+        u = tuple(u)
+        answer = u in self.relation
+        self.questions += 1
+        self.transcript.append((u, answer))
+        return answer
+
+    def reset(self) -> None:
+        self.questions = 0
+        self.transcript.clear()
+
+    def elements_touched(self) -> set[Element]:
+        """All domain elements appearing in any asked tuple.
+
+        These are the ``d₁,…,d_m`` / ``e₁,e₂,…`` of the Proposition 2.5
+        construction: the elements the computation actually inspected.
+        """
+        out: set[Element] = set()
+        for u, _ in self.transcript:
+            out.update(u)
+        return out
+
+    def __repr__(self) -> str:
+        return f"RelationOracle({self.name}/{self.arity}, {self.questions} questions)"

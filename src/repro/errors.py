@@ -1,0 +1,82 @@
+"""Exception hierarchy for the ``repro`` (recdb) library.
+
+Every error raised by the library derives from :class:`RecdbError`, so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class RecdbError(Exception):
+    """Base class for all errors raised by the recdb library."""
+
+
+class ArityError(RecdbError):
+    """A tuple's rank does not match the arity a relation or type expects."""
+
+
+class TypeSignatureError(RecdbError):
+    """Two databases (or a database and a query) have incompatible types.
+
+    The *type* of a database is the tuple of arities of its relations
+    (Definition 2.1 of the paper).
+    """
+
+
+class DomainError(RecdbError):
+    """An element does not belong to the domain it was used with."""
+
+
+class UndefinedQueryError(RecdbError):
+    """The everywhere-undefined query was applied and forced.
+
+    ``L⁻`` contains a special expression ``undefined`` whose result is the
+    everywhere-undefined query (Section 2); forcing its value raises this.
+    """
+
+
+class OutOfFuel(RecdbError):
+    """A step-budgeted interpreter exhausted its fuel before halting.
+
+    Query languages over recursive databases express *partial* functions;
+    all interpreters in this library take an explicit fuel bound and raise
+    this error instead of diverging.
+    """
+
+    def __init__(self, message: str = "computation exceeded its fuel budget",
+                 steps: int | None = None):
+        super().__init__(message)
+        self.steps = steps
+
+
+class RankMismatchError(RecdbError):
+    """An operation combined relation values of different ranks."""
+
+
+class NotHighlySymmetricError(RecdbError):
+    """An operation requiring a highly symmetric database detected a witness
+    that the database is not highly symmetric (e.g. an unbounded frontier
+    while building a characteristic-tree level)."""
+
+
+class RepresentationError(RecdbError):
+    """A ``CB`` representation is internally inconsistent.
+
+    For example: a claimed representative is not a path of the
+    characteristic tree, or two paths of the tree are ≅_B-equivalent.
+    """
+
+
+class ParseError(RecdbError):
+    """A formula or program text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class MachineError(RecdbError):
+    """A machine (TM / counter machine / generic machine) is ill-formed or
+    entered an invalid configuration."""

@@ -1,0 +1,45 @@
+"""Finite/co-finite databases and QLf+ (Section 4)."""
+
+from .database import FcfDatabase, df_from_hsdb, fcf_from_hsdb
+from .pipeline import FcfPipeline, membership_matches
+from .qlf import QLfInterpreter, WhileFinite
+from .relation import (
+    FcfValue,
+    cofinite_value,
+    complement,
+    difference,
+    down,
+    empty_fcf,
+    equality_over,
+    finite_value,
+    full_fcf,
+    intersection,
+    restrict_to,
+    swap,
+    union,
+    up,
+)
+
+__all__ = [
+    "FcfDatabase",
+    "FcfPipeline",
+    "FcfValue",
+    "QLfInterpreter",
+    "WhileFinite",
+    "cofinite_value",
+    "complement",
+    "df_from_hsdb",
+    "difference",
+    "down",
+    "empty_fcf",
+    "equality_over",
+    "fcf_from_hsdb",
+    "finite_value",
+    "full_fcf",
+    "intersection",
+    "membership_matches",
+    "restrict_to",
+    "swap",
+    "union",
+    "up",
+]

@@ -1,0 +1,106 @@
+"""The Proposition 4.3 pipeline: computable fcf-queries through QLf+.
+
+The proof's program ``P_Q``:
+
+1. prepare ``Z = (Df, Z₁,…,Z_k)``, the database of the *finite parts*;
+2. compute the automorphisms of ``Z`` (computable: "the isomorphisms of
+   a fcf-r-db can be computed by using only the finite parts");
+3. compute an internal ℕ-model isomorphic to ``Z``;
+4. record which relations were finite (``Yᵢ = {(1)}`` or ``{(0)}``);
+5. run the Turing-machine stage on ``(Z, Y)``;
+6. decode the finite part of ``Q(B)`` through the automorphisms;
+7. set the co-finiteness indicator from the machine's output.
+
+The machine is a Python procedure over the position-model — the same
+convention as :class:`repro.qlhs.completeness.PQPipeline`; the pipeline
+supplies it with the finite parts *and the finiteness flags* (without
+which no machine could distinguish a finite relation from a co-finite
+one with the same finite part — the content of Definition 4.1's
+indicator).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from itertools import product
+
+from ..core.isomorphism import finite_automorphisms
+from ..errors import RepresentationError
+from .database import FcfDatabase
+from .relation import FcfValue
+
+FcfMachine = Callable[[int, list[frozenset[tuple]], list[bool]],
+                      tuple[set, bool]]
+"""``machine(size, finite_parts, is_finite_flags)`` returns
+``(position_tuples_of_the_finite_part, answer_is_cofinite)``."""
+
+
+class FcfPipeline:
+    """End-to-end Proposition 4.3 on a supplied query machine."""
+
+    def __init__(self, database: FcfDatabase):
+        self.database = database
+        self.df = sorted(database.df, key=repr)
+        self.finite_structure = database.finite_structure()
+        self.automorphisms = finite_automorphisms(self.finite_structure)
+
+    def n_model(self) -> list[frozenset[tuple]]:
+        """Step 3: the finite parts as relations over positions of Df."""
+        index = {x: i for i, x in enumerate(self.df)}
+        out = []
+        for r in self.database.relations:
+            out.append(frozenset(
+                tuple(index[x] for x in t) for t in r.tuples))
+        return out
+
+    def finiteness_flags(self) -> list[bool]:
+        """Step 4: which input relations are finite."""
+        return [r.is_finite for r in self.database.relations]
+
+    def execute(self, machine: FcfMachine) -> FcfValue:
+        """Steps 5–7: run the machine and decode via the automorphisms.
+
+        The machine's output finite part (position tuples over Df) is
+        closed under the automorphism group before decoding — a generic
+        query's answer must be automorphism-closed, and closing makes
+        that explicit (and detectable: a machine returning a non-closed
+        set is not generic, which :meth:`check_generic_output` reports).
+        """
+        positions, cofinite = machine(len(self.df), self.n_model(),
+                                      self.finiteness_flags())
+        if not positions:
+            return FcfValue(0, frozenset(), cofinite=cofinite)
+        ranks = {len(p) for p in positions}
+        if len(ranks) != 1:
+            raise RepresentationError(
+                "a generic query yields tuples of one rank")
+        decoded = {tuple(self.df[i] for i in pos) for pos in positions}
+        closed = self._close_under_automorphisms(decoded)
+        return FcfValue(ranks.pop(), frozenset(closed), cofinite=cofinite)
+
+    def check_generic_output(self, machine: FcfMachine) -> bool:
+        """Whether the machine's output was already automorphism-closed."""
+        positions, __ = machine(len(self.df), self.n_model(),
+                                self.finiteness_flags())
+        decoded = {tuple(self.df[i] for i in pos) for pos in positions}
+        return decoded == self._close_under_automorphisms(decoded)
+
+    def _close_under_automorphisms(self, tuples: set) -> set:
+        out = set()
+        for t in tuples:
+            for sigma in self.automorphisms:
+                out.add(tuple(sigma[x] for x in t))
+        return out
+
+
+def membership_matches(value: FcfValue, database: FcfDatabase,
+                       predicate: Callable[[tuple], bool],
+                       window: int = 20) -> bool:
+    """Compare an fcf answer against a reference predicate on a window
+    of concrete tuples (tests and benchmarks use this to validate
+    pipeline outputs against direct evaluation)."""
+    pool = database.domain.first(window)
+    for t in product(pool, repeat=value.rank):
+        if value.contains(t) != bool(predicate(t)):
+            return False
+    return True

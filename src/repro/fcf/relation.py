@@ -1,0 +1,169 @@
+"""Finite/co-finite relation values (Section 4).
+
+Definition 4.1 represents a relation either by its finite set of tuples,
+or — when co-finite — by its finite *complement* plus a special
+indicator.  :class:`FcfValue` is that representation, together with the
+closure algebra QLf+ computes with:
+
+* complementation flips the indicator;
+* intersections/unions combine finite parts ("e ∩ f is computed as
+  e − (¬f)" when the shapes mix);
+* projection of a co-finite relation collapses to the full relation
+  (Proposition 4.2), while projection of a finite one stays finite;
+* ``↑`` (``e × Df``) is *defined only for finite operands* — the paper's
+  remedy for ``↑`` breaking fcf-closure.
+
+Rank-0 values are normalized to the finite representation (the only
+candidates are ``{}`` and ``{()}``, both finite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+from itertools import product
+
+from ..core.domain import Element
+from ..errors import RankMismatchError, RepresentationError
+
+
+@dataclass(frozen=True)
+class FcfValue:
+    """A finite or co-finite relation.
+
+    ``tuples`` is the relation itself when ``cofinite`` is False, and
+    the complement (within ``Dⁿ``) when True — the "special indicator"
+    of Definition 4.1.
+    """
+
+    rank: int
+    tuples: frozenset[tuple]
+    cofinite: bool = False
+
+    def __post_init__(self):
+        for t in self.tuples:
+            if len(t) != self.rank:
+                raise RankMismatchError(
+                    f"tuple {t!r} has rank {len(t)}, value has rank {self.rank}")
+        if self.rank == 0 and self.cofinite:
+            # Normalize rank 0 to the finite representation.
+            object.__setattr__(self, "cofinite", False)
+            object.__setattr__(
+                self, "tuples",
+                frozenset() if self.tuples else frozenset({()}))
+
+    @property
+    def is_finite(self) -> bool:
+        return not self.cofinite
+
+    def contains(self, u: Sequence[Element]) -> bool:
+        u = tuple(u)
+        if len(u) != self.rank:
+            return False
+        return (u in self.tuples) != self.cofinite
+
+    def finite_part_size(self) -> int:
+        """Size of the stored finite set (relation or complement)."""
+        return len(self.tuples)
+
+    def __repr__(self) -> str:
+        shape = "co-finite, complement" if self.cofinite else "finite"
+        return f"FcfValue(rank={self.rank}, {shape} of {len(self.tuples)})"
+
+
+def finite_value(rank: int, tuples: Iterable[Sequence[Element]]) -> FcfValue:
+    return FcfValue(rank, frozenset(tuple(t) for t in tuples), cofinite=False)
+
+
+def cofinite_value(rank: int,
+                   complement: Iterable[Sequence[Element]]) -> FcfValue:
+    return FcfValue(rank, frozenset(tuple(t) for t in complement),
+                    cofinite=True)
+
+
+def empty_fcf(rank: int = 0) -> FcfValue:
+    return FcfValue(rank, frozenset(), cofinite=False)
+
+
+def full_fcf(rank: int) -> FcfValue:
+    """``Dⁿ``: co-finite with empty complement (finite ``{()}`` at rank 0)."""
+    return FcfValue(rank, frozenset(), cofinite=True)
+
+
+def complement(e: FcfValue) -> FcfValue:
+    """``¬e``: flip the indicator — O(1), the paper's observation."""
+    return FcfValue(e.rank, e.tuples, cofinite=not e.cofinite)
+
+
+def intersection(e: FcfValue, f: FcfValue) -> FcfValue:
+    """``e ∩ f`` by cases on the indicators."""
+    if e.rank != f.rank:
+        raise RankMismatchError(f"∩ of ranks {e.rank} and {f.rank}")
+    if e.is_finite and f.is_finite:
+        return FcfValue(e.rank, e.tuples & f.tuples)
+    if e.is_finite:
+        # e finite, f co-finite: remove the finitely many tuples of ¬f.
+        return FcfValue(e.rank, e.tuples - f.tuples)
+    if f.is_finite:
+        return intersection(f, e)
+    # Both co-finite: complement is the union of complements.
+    return FcfValue(e.rank, e.tuples | f.tuples, cofinite=True)
+
+
+def union(e: FcfValue, f: FcfValue) -> FcfValue:
+    """``e ∪ f = ¬(¬e ∩ ¬f)``."""
+    return complement(intersection(complement(e), complement(f)))
+
+
+def difference(e: FcfValue, f: FcfValue) -> FcfValue:
+    return intersection(e, complement(f))
+
+
+def down(e: FcfValue) -> FcfValue:
+    """``e↓``: project out the first coordinate.
+
+    Proposition 4.2: the projection of a co-finite relation is the full
+    relation ``D^{n-1}`` (finite — ``{()}`` — when n = 1).  The finite
+    case projects the tuples.  As elsewhere, ``↓`` of rank 0 is empty.
+    """
+    if e.rank == 0:
+        return empty_fcf(0)
+    if e.cofinite:
+        return full_fcf(e.rank - 1)
+    return FcfValue(e.rank - 1, frozenset(t[1:] for t in e.tuples))
+
+
+def swap(e: FcfValue) -> FcfValue:
+    """``e~``: exchange the two rightmost coordinates (both shapes)."""
+    if e.rank < 2:
+        raise RankMismatchError("~ requires rank >= 2")
+    return FcfValue(e.rank, frozenset(
+        t[:-2] + (t[-1], t[-2]) for t in e.tuples), cofinite=e.cofinite)
+
+
+def up(e: FcfValue, df: Sequence[Element]) -> FcfValue:
+    """QLf+'s ``e↑ = e × Df`` — defined only for finite operands.
+
+    The unrestricted ``e × D`` of QL is neither finite nor co-finite for
+    finite non-empty ``e`` (the paper's observation), hence the
+    restriction to the finitary domain ``Df``.
+    """
+    if e.cofinite:
+        raise RepresentationError(
+            "QLf+ defines e↑ only for finite e (e × D is neither finite "
+            "nor co-finite)")
+    return FcfValue(e.rank + 1, frozenset(
+        t + (a,) for t in e.tuples for a in df))
+
+
+def equality_over(df: Sequence[Element]) -> FcfValue:
+    """QLf+'s ``E = {(a, a) : a ∈ Df}``."""
+    return FcfValue(2, frozenset((a, a) for a in df))
+
+
+def restrict_to(e: FcfValue, df: Sequence[Element]) -> FcfValue:
+    """``e ∩ Dfⁿ`` as an explicit finite value (used by the Prop 4.3
+    pipeline, which computes on the finite parts relative to Df)."""
+    pool = list(df)
+    members = {t for t in product(pool, repeat=e.rank) if e.contains(t)}
+    return FcfValue(e.rank, frozenset(members))

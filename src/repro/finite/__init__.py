@@ -1,0 +1,56 @@
+"""The Chandra–Harel finite-database substrate.
+
+Relational algebra (:mod:`~repro.finite.algebra`), the original QL
+interpreter (:mod:`~repro.finite.ql`), and finite unfoldings of
+infinite databases (:mod:`~repro.finite.unfolding`) — the baselines the
+paper's languages are measured against.  Finite databases themselves
+are built with :func:`repro.core.finite_database`, and their
+automorphism machinery lives in :mod:`repro.core.isomorphism`.
+"""
+
+from .algebra import (
+    FiniteValue,
+    cartesian,
+    complement,
+    difference,
+    down,
+    empty,
+    equality,
+    full,
+    intersection,
+    permute,
+    project,
+    select_eq,
+    select_in,
+    swap,
+    union,
+    unit,
+    up,
+    value,
+)
+from .ql import QLInterpreter
+from .unfolding import unfold, unfold_hsdb
+
+__all__ = [
+    "FiniteValue",
+    "QLInterpreter",
+    "cartesian",
+    "complement",
+    "difference",
+    "down",
+    "empty",
+    "equality",
+    "full",
+    "intersection",
+    "permute",
+    "project",
+    "select_eq",
+    "select_in",
+    "swap",
+    "unfold",
+    "unfold_hsdb",
+    "union",
+    "unit",
+    "up",
+    "value",
+]

@@ -1,0 +1,163 @@
+"""Relational algebra over finite databases — the Chandra–Harel substrate.
+
+The operations QL (and hence QLhs) is built from, in their classical
+finite-database semantics: values are explicit finite sets of tuples
+over an explicit finite domain.  This is both a baseline for the E6
+benchmark (QLhs over ``CB`` versus naive evaluation over finite
+unfoldings) and the engine behind the finitary parts of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+from itertools import product
+
+from ..core.domain import Element
+from ..errors import RankMismatchError
+
+
+@dataclass(frozen=True)
+class FiniteValue:
+    """A finite relation value: a rank plus an explicit tuple set."""
+
+    rank: int
+    tuples: frozenset[tuple]
+
+    def __post_init__(self):
+        for t in self.tuples:
+            if len(t) != self.rank:
+                raise RankMismatchError(
+                    f"tuple {t!r} has rank {len(t)}, value has rank {self.rank}")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.tuples
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.tuples) == 1
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(sorted(self.tuples, key=repr))
+
+
+def value(rank: int, tuples: Iterable[Sequence[Element]]) -> FiniteValue:
+    return FiniteValue(rank, frozenset(tuple(t) for t in tuples))
+
+
+def empty(rank: int = 0) -> FiniteValue:
+    return FiniteValue(rank, frozenset())
+
+
+def unit() -> FiniteValue:
+    """The rank-0 value ``{()}``."""
+    return FiniteValue(0, frozenset({()}))
+
+
+def full(domain: Sequence[Element], rank: int) -> FiniteValue:
+    """``Dⁿ`` for an explicit finite domain."""
+    return FiniteValue(rank, frozenset(product(domain, repeat=rank)))
+
+
+def equality(domain: Sequence[Element]) -> FiniteValue:
+    """``E = {(a, a) : a ∈ D}``."""
+    return FiniteValue(2, frozenset((a, a) for a in domain))
+
+
+def intersection(e: FiniteValue, f: FiniteValue) -> FiniteValue:
+    if e.rank != f.rank:
+        raise RankMismatchError(f"∩ of ranks {e.rank} and {f.rank}")
+    return FiniteValue(e.rank, e.tuples & f.tuples)
+
+
+def union(e: FiniteValue, f: FiniteValue) -> FiniteValue:
+    if e.rank != f.rank:
+        raise RankMismatchError(f"∪ of ranks {e.rank} and {f.rank}")
+    return FiniteValue(e.rank, e.tuples | f.tuples)
+
+
+def difference(e: FiniteValue, f: FiniteValue) -> FiniteValue:
+    if e.rank != f.rank:
+        raise RankMismatchError(f"− of ranks {e.rank} and {f.rank}")
+    return FiniteValue(e.rank, e.tuples - f.tuples)
+
+
+def complement(e: FiniteValue, domain: Sequence[Element]) -> FiniteValue:
+    """``¬e = Dⁿ − e``."""
+    return difference(full(domain, e.rank), e)
+
+
+def up(e: FiniteValue, domain: Sequence[Element]) -> FiniteValue:
+    """``e↑ = e × D`` (append a coordinate ranging over the domain)."""
+    return FiniteValue(e.rank + 1, frozenset(
+        t + (a,) for t in e.tuples for a in domain))
+
+
+def down(e: FiniteValue) -> FiniteValue:
+    """``e↓``: project out the first coordinate.
+
+    As in the QLhs interpreter, ``↓`` of a rank-0 value is the empty
+    rank-0 value, keeping the two semantics aligned operation for
+    operation.
+    """
+    if e.rank == 0:
+        return empty(0)
+    return FiniteValue(e.rank - 1, frozenset(t[1:] for t in e.tuples))
+
+
+def swap(e: FiniteValue) -> FiniteValue:
+    """``e~``: exchange the two rightmost coordinates."""
+    if e.rank < 2:
+        raise RankMismatchError("~ requires rank >= 2")
+    return FiniteValue(e.rank, frozenset(
+        t[:-2] + (t[-1], t[-2]) for t in e.tuples))
+
+
+def cartesian(e: FiniteValue, f: FiniteValue) -> FiniteValue:
+    return FiniteValue(e.rank + f.rank, frozenset(
+        s + t for s in e.tuples for t in f.tuples))
+
+
+def project(e: FiniteValue, positions: Sequence[int]) -> FiniteValue:
+    """``π_{positions}`` (repetitions allowed)."""
+    positions = list(positions)
+    for p in positions:
+        if not 0 <= p < e.rank:
+            raise RankMismatchError(
+                f"projection position {p} out of range for rank {e.rank}")
+    return FiniteValue(len(positions), frozenset(
+        tuple(t[p] for p in positions) for t in e.tuples))
+
+
+def select_eq(e: FiniteValue, i: int, j: int) -> FiniteValue:
+    """``σ_{xᵢ = xⱼ}`` (negative indices count from the end)."""
+    i = i if i >= 0 else e.rank + i
+    j = j if j >= 0 else e.rank + j
+    if not (0 <= i < e.rank and 0 <= j < e.rank):
+        raise RankMismatchError(
+            f"selection positions out of range for rank {e.rank}")
+    return FiniteValue(e.rank, frozenset(
+        t for t in e.tuples if t[i] == t[j]))
+
+
+def select_in(e: FiniteValue, relation: frozenset[tuple],
+              positions: Sequence[int]) -> FiniteValue:
+    """``σ_{(x_{i₁},…,x_{i_a}) ∈ R}`` for an explicit relation."""
+    positions = list(positions)
+    return FiniteValue(e.rank, frozenset(
+        t for t in e.tuples
+        if tuple(t[p] for p in positions) in relation))
+
+
+def permute(e: FiniteValue, perm: Sequence[int]) -> FiniteValue:
+    """Reorder coordinates; ``perm[i]`` is the source of output ``i``."""
+    perm = tuple(perm)
+    if sorted(perm) != list(range(e.rank)):
+        raise RankMismatchError(
+            f"{perm!r} is not a permutation of rank {e.rank}")
+    return FiniteValue(e.rank, frozenset(
+        tuple(t[p] for p in perm) for t in e.tuples))

@@ -1,0 +1,38 @@
+"""Finite unfoldings of infinite recursive databases.
+
+The E6 benchmark compares QLhs over the finite ``CB`` representation
+against naive evaluation over *finite unfoldings*: the restriction of an
+infinite r-db to its first ``n`` domain elements.  An unfolding is an
+ordinary finite database, so QL and the relational algebra apply; as
+``n`` grows the unfolding converges to the infinite database pointwise,
+while the ``CB`` representation stays fixed — the crossover is the
+paper's argument for the representation.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..core.database import RecursiveDatabase
+from ..core.domain import finite_domain
+from ..core.relation import FiniteRelation
+from ..symmetric.hsdb import HSDatabase
+
+
+def unfold(database: RecursiveDatabase, n: int,
+           name: str | None = None) -> RecursiveDatabase:
+    """The finite restriction of an r-db to its first ``n`` elements."""
+    elements = database.domain.first(n)
+    relations = []
+    for i, r in enumerate(database.relations):
+        tuples = {t for t in product(elements, repeat=r.arity) if t in r}
+        relations.append(FiniteRelation(r.arity, tuples, name=r.name))
+    return RecursiveDatabase(
+        finite_domain(elements, name=f"{database.domain.name}|{n}"),
+        relations,
+        name=name or f"{database.name}|{n}")
+
+
+def unfold_hsdb(hsdb: HSDatabase, n: int) -> RecursiveDatabase:
+    """Unfold an hs-r-db through its membership reconstruction."""
+    return unfold(hsdb.as_rdb(), n)

@@ -1,0 +1,45 @@
+"""Recursive graphs and finite graph builders (worked examples of §3)."""
+
+from .builders import (
+    arrow_db,
+    complete_db,
+    cycle_db,
+    cycles_hsdb,
+    edge_db,
+    mixed_components_hsdb,
+    path_db,
+    star_db,
+    triangles_hsdb,
+)
+from .recursive import (
+    clique,
+    divisibility,
+    empty_graph,
+    grid,
+    infinite_line,
+    mod_cliques,
+    rado,
+    rado_edge,
+    two_way_line,
+)
+
+__all__ = [
+    "arrow_db",
+    "clique",
+    "complete_db",
+    "cycle_db",
+    "cycles_hsdb",
+    "divisibility",
+    "edge_db",
+    "empty_graph",
+    "grid",
+    "infinite_line",
+    "mixed_components_hsdb",
+    "mod_cliques",
+    "path_db",
+    "rado",
+    "rado_edge",
+    "star_db",
+    "triangles_hsdb",
+    "two_way_line",
+]

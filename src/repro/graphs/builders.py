@@ -1,0 +1,96 @@
+"""Finite graph builders and hs-r-db conveniences.
+
+Small finite graphs (as finite databases with symmetric edge relations)
+feed the component-union construction, the BP gadget, and the tests; the
+hs-builders package them straight into Definition 3.7 representations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.database import RecursiveDatabase, finite_database
+from ..symmetric.constructions import INFINITE, component_union
+from ..symmetric.hsdb import HSDatabase
+
+
+def _symmetrize(edges: Sequence[tuple]) -> list[tuple]:
+    out = []
+    for (a, b) in edges:
+        out.append((a, b))
+        out.append((b, a))
+    return list(dict.fromkeys(out))
+
+
+def path_db(n: int, name: str | None = None) -> RecursiveDatabase:
+    """The path P_n: 0—1—…—(n−1)."""
+    if n < 1:
+        raise ValueError("a path needs at least one node")
+    edges = _symmetrize([(i, i + 1) for i in range(n - 1)])
+    return finite_database([(2, edges)], range(n), name=name or f"P{n}")
+
+
+def cycle_db(n: int, name: str | None = None) -> RecursiveDatabase:
+    """The cycle C_n (n >= 3)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least three nodes")
+    edges = _symmetrize([(i, (i + 1) % n) for i in range(n)])
+    return finite_database([(2, edges)], range(n), name=name or f"C{n}")
+
+
+def complete_db(n: int, name: str | None = None) -> RecursiveDatabase:
+    """The complete graph K_n."""
+    if n < 1:
+        raise ValueError("K_n needs at least one node")
+    edges = [(i, j) for i in range(n) for j in range(n) if i != j]
+    return finite_database([(2, edges)], range(n), name=name or f"K{n}")
+
+
+def star_db(n: int, name: str | None = None) -> RecursiveDatabase:
+    """The star S_n: center 0 joined to leaves 1..n."""
+    if n < 1:
+        raise ValueError("a star needs at least one leaf")
+    edges = _symmetrize([(0, i) for i in range(1, n + 1)])
+    return finite_database([(2, edges)], range(n + 1), name=name or f"S{n}")
+
+
+def edge_db(name: str = "K2") -> RecursiveDatabase:
+    """A single undirected edge."""
+    return complete_db(2, name=name)
+
+
+def arrow_db(name: str = "arrow") -> RecursiveDatabase:
+    """A single directed edge 0 → 1 (asymmetric; useful for orientation
+    tests of ``~`` and automorphism machinery)."""
+    return finite_database([(2, [(0, 1)])], [0, 1], name=name)
+
+
+def triangles_hsdb(name: str = "triangles") -> HSDatabase:
+    """Infinitely many disjoint triangles — a highly symmetric graph."""
+    return component_union([(complete_db(3), INFINITE)], name=name)
+
+
+def cycles_hsdb(length: int, name: str | None = None) -> HSDatabase:
+    """Infinitely many disjoint ``length``-cycles."""
+    return component_union([(cycle_db(length), INFINITE)],
+                           name=name or f"inf-C{length}")
+
+
+def mixed_components_hsdb(name: str = "K3+K2") -> HSDatabase:
+    """Infinitely many triangles and infinitely many single edges — the
+    test suite's canonical two-kind highly symmetric graph."""
+    return component_union(
+        [(complete_db(3), INFINITE), (edge_db(), INFINITE)], name=name)
+
+
+__all__ = [
+    "arrow_db",
+    "complete_db",
+    "cycle_db",
+    "cycles_hsdb",
+    "edge_db",
+    "mixed_components_hsdb",
+    "path_db",
+    "star_db",
+    "triangles_hsdb",
+]

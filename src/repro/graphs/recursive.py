@@ -1,0 +1,117 @@
+"""A library of recursive graphs (binary r-dbs over countable domains).
+
+The paper's running examples live here: the two-way infinite line (not
+highly symmetric — §3.1's marking argument), the grid (not highly
+symmetric — infinite induced path), the full infinite clique (highly
+symmetric), unions of finite components (highly symmetric iff finitely
+many kinds), and the Rado graph (a recursive random structure).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..core.database import RecursiveDatabase, database_from_predicates
+from ..core.domain import Domain, integers_domain, naturals_domain
+from ..core.relation import RecursiveRelation
+from ..symmetric.random_structure import rado_database, rado_edge
+
+
+def infinite_line(name: str = "line") -> RecursiveDatabase:
+    """The one-way infinite line 0—1—2—… (symmetric edges on ℕ)."""
+    return database_from_predicates(
+        [(2, lambda x, y: abs(x - y) == 1)], name=name)
+
+
+def two_way_line(name: str = "zline") -> RecursiveDatabase:
+    """The paper's §3.1 figure: the two-way infinite line, on ℤ.
+
+    All nodes are automorphic (one rank-1 class), but pairs at distinct
+    distances are not — so the graph is *not* highly symmetric.
+    """
+    return RecursiveDatabase(
+        integers_domain(),
+        [RecursiveRelation(2, lambda u: abs(u[0] - u[1]) == 1, name="E")],
+        name=name)
+
+
+def _pairs_domain() -> Domain:
+    from ..util.orderings import cantor_unpair
+    from itertools import count
+
+    def enum() -> Iterator[tuple[int, int]]:
+        for z in count(0):
+            yield cantor_unpair(z)
+
+    return Domain(
+        contains=lambda x: (isinstance(x, tuple) and len(x) == 2
+                            and all(isinstance(c, int) and not isinstance(c, bool)
+                                    and c >= 0 for c in x)),
+        enumerate_fn=enum,
+        name="NxN",
+    )
+
+
+def grid(name: str = "grid") -> RecursiveDatabase:
+    """The quarter-plane grid ℕ² with 4-neighbour edges.
+
+    Not highly symmetric: it contains an infinite induced path (the
+    paper's §3.1 argument).
+    """
+    def edge(u: tuple, v: tuple) -> bool:
+        return abs(u[0] - v[0]) + abs(u[1] - v[1]) == 1
+
+    return RecursiveDatabase(
+        _pairs_domain(),
+        [RecursiveRelation(2, lambda t: edge(t[0], t[1]), name="E")],
+        name=name)
+
+
+def clique(name: str = "clique") -> RecursiveDatabase:
+    """The full infinite clique on ℕ (highly symmetric)."""
+    return database_from_predicates([(2, lambda x, y: x != y)], name=name)
+
+
+def empty_graph(name: str = "empty") -> RecursiveDatabase:
+    """The edgeless graph on ℕ (highly symmetric, trivially)."""
+    return database_from_predicates([(2, lambda x, y: False)], name=name)
+
+
+def mod_cliques(k: int, name: str | None = None) -> RecursiveDatabase:
+    """``k`` disjoint infinite cliques: x ~ y iff x ≠ y and x ≡ y (mod k).
+
+    Highly symmetric: the automorphisms permute residue classes of equal
+    (infinite) size and act arbitrarily within.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return database_from_predicates(
+        [(2, lambda x, y: x != y and x % k == y % k)],
+        name=name or f"{k}-cliques")
+
+
+def divisibility(name: str = "divides") -> RecursiveDatabase:
+    """x ~ y iff x divides y (on ℕ₊ shifted into ℕ) — a directed
+    recursive graph that is not highly symmetric."""
+    return database_from_predicates(
+        [(2, lambda x, y: (x + 1) != (y + 1) and (y + 1) % (x + 1) == 0)],
+        name=name)
+
+
+def rado(name: str = "rado") -> RecursiveDatabase:
+    """The Rado graph (BIT predicate) — see
+    :mod:`repro.symmetric.random_structure`."""
+    return rado_database(name=name)
+
+
+__all__ = [
+    "clique",
+    "divisibility",
+    "empty_graph",
+    "grid",
+    "infinite_line",
+    "mod_cliques",
+    "rado",
+    "rado_edge",
+    "two_way_line",
+]

@@ -1,0 +1,109 @@
+"""First-order logic substrate and the paper's logical query languages.
+
+* :mod:`repro.logic.syntax`, :mod:`repro.logic.parser`,
+  :mod:`repro.logic.printer`, :mod:`repro.logic.transform` — the FO
+  toolkit (AST, concrete syntax, normal forms, quantifier rank).
+* :mod:`repro.logic.qf` — ``L⁻`` and Theorem 2.1 in both directions,
+  plus ``L⁻ₙ`` (Proposition 2.7).
+* :mod:`repro.logic.ef_games` — Ehrenfeucht–Fraïssé games (Section 3.2).
+* :mod:`repro.logic.hintikka` — r-round characteristic formulas over
+  characteristic trees.
+* :mod:`repro.logic.evaluator` — full FO over hs-r-dbs with quantifiers
+  relativized to tree representatives (Theorem 6.3).
+"""
+
+from .evaluator import (
+    agrees_with_predicate,
+    evaluate,
+    holds_sentence,
+    relation_from_formula,
+)
+from .hintikka import hintikka_disjunction, hintikka_formula, hintikka_table
+from .ef_games import (
+    bounded_window_pool,
+    distinguishing_rounds,
+    duplicator_wins,
+    ef_equivalent_finite,
+    finite_domain_pool,
+    spoiler_strategy,
+)
+from .minimize import minimize_classes, minimize_expression
+from .parser import parse
+from .printer import to_text
+from .qf import (
+    QFExpression,
+    RestrictedExpression,
+    UNDEFINED_EXPRESSION,
+    UndefinedExpression,
+    classes_of_expression,
+    default_variables,
+    evaluate_qf,
+    expression_for_classes,
+    expression_for_query,
+    formula_for_local_type,
+    query_of_expression,
+)
+from .syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TrueF,
+    Var,
+    atom,
+    conj,
+    disj,
+    eq,
+    exists,
+    exists_all,
+    forall,
+    forall_all,
+    implies,
+    neg,
+    neq,
+    var,
+    variables,
+)
+from .transform import (
+    dnf,
+    is_prenex,
+    prenex,
+    eliminate_implications,
+    formula_size,
+    free_variables,
+    is_quantifier_free,
+    nnf,
+    quantifier_rank,
+    simplify,
+    substitute,
+    validate,
+)
+
+__all__ = [
+    "And", "Eq", "Exists", "FALSE", "FalseF", "Forall", "Formula",
+    "Implies", "Not", "Or", "QFExpression", "RelAtom",
+    "RestrictedExpression", "TRUE", "TrueF", "UNDEFINED_EXPRESSION",
+    "UndefinedExpression", "Var",
+    "agrees_with_predicate", "atom", "bounded_window_pool",
+    "classes_of_expression", "conj", "evaluate", "hintikka_disjunction",
+    "hintikka_formula", "hintikka_table", "holds_sentence",
+    "relation_from_formula",
+    "default_variables", "disj", "distinguishing_rounds", "dnf",
+    "duplicator_wins", "ef_equivalent_finite", "eliminate_implications",
+    "eq", "evaluate_qf", "exists", "exists_all", "expression_for_classes",
+    "expression_for_query", "finite_domain_pool", "forall", "forall_all",
+    "formula_for_local_type", "formula_size", "free_variables", "implies",
+    "is_prenex", "is_quantifier_free", "minimize_classes",
+    "minimize_expression", "neg", "neq", "nnf", "parse",
+    "prenex", "quantifier_rank",
+    "query_of_expression", "simplify", "spoiler_strategy", "substitute",
+    "to_text", "validate", "var", "variables",
+]

@@ -1,0 +1,130 @@
+"""Ehrenfeucht–Fraïssé games (Section 3.2).
+
+``u #ᵣ v`` (Definition 3.4) holds when the duplicator wins the r-round
+first-order game on ``(B₁,u)`` and ``(B₂,v)``: ``u #₀ v`` iff the pointed
+databases are locally isomorphic, and ``u #_{r+1} v`` iff every extension
+of one side can be matched on the other so that ``#ᵣ`` still holds.
+
+The quantifiers in the definition range over the full (infinite) domains,
+so the game is made effective by *candidate pools*: callables yielding,
+for the current tuple, the finitely many elements worth playing.  Two
+canonical pools:
+
+* the whole domain, for finite databases;
+* the characteristic-tree children, for highly symmetric r-dbs — by
+  Proposition 3.4 this loses nothing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from ..core.database import PointedDatabase
+from ..core.domain import Element
+from ..core.isomorphism import locally_isomorphic
+
+ExtensionPool = Callable[[tuple], Iterable[Element]]
+"""Given the current tuple, the candidate elements for the next move."""
+
+
+def finite_domain_pool(pointed: PointedDatabase) -> ExtensionPool:
+    """The pool playing every element of a finite domain."""
+    domain = pointed.database.domain
+    if not domain.is_finite:
+        raise ValueError(
+            "finite_domain_pool requires a finite domain; for hs-r-dbs use "
+            "the characteristic-tree pool (Proposition 3.4)")
+    elements = domain.first(domain.finite_size)  # type: ignore[arg-type]
+    return lambda current: elements
+
+
+def bounded_window_pool(pointed: PointedDatabase, size: int) -> ExtensionPool:
+    """A pool playing the first ``size`` elements of the enumeration plus
+    the current tuple's own elements.
+
+    For infinite databases this makes the game a *sound but incomplete*
+    approximation: a duplicator loss within the window is a genuine loss;
+    a win only certifies ``#ᵣ`` relative to the window.
+    """
+    base = pointed.database.domain.first(size)
+    return lambda current: list(dict.fromkeys(list(current) + base))
+
+
+def duplicator_wins(p1: PointedDatabase, p2: PointedDatabase, rounds: int,
+                    pool1: ExtensionPool, pool2: ExtensionPool) -> bool:
+    """Whether the duplicator wins the ``rounds``-round game.
+
+    Round 0 is the local-isomorphism check; each further round lets the
+    spoiler extend either side by a pool element, and the duplicator must
+    answer on the other side.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be >= 0")
+    if not locally_isomorphic(p1, p2):
+        return False
+    if rounds == 0:
+        return True
+    # Spoiler plays on the left: duplicator must answer on the right.
+    for a in pool1(p1.u):
+        if not any(duplicator_wins(p1.extend(a), p2.extend(b), rounds - 1,
+                                   pool1, pool2)
+                   for b in pool2(p2.u)):
+            return False
+    # Spoiler plays on the right.
+    for b in pool2(p2.u):
+        if not any(duplicator_wins(p1.extend(a), p2.extend(b), rounds - 1,
+                                   pool1, pool2)
+                   for a in pool1(p1.u)):
+            return False
+    return True
+
+
+def spoiler_strategy(p1: PointedDatabase, p2: PointedDatabase, rounds: int,
+                     pool1: ExtensionPool, pool2: ExtensionPool
+                     ) -> list[tuple[str, Element]] | None:
+    """A winning spoiler line of play, or None if the duplicator wins.
+
+    Each entry is ``(side, element)`` with side ``"left"``/``"right"``;
+    the recorded element is a spoiler move for which *every* duplicator
+    reply loses (the continuation shown is for the duplicator's best try).
+    """
+    if not locally_isomorphic(p1, p2):
+        return []
+    if rounds == 0:
+        return None
+    for a in pool1(p1.u):
+        replies = [spoiler_strategy(p1.extend(a), p2.extend(b), rounds - 1,
+                                    pool1, pool2)
+                   for b in pool2(p2.u)]
+        if all(r is not None for r in replies):
+            best = min(replies, key=len)  # type: ignore[arg-type]
+            return [("left", a)] + best  # type: ignore[operator]
+    for b in pool2(p2.u):
+        replies = [spoiler_strategy(p1.extend(a), p2.extend(b), rounds - 1,
+                                    pool1, pool2)
+                   for a in pool1(p1.u)]
+        if all(r is not None for r in replies):
+            best = min(replies, key=len)  # type: ignore[arg-type]
+            return [("right", b)] + best  # type: ignore[operator]
+    return None
+
+
+def ef_equivalent_finite(p1: PointedDatabase, p2: PointedDatabase,
+                         rounds: int) -> bool:
+    """``u #ᵣ v`` for finite-domain databases (full-domain pools)."""
+    return duplicator_wins(p1, p2, rounds,
+                           finite_domain_pool(p1), finite_domain_pool(p2))
+
+
+def distinguishing_rounds(p1: PointedDatabase, p2: PointedDatabase,
+                          pool1: ExtensionPool, pool2: ExtensionPool,
+                          max_rounds: int) -> int | None:
+    """The least ``r ≤ max_rounds`` at which the spoiler wins, or None.
+
+    Proposition 3.6: on a highly symmetric database some fixed ``r``
+    distinguishes every non-equivalent pair; this measures it pairwise.
+    """
+    for r in range(max_rounds + 1):
+        if not duplicator_wins(p1, p2, r, pool1, pool2):
+            return r
+    return None

@@ -1,0 +1,72 @@
+"""Hintikka (r-round characteristic) formulas over characteristic trees.
+
+For a tree path ``u`` of rank ``n``, the formula ``χʳ_u(x₁,…,xₙ)`` pins
+down the ``#ᵣ``-class of a tuple:
+
+* ``χ⁰_u`` is the local-type formula of ``u`` (the ``φᵢ`` of Theorem 2.1);
+* ``χ^{r+1}_u = χ⁰_u ∧ ⋀_{a∈T(u)} ∃y. χʳ_{ua} ∧ ∀y. ⋁_{a∈T(u)} χʳ_{ua}``.
+
+The classical characterization (the "additional well known
+characterization" the paper invokes after Definition 3.4): a tuple ``v``
+satisfies ``χʳ_u`` iff ``v #ᵣ u`` — iff the duplicator wins the r-round
+game.  Combined with Proposition 3.6 (a fixed ``r`` makes ``#ᵣ`` equal
+``≅_B``), these formulas are the syntactic half of Theorem 6.3: every
+automorphism-preserving relation is a finite disjunction of ``χ^{r*}``'s
+(see :mod:`repro.bp.hs_compiler`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..symmetric.hsdb import HSDatabase
+from ..symmetric.tree import Path
+from .qf import default_variables, formula_for_local_type
+from .syntax import Exists, Forall, Formula, Var, conj, disj
+
+
+def hintikka_formula(hsdb: HSDatabase, path: Path, rounds: int,
+                     variables: Sequence[Var] | None = None) -> Formula:
+    """``χʳ_path`` with the given free variables (default ``x1..xn``)."""
+    path = tuple(path)
+    if variables is None:
+        variables = default_variables(len(path))
+    variables = tuple(variables)
+    if len(variables) != len(path):
+        raise ValueError(
+            f"need {len(path)} variables for a rank-{len(path)} path")
+    return _chi(hsdb, path, rounds, variables)
+
+
+def _chi(hsdb: HSDatabase, path: Path, rounds: int,
+         variables: tuple[Var, ...]) -> Formula:
+    base = formula_for_local_type(hsdb.local_type_of_path(path), variables)
+    if rounds == 0:
+        return base
+    fresh = Var(f"y{rounds}_{len(variables)}")
+    children = hsdb.tree.children(path)
+    forth = [
+        Exists(fresh, _chi(hsdb, path + (a,), rounds - 1,
+                           variables + (fresh,)))
+        for a in children
+    ]
+    back = Forall(fresh, disj(
+        _chi(hsdb, path + (a,), rounds - 1, variables + (fresh,))
+        for a in children))
+    return conj([base, *forth, back])
+
+
+def hintikka_disjunction(hsdb: HSDatabase, paths: Sequence[Path],
+                         rounds: int,
+                         variables: Sequence[Var] | None = None) -> Formula:
+    """``⋁_{u ∈ paths} χʳ_u`` — the defining formula of a union of classes."""
+    paths = [tuple(p) for p in paths]
+    if paths and variables is None:
+        variables = default_variables(len(paths[0]))
+    return disj(hintikka_formula(hsdb, p, rounds, variables) for p in paths)
+
+
+def hintikka_table(hsdb: HSDatabase, n: int, rounds: int) -> dict[Path, Formula]:
+    """``χʳ_u`` for every rank-n representative — one formula per class."""
+    return {p: hintikka_formula(hsdb, p, rounds)
+            for p in hsdb.tree.level(n)}

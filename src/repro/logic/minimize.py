@@ -1,0 +1,208 @@
+"""Minimizing compiled ``L⁻`` formulas.
+
+The Theorem 2.1 compiler emits one full conjunction per selected class —
+sound, complete, and huge: a class formula spells out *every* atom slot.
+Selected classes usually share structure (e.g. "all edges, whatever the
+loops do"), so the disjunction collapses dramatically.
+
+Within one equality pattern, the classes of a type are exactly the
+points of a boolean cube whose dimensions are the atom slots
+(Section 2's ``2^…`` counting).  A set of selected classes is then a
+boolean function on that cube, and classic two-level minimization
+applies: this module implements Quine–McCluskey prime-implicant
+generation with a greedy essential cover, per equality pattern, and
+reassembles a compact ``L⁻`` expression.
+
+Guaranteed: the minimized expression selects *exactly* the same classes
+(the tests re-derive them via :func:`~repro.logic.qf.classes_of_expression`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..core.localtypes import LocalType, atom_slots
+from ..errors import TypeSignatureError
+from ..util.partitions import block_count
+from .qf import QFExpression, default_variables, formula_for_local_type
+from .syntax import (
+    Formula,
+    Not,
+    RelAtom,
+    Var,
+    conj,
+    disj,
+    eq,
+    neq,
+)
+
+MAX_DIMENSION = 16
+"""Largest atom-slot count handled (the cube has 2^dimension points)."""
+
+
+class Implicant:
+    """A cube in the boolean space: ``care`` mask + ``values`` bits."""
+
+    __slots__ = ("care", "values")
+
+    def __init__(self, care: int, values: int):
+        self.care = care
+        self.values = values & care
+
+    def covers(self, minterm: int) -> bool:
+        return (minterm & self.care) == self.values
+
+    def key(self) -> tuple[int, int]:
+        return (self.care, self.values)
+
+    def __repr__(self) -> str:
+        return f"Implicant(care={self.care:b}, values={self.values:b})"
+
+
+def _combine(a: Implicant, b: Implicant) -> Implicant | None:
+    """Merge two cubes differing in exactly one cared bit."""
+    if a.care != b.care:
+        return None
+    diff = a.values ^ b.values
+    if diff == 0 or diff & (diff - 1):
+        return None  # zero or more than one differing bit
+    return Implicant(a.care & ~diff, a.values & ~diff)
+
+
+def prime_implicants(minterms: set[int], dimension: int) -> list[Implicant]:
+    """All prime implicants of the function given by its minterms."""
+    full_care = (1 << dimension) - 1
+    current = {(full_care, m & full_care) for m in minterms}
+    primes: set[tuple[int, int]] = set()
+    while current:
+        items = [Implicant(c, v) for (c, v) in current]
+        merged: set[tuple[int, int]] = set()
+        used: set[tuple[int, int]] = set()
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                combined = _combine(a, b)
+                if combined is not None:
+                    merged.add(combined.key())
+                    used.add(a.key())
+                    used.add(b.key())
+        primes.update(k for k in current if k not in used)
+        current = merged
+    return [Implicant(c, v) for (c, v) in sorted(primes)]
+
+
+def greedy_cover(minterms: set[int],
+                 primes: Sequence[Implicant]) -> list[Implicant]:
+    """Essential primes first, then greedy set cover of the rest."""
+    chosen: list[Implicant] = []
+    remaining = set(minterms)
+
+    # Essential: a minterm covered by exactly one prime.
+    for m in sorted(minterms):
+        covering = [p for p in primes if p.covers(m)]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for p in chosen:
+        remaining -= {m for m in remaining if p.covers(m)}
+
+    while remaining:
+        best = max(primes,
+                   key=lambda p: sum(1 for m in remaining if p.covers(m)))
+        gained = {m for m in remaining if best.covers(m)}
+        if not gained:
+            raise AssertionError("prime implicants fail to cover minterms")
+        chosen.append(best)
+        remaining -= gained
+    return chosen
+
+
+def _pattern_formula(pattern: tuple[int, ...],
+                     variables: Sequence[Var]) -> Formula:
+    parts = []
+    for i in range(len(pattern)):
+        for j in range(i + 1, len(pattern)):
+            if pattern[i] == pattern[j]:
+                parts.append(eq(variables[i], variables[j]))
+            else:
+                parts.append(neq(variables[i], variables[j]))
+    return conj(parts)
+
+
+def _implicant_formula(implicant: Implicant, slots, pattern,
+                       variables: Sequence[Var]) -> Formula:
+    rep_position: dict[int, int] = {}
+    for pos, b in enumerate(pattern):
+        rep_position.setdefault(b, pos)
+    literals = []
+    for bit, (rel, blk) in enumerate(slots):
+        if not implicant.care >> bit & 1:
+            continue
+        args = tuple(variables[rep_position[b]] for b in blk)
+        atom = RelAtom(rel, args)
+        literals.append(atom if implicant.values >> bit & 1 else Not(atom))
+    return conj(literals)
+
+
+def minimize_classes(classes: Iterable[LocalType],
+                     name: str = "E") -> QFExpression:
+    """A compact ``L⁻`` expression selecting exactly the given classes.
+
+    Classes are grouped by equality pattern; within each group the atom
+    truth-vectors are minimized by Quine–McCluskey; the result is the
+    disjunction over groups of (pattern constraints ∧ minimized cover).
+    """
+    classes = list(classes)
+    if not classes:
+        raise ValueError("minimize_classes needs at least one class")
+    signatures = {c.signature for c in classes}
+    ranks = {c.rank for c in classes}
+    if len(signatures) != 1 or len(ranks) != 1:
+        raise TypeSignatureError(
+            "classes must share one database type and one rank")
+    signature = signatures.pop()
+    rank = ranks.pop()
+    variables = default_variables(rank)
+
+    by_pattern: dict[tuple[int, ...], list[LocalType]] = {}
+    for c in classes:
+        by_pattern.setdefault(c.pattern, []).append(c)
+
+    disjuncts: list[Formula] = []
+    for pattern, group in sorted(by_pattern.items()):
+        slots = atom_slots(signature, block_count(pattern))
+        if len(slots) > MAX_DIMENSION:
+            # Fall back to the verbatim compiler for huge cubes.
+            disjuncts.extend(formula_for_local_type(c, variables)
+                             for c in group)
+            continue
+        index = {slot: bit for bit, slot in enumerate(slots)}
+        minterms = set()
+        for c in group:
+            m = 0
+            for atom in c.atoms:
+                m |= 1 << index[atom]
+            minterms.add(m)
+        if len(minterms) == 1 << len(slots):
+            # Every atom combination selected: the pattern alone suffices.
+            disjuncts.append(_pattern_formula(pattern, variables))
+            continue
+        primes = prime_implicants(minterms, len(slots))
+        cover = greedy_cover(minterms, primes)
+        pattern_part = _pattern_formula(pattern, variables)
+        for implicant in cover:
+            disjuncts.append(conj([
+                pattern_part,
+                _implicant_formula(implicant, slots, pattern, variables),
+            ]))
+    return QFExpression(variables, disj(disjuncts), name=name)
+
+
+def minimize_expression(expression: QFExpression,
+                        signature: Sequence[int]) -> QFExpression:
+    """Minimize any ``L⁻`` expression: derive its classes, re-emit
+    compactly.  Semantics-preserving by construction."""
+    from .qf import classes_of_expression
+
+    classes = classes_of_expression(expression, signature)
+    if not classes:
+        return expression
+    return minimize_classes(classes, name=expression.name)

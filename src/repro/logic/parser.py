@@ -1,0 +1,209 @@
+"""Parser for the concrete formula syntax.
+
+Grammar (loosest binding first)::
+
+    formula     := implication
+    implication := disjunction [ '->' implication ]
+    disjunction := conjunction { 'or' conjunction }
+    conjunction := unary { 'and' unary }
+    unary       := 'not' unary
+                 | ('exists' | 'forall') VAR '.' implication
+                 | atom
+    atom        := 'true' | 'false'
+                 | VAR ('=' | '!=') VAR
+                 | RELNAME '(' [ VAR { ',' VAR } ] ')'
+                 | '(' formula ')'
+    RELNAME     := 'R' DIGITS          (1-based, stored 0-based)
+    VAR         := identifier not reserved and not a RELNAME
+
+Quantifiers scope as far right as possible, matching the paper's reading
+of ``∃y. φ ∧ ψ``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .syntax import (
+    FALSE,
+    TRUE,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    RelAtom,
+    Var,
+    conj,
+    disj,
+)
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<neq>!=)
+  | (?P<eq>=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+""", re.VERBOSE)
+
+_RESERVED = {"and", "or", "not", "exists", "forall", "true", "false",
+             "undefined", "in"}
+_REL_RE = re.compile(r"^R(\d+)$")
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: list[tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise ParseError(f"unexpected character {text[pos]!r}", pos)
+            kind = m.lastgroup or ""
+            if kind != "ws":
+                self.items.append((kind, m.group(), pos))
+            pos = m.end()
+        self.index = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        item = self.peek()
+        if item is None:
+            raise ParseError("unexpected end of input", len(self.text))
+        self.index += 1
+        return item
+
+    def expect(self, kind: str, value: str | None = None) -> tuple[str, str, int]:
+        item = self.next()
+        if item[0] != kind or (value is not None and item[1] != value):
+            raise ParseError(
+                f"expected {value or kind}, found {item[1]!r}", item[2])
+        return item
+
+    def at_word(self, word: str) -> bool:
+        item = self.peek()
+        return item is not None and item[0] == "name" and item[1] == word
+
+    def done(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def parse(text: str) -> Formula:
+    """Parse a formula; raises :class:`ParseError` on malformed input."""
+    tokens = _Tokens(text)
+    formula = _implication(tokens)
+    if not tokens.done():
+        kind, value, pos = tokens.next()
+        raise ParseError(f"trailing input starting at {value!r}", pos)
+    return formula
+
+
+def _implication(tokens: _Tokens) -> Formula:
+    left = _disjunction(tokens)
+    item = tokens.peek()
+    if item is not None and item[0] == "arrow":
+        tokens.next()
+        right = _implication(tokens)
+        return Implies(left, right)
+    return left
+
+
+def _disjunction(tokens: _Tokens) -> Formula:
+    parts = [_conjunction(tokens)]
+    while tokens.at_word("or"):
+        tokens.next()
+        parts.append(_conjunction(tokens))
+    return disj(parts) if len(parts) > 1 else parts[0]
+
+
+def _conjunction(tokens: _Tokens) -> Formula:
+    parts = [_unary(tokens)]
+    while tokens.at_word("and"):
+        tokens.next()
+        parts.append(_unary(tokens))
+    return conj(parts) if len(parts) > 1 else parts[0]
+
+
+def _unary(tokens: _Tokens) -> Formula:
+    if tokens.at_word("not"):
+        tokens.next()
+        body = _unary(tokens)
+        if isinstance(body, Not):
+            return body.body
+        return Not(body)
+    if tokens.at_word("exists") or tokens.at_word("forall"):
+        _, word, pos = tokens.next()
+        _, name, vpos = tokens.expect("name")
+        _check_variable_name(name, vpos)
+        tokens.expect("dot")
+        body = _implication(tokens)
+        return Exists(Var(name), body) if word == "exists" else Forall(Var(name), body)
+    return _atom(tokens)
+
+
+def _atom(tokens: _Tokens) -> Formula:
+    kind, value, pos = tokens.next()
+    if kind == "lparen":
+        inner = _implication(tokens)
+        tokens.expect("rparen")
+        return inner
+    if kind != "name":
+        raise ParseError(f"expected an atom, found {value!r}", pos)
+    if value == "true":
+        return TRUE
+    if value == "false":
+        return FALSE
+    rel = _REL_RE.match(value)
+    if rel is not None:
+        index = int(rel.group(1)) - 1
+        if index < 0:
+            raise ParseError("relation names are 1-based (R1, R2, …)", pos)
+        tokens.expect("lparen")
+        args: list[Var] = []
+        item = tokens.peek()
+        if item is not None and item[0] != "rparen":
+            while True:
+                _, name, vpos = tokens.expect("name")
+                _check_variable_name(name, vpos)
+                args.append(Var(name))
+                item = tokens.peek()
+                if item is not None and item[0] == "comma":
+                    tokens.next()
+                    continue
+                break
+        tokens.expect("rparen")
+        return RelAtom(index, tuple(args))
+    # Variable: equality or inequality.
+    _check_variable_name(value, pos)
+    kind2, value2, pos2 = tokens.next()
+    if kind2 == "eq":
+        _, other, opos = tokens.expect("name")
+        _check_variable_name(other, opos)
+        return Eq(Var(value), Var(other))
+    if kind2 == "neq":
+        _, other, opos = tokens.expect("name")
+        _check_variable_name(other, opos)
+        return Not(Eq(Var(value), Var(other)))
+    raise ParseError(
+        f"expected '=' or '!=' after variable {value!r}, found {value2!r}",
+        pos2)
+
+
+def _check_variable_name(name: str, pos: int) -> None:
+    if name in _RESERVED:
+        raise ParseError(f"{name!r} is reserved and cannot be a variable", pos)
+    if _REL_RE.match(name):
+        raise ParseError(
+            f"{name!r} looks like a relation name and cannot be a variable",
+            pos)

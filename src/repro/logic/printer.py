@@ -1,0 +1,79 @@
+"""Concrete-syntax rendering of formulas.
+
+Round-trips with :mod:`repro.logic.parser`:
+``parse(to_text(f)) == f`` up to smart-constructor normalization.
+
+The concrete syntax follows the paper's notation as closely as ASCII
+allows::
+
+    x != y and not R1(x, y) and R1(y, x) and R2(y)
+    exists y. (x != y and R1(x, y))
+    forall x. exists y. R1(x, y)
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    And,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TrueF,
+)
+
+# Binding strength, loosest to tightest: -> , or , and , not/quantifier, atom
+_PREC_IMPLIES = 0
+_PREC_OR = 1
+_PREC_AND = 2
+_PREC_UNARY = 3
+_PREC_ATOM = 4
+
+
+def to_text(formula: Formula) -> str:
+    """Render a formula in the concrete syntax accepted by the parser."""
+    return _render(formula, 0)
+
+
+def _paren(text: str, inner: int, outer: int) -> str:
+    return f"({text})" if inner < outer else text
+
+
+def _render(formula: Formula, outer: int) -> str:
+    if isinstance(formula, TrueF):
+        return "true"
+    if isinstance(formula, FalseF):
+        return "false"
+    if isinstance(formula, Eq):
+        return f"{formula.left.name} = {formula.right.name}"
+    if isinstance(formula, RelAtom):
+        args = ", ".join(a.name for a in formula.args)
+        return f"R{formula.index + 1}({args})"
+    if isinstance(formula, Not):
+        if isinstance(formula.body, Eq):
+            e = formula.body
+            return f"{e.left.name} != {e.right.name}"
+        return _paren(f"not {_render(formula.body, _PREC_UNARY)}",
+                      _PREC_UNARY, outer)
+    if isinstance(formula, And):
+        text = " and ".join(_render(c, _PREC_AND + 1) for c in formula.children)
+        return _paren(text, _PREC_AND, outer)
+    if isinstance(formula, Or):
+        text = " or ".join(_render(c, _PREC_OR + 1) for c in formula.children)
+        return _paren(text, _PREC_OR, outer)
+    if isinstance(formula, Implies):
+        text = (f"{_render(formula.left, _PREC_IMPLIES + 1)} -> "
+                f"{_render(formula.right, _PREC_IMPLIES)}")
+        return _paren(text, _PREC_IMPLIES, outer)
+    if isinstance(formula, Exists):
+        text = f"exists {formula.var.name}. {_render(formula.body, _PREC_IMPLIES)}"
+        return _paren(text, _PREC_UNARY, outer) if outer > _PREC_IMPLIES else text
+    if isinstance(formula, Forall):
+        text = f"forall {formula.var.name}. {_render(formula.body, _PREC_IMPLIES)}"
+        return _paren(text, _PREC_UNARY, outer) if outer > _PREC_IMPLIES else text
+    raise TypeError(f"unknown formula node {formula!r}")

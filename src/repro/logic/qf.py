@@ -1,0 +1,343 @@
+"""``L⁻`` — the quantifier-free relational calculus, complete for r-dbs.
+
+Theorem 2.1: ``L⁻`` expresses precisely the computable (recursive and
+generic) r-queries.  Both directions of the proof are constructive and
+implemented here:
+
+* *soundness*: an ``L⁻`` expression denotes a locally generic query —
+  :func:`classes_of_expression` computes the exact set of ``≅ₗ`` classes
+  it selects, by evaluating the formula on each class's canonical
+  representative;
+* *completeness*: a computable r-query is a union of classes
+  (Propositions 2.4/2.5), and :func:`formula_for_local_type` /
+  :func:`expression_for_query` emit the paper's defining formulas
+  ``φ_{i₁} ∨ … ∨ φ_{i_l}``.
+
+The module also implements ``L⁻ₙ`` — the restriction of results to the
+window ``{1,…,n}`` of Proposition 2.7 — via :class:`RestrictedExpression`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..core.database import PointedDatabase, RecursiveDatabase
+from ..core.domain import Element
+from ..core.localtypes import (
+    LocalType,
+    canonical_pointed,
+    enumerate_local_types,
+)
+from ..core.query import (
+    UNDEFINED_QUERY,
+    DatabaseOracle,
+    EmptyResultQuery,
+    LocallyGenericQuery,
+    OracleQuery,
+    RQuery,
+)
+from ..errors import TypeSignatureError, UndefinedQueryError
+from ..util.partitions import block_count
+from .parser import parse
+from .printer import to_text
+from .syntax import (
+    And,
+    Eq,
+    FalseF,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TrueF,
+    Var,
+    conj,
+    disj,
+    eq,
+    neq,
+)
+from .transform import free_variables, is_quantifier_free, validate
+
+
+def evaluate_qf(formula: Formula, assignment: Mapping[Var, Element],
+                oracle: DatabaseOracle) -> bool:
+    """Evaluate a quantifier-free formula under an assignment.
+
+    Database access goes only through ``oracle.ask`` — the Definition 2.4
+    discipline — so an ``L⁻`` query is visibly a recursive r-query.
+    """
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Eq):
+        return assignment[formula.left] == assignment[formula.right]
+    if isinstance(formula, RelAtom):
+        args = tuple(assignment[a] for a in formula.args)
+        return oracle.ask(formula.index, args)
+    if isinstance(formula, Not):
+        return not evaluate_qf(formula.body, assignment, oracle)
+    if isinstance(formula, And):
+        return all(evaluate_qf(c, assignment, oracle)
+                   for c in formula.children)
+    if isinstance(formula, Or):
+        return any(evaluate_qf(c, assignment, oracle)
+                   for c in formula.children)
+    if isinstance(formula, Implies):
+        return (not evaluate_qf(formula.left, assignment, oracle)
+                or evaluate_qf(formula.right, assignment, oracle))
+    raise ValueError(
+        f"evaluate_qf requires a quantifier-free formula, got {formula!r}")
+
+
+def default_variables(rank: int) -> tuple[Var, ...]:
+    """The canonical free-variable tuple ``x1, …, x_rank``."""
+    return tuple(Var(f"x{i + 1}") for i in range(rank))
+
+
+class QFExpression:
+    """An ``L⁻`` query expression ``{(x₁,…,xₙ) | φ(x₁,…,xₙ,R₁,…,R_k)}``.
+
+    ``variables`` fixes the output tuple (and hence the rank); ``formula``
+    must be quantifier-free with free variables among them.
+    """
+
+    def __init__(self, variables: Sequence[Var], formula: Formula,
+                 name: str = "E"):
+        self.variables = tuple(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError("output variables must be distinct")
+        if not is_quantifier_free(formula):
+            raise ValueError(
+                "L⁻ is quantifier-free; the formula contains a quantifier")
+        extra = free_variables(formula) - set(self.variables)
+        if extra:
+            raise ValueError(
+                f"formula has free variables {sorted(v.name for v in extra)} "
+                "outside the output tuple")
+        self.formula = formula
+        self.name = name
+
+    @property
+    def rank(self) -> int:
+        return len(self.variables)
+
+    @classmethod
+    def from_text(cls, variables: str, text: str,
+                  name: str = "E") -> "QFExpression":
+        """Build from concrete syntax, e.g. ``("x y", "R1(x, y) and x != y")``."""
+        vs = tuple(Var(n) for n in variables.split())
+        return cls(vs, parse(text), name=name)
+
+    def holds(self, database: RecursiveDatabase,
+              u: Sequence[Element]) -> bool:
+        """Decide ``u ∈ E(B)``."""
+        validate(self.formula, database.type_signature)
+        u = tuple(u)
+        if len(u) != self.rank:
+            return False
+        oracle = DatabaseOracle(database)
+        return evaluate_qf(self.formula, dict(zip(self.variables, u)), oracle)
+
+    def evaluate_over(self, database: RecursiveDatabase,
+                      candidates: Iterable[Sequence[Element]]) -> set[tuple]:
+        """The finite slice ``{u ∈ candidates : u ∈ E(B)}``."""
+        return {tuple(u) for u in candidates if self.holds(database, tuple(u))}
+
+    def as_rquery(self, signature: Sequence[int]) -> RQuery:
+        """The r-query this expression denotes (oracle-procedure form)."""
+        validate(self.formula, signature)
+        expr = self
+
+        def proc(oracle: DatabaseOracle, u: tuple) -> bool:
+            if len(u) != expr.rank:
+                return False
+            return evaluate_qf(expr.formula,
+                               dict(zip(expr.variables, u)), oracle)
+
+        return OracleQuery(signature, proc, output_rank=self.rank,
+                           name=self.name)
+
+    def to_text(self) -> str:
+        args = ", ".join(v.name for v in self.variables)
+        return f"{{({args}) | {to_text(self.formula)}}}"
+
+    def __repr__(self) -> str:
+        return f"QFExpression({self.to_text()})"
+
+
+class UndefinedExpression:
+    """The special ``L⁻`` expression ``undefined`` (Section 2).
+
+    Needed for completeness: the everywhere-undefined query is computable
+    (its machine never halts) but no formula expresses it.
+    """
+
+    name = "undefined"
+
+    def holds(self, database: RecursiveDatabase,
+              u: Sequence[Element]) -> bool:
+        raise UndefinedQueryError("the expression 'undefined' has no value")
+
+    def as_rquery(self, signature: Sequence[int]) -> RQuery:
+        return UNDEFINED_QUERY
+
+    def to_text(self) -> str:
+        return "undefined"
+
+    def __repr__(self) -> str:
+        return "UndefinedExpression()"
+
+
+UNDEFINED_EXPRESSION = UndefinedExpression()
+
+
+def formula_for_local_type(local_type: LocalType,
+                           variables: Sequence[Var] | None = None) -> Formula:
+    """The defining formula ``φᵢ`` of one ``≅ₗ`` class (Theorem 2.1).
+
+    A conjunction of (in)equalities realizing the equality pattern and of
+    positive/negative relational literals realizing the atom set —
+    exactly the paper's illustration for the 68-class example.
+    """
+    n = local_type.rank
+    if variables is None:
+        variables = default_variables(n)
+    variables = tuple(variables)
+    if len(variables) != n:
+        raise ValueError(
+            f"need {n} variables for a rank-{n} class, got {len(variables)}")
+
+    pattern = local_type.pattern
+    conjuncts: list[Formula] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if pattern[i] == pattern[j]:
+                conjuncts.append(eq(variables[i], variables[j]))
+            else:
+                conjuncts.append(neq(variables[i], variables[j]))
+
+    # One representative position per block, so each block-level atom is
+    # asserted exactly once.
+    rep_position: dict[int, int] = {}
+    for pos, b in enumerate(pattern):
+        rep_position.setdefault(b, pos)
+    blocks = block_count(pattern)
+    from itertools import product
+    for i, arity in enumerate(local_type.signature):
+        for blk in product(range(blocks), repeat=arity):
+            args = tuple(variables[rep_position[b]] for b in blk)
+            literal: Formula = RelAtom(i, args)
+            if (i, blk) not in local_type.atoms:
+                literal = Not(literal)
+            conjuncts.append(literal)
+    return conj(conjuncts)
+
+
+def expression_for_classes(classes: Iterable[LocalType],
+                           name: str = "E") -> QFExpression:
+    """The DNF expression ``φ_{i₁} ∨ … ∨ φ_{i_l}`` for a union of classes."""
+    classes = sorted(classes, key=repr)
+    if not classes:
+        raise ValueError(
+            "expression_for_classes needs at least one class; the empty "
+            "query of rank n is {(x1..xn) | false}")
+    ranks = {c.rank for c in classes}
+    signatures = {c.signature for c in classes}
+    if len(ranks) != 1 or len(signatures) != 1:
+        raise TypeSignatureError(
+            "classes must share one rank and one database type")
+    variables = default_variables(next(iter(ranks)))
+    body = disj(formula_for_local_type(c, variables) for c in classes)
+    return QFExpression(variables, body, name=name)
+
+
+def expression_for_query(query: RQuery,
+                         name: str | None = None) -> QFExpression | UndefinedExpression:
+    """Theorem 2.1, completeness direction: compile a computable r-query.
+
+    Accepts the query forms the characterization covers: a
+    :class:`LocallyGenericQuery` (union of classes), an
+    :class:`EmptyResultQuery`, or the undefined query.
+    """
+    if isinstance(query, LocallyGenericQuery):
+        return expression_for_classes(query.classes, name=name or query.name)
+    if isinstance(query, EmptyResultQuery):
+        variables = default_variables(query.output_rank)
+        return QFExpression(variables, FalseF(), name=name or query.name)
+    if query is UNDEFINED_QUERY:
+        return UNDEFINED_EXPRESSION
+    raise TypeError(
+        "expression_for_query compiles class-based queries "
+        "(LocallyGenericQuery / EmptyResultQuery / UNDEFINED_QUERY); for an "
+        "arbitrary oracle procedure, first identify its classes "
+        "(classes_of_expression / query_from_pointed_examples)")
+
+
+def classes_of_expression(expression: QFExpression,
+                          signature: Sequence[int]) -> frozenset[LocalType]:
+    """Theorem 2.1, soundness direction: the classes an expression selects.
+
+    Evaluates the formula on the canonical representative of every class
+    of the expression's rank — finitely many, by Section 2's finite-index
+    property.
+    """
+    validate(expression.formula, signature)
+    selected = []
+    for local_type in enumerate_local_types(signature, expression.rank):
+        pointed = canonical_pointed(local_type)
+        if expression.holds(pointed.database, pointed.u):
+            selected.append(local_type)
+    return frozenset(selected)
+
+
+def query_of_expression(expression: QFExpression,
+                        signature: Sequence[int]) -> RQuery:
+    """The class-based query denoted by an expression (soundness made
+    concrete): a LocallyGenericQuery, or an EmptyResultQuery when the
+    formula is unsatisfiable over the type."""
+    classes = classes_of_expression(expression, signature)
+    if not classes:
+        return EmptyResultQuery(tuple(signature), expression.rank,
+                                name=expression.name)
+    return LocallyGenericQuery(classes, name=expression.name)
+
+
+class RestrictedExpression:
+    """``L⁻ₙ``: an ``L⁻`` expression with results restricted to ``{1,…,n}``.
+
+    Proposition 2.7: for any ``n``, ``L⁻ₙ`` expresses precisely the
+    recursive functions yielding relations over ``{1,…,n}`` whose
+    isomorphisms are preserved for tuples over ``{1,…,n}``.  Such queries
+    are *not* generic in the unrestricted sense — the window is a named
+    set of constants — which the tests demonstrate.
+    """
+
+    def __init__(self, expression: QFExpression, n: int):
+        if n < 1:
+            raise ValueError("the window {1,…,n} needs n >= 1")
+        self.expression = expression
+        self.n = n
+
+    @property
+    def rank(self) -> int:
+        return self.expression.rank
+
+    def window(self) -> range:
+        return range(1, self.n + 1)
+
+    def holds(self, database: RecursiveDatabase,
+              u: Sequence[Element]) -> bool:
+        u = tuple(u)
+        if not all(isinstance(x, int) and 1 <= x <= self.n for x in u):
+            return False
+        return self.expression.holds(database, u)
+
+    def evaluate(self, database: RecursiveDatabase) -> set[tuple]:
+        """The full (finite!) result — at most ``n^rank`` tuples."""
+        from itertools import product
+        return {u for u in product(self.window(), repeat=self.rank)
+                if self.expression.holds(database, u)}
+
+    def __repr__(self) -> str:
+        return f"RestrictedExpression({self.expression.to_text()}, n={self.n})"

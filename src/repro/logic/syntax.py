@@ -1,0 +1,222 @@
+"""Abstract syntax of first-order relational calculus.
+
+The paper uses two fragments of first-order logic over the relational
+vocabulary ``R₁, …, R_k`` with equality and no constants or function
+symbols:
+
+* ``L⁻`` — the quantifier-free fragment, complete for all recursive
+  databases (Theorem 2.1);
+* ``L`` — full first-order logic, BP-complete for highly symmetric
+  databases (Theorem 6.3).
+
+Formulas are immutable, hashable trees.  Relation atoms refer to
+relations *positionally* (0-based index into the database's relation
+tuple; the concrete syntax writes 1-based ``R1, R2, …`` as the paper
+does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Var:
+    """A first-order variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+
+class Formula:
+    """Base class of all formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj([self, other])
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj([self, other])
+
+    def __invert__(self) -> "Formula":
+        return neg(self)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    """The formula ``true`` (empty conjunction)."""
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    """The formula ``false`` (empty disjunction)."""
+
+
+TRUE = TrueF()
+FALSE = FalseF()
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """The equality atom ``left = right``."""
+
+    left: Var
+    right: Var
+
+
+@dataclass(frozen=True)
+class RelAtom(Formula):
+    """The relational atom ``(args) ∈ R_{index+1}``.
+
+    ``index`` is the 0-based position of the relation in the database
+    type; ``len(args)`` must equal the relation's arity (checked against
+    a signature at validation/evaluation time, since formulas are built
+    independently of any particular database).
+    """
+
+    index: int
+    args: tuple[Var, ...]
+
+    def __init__(self, index: int, args: Sequence[Var]):
+        object.__setattr__(self, "index", index)
+        object.__setattr__(self, "args", tuple(args))
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    body: Formula
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    children: tuple[Formula, ...]
+
+    def __init__(self, children: Sequence[Formula]):
+        object.__setattr__(self, "children", tuple(children))
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    children: tuple[Formula, ...]
+
+    def __init__(self, children: Sequence[Formula]):
+        object.__setattr__(self, "children", tuple(children))
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    var: Var
+    body: Formula
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    var: Var
+    body: Formula
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor for a variable."""
+    return Var(name)
+
+
+def variables(*names: str) -> tuple[Var, ...]:
+    """Several variables at once: ``x, y = variables("x", "y")``."""
+    return tuple(Var(n) for n in names)
+
+
+def atom(index: int, *args: Var) -> RelAtom:
+    """The atom ``(args) ∈ R_{index+1}`` (0-based index)."""
+    return RelAtom(index, args)
+
+
+def eq(left: Var, right: Var) -> Eq:
+    return Eq(left, right)
+
+
+def neq(left: Var, right: Var) -> Formula:
+    """The abbreviation ``left ≠ right``."""
+    return Not(Eq(left, right))
+
+
+def neg(body: Formula) -> Formula:
+    """Negation with double-negation and constant collapsing."""
+    if isinstance(body, Not):
+        return body.body
+    if isinstance(body, TrueF):
+        return FALSE
+    if isinstance(body, FalseF):
+        return TRUE
+    return Not(body)
+
+
+def conj(children: Iterable[Formula]) -> Formula:
+    """Smart conjunction: flattens, drops ``true``, collapses ``false``."""
+    flat: list[Formula] = []
+    for c in children:
+        if isinstance(c, TrueF):
+            continue
+        if isinstance(c, FalseF):
+            return FALSE
+        if isinstance(c, And):
+            flat.extend(c.children)
+        else:
+            flat.append(c)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)
+
+
+def disj(children: Iterable[Formula]) -> Formula:
+    """Smart disjunction: flattens, drops ``false``, collapses ``true``."""
+    flat: list[Formula] = []
+    for c in children:
+        if isinstance(c, FalseF):
+            continue
+        if isinstance(c, TrueF):
+            return TRUE
+        if isinstance(c, Or):
+            flat.extend(c.children)
+        else:
+            flat.append(c)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(flat)
+
+
+def implies(left: Formula, right: Formula) -> Formula:
+    return Implies(left, right)
+
+
+def exists(v: Var, body: Formula) -> Formula:
+    return Exists(v, body)
+
+
+def forall(v: Var, body: Formula) -> Formula:
+    return Forall(v, body)
+
+
+def exists_all(vs: Sequence[Var], body: Formula) -> Formula:
+    """``∃v₁ … ∃vₘ body``."""
+    for v in reversed(vs):
+        body = Exists(v, body)
+    return body
+
+
+def forall_all(vs: Sequence[Var], body: Formula) -> Formula:
+    """``∀v₁ … ∀vₘ body``."""
+    for v in reversed(vs):
+        body = Forall(v, body)
+    return body

@@ -1,0 +1,348 @@
+"""Structural transformations on formulas.
+
+Free variables, substitution, validation against a database type,
+negation normal form, disjunctive normal form (for the quantifier-free
+fragment), simplification, and quantifier rank — the metric the
+Ehrenfeucht–Fraïssé machinery of Section 3 is stratified by.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..errors import ArityError, TypeSignatureError
+from .syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TrueF,
+    Var,
+    conj,
+    disj,
+    neg,
+)
+
+
+def free_variables(formula: Formula) -> frozenset[Var]:
+    """The free variables of a formula."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return frozenset()
+    if isinstance(formula, Eq):
+        return frozenset({formula.left, formula.right})
+    if isinstance(formula, RelAtom):
+        return frozenset(formula.args)
+    if isinstance(formula, Not):
+        return free_variables(formula.body)
+    if isinstance(formula, (And, Or)):
+        out: frozenset[Var] = frozenset()
+        for c in formula.children:
+            out |= free_variables(c)
+        return out
+    if isinstance(formula, Implies):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.body) - {formula.var}
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def substitute(formula: Formula, mapping: Mapping[Var, Var]) -> Formula:
+    """Capture-avoiding variable renaming.
+
+    Only variable-for-variable substitution is needed (the vocabulary has
+    no terms); bound variables shadow the mapping.
+    """
+    if isinstance(formula, (TrueF, FalseF)):
+        return formula
+    if isinstance(formula, Eq):
+        return Eq(mapping.get(formula.left, formula.left),
+                  mapping.get(formula.right, formula.right))
+    if isinstance(formula, RelAtom):
+        return RelAtom(formula.index,
+                       tuple(mapping.get(a, a) for a in formula.args))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.body, mapping))
+    if isinstance(formula, And):
+        return And(tuple(substitute(c, mapping) for c in formula.children))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute(c, mapping) for c in formula.children))
+    if isinstance(formula, Implies):
+        return Implies(substitute(formula.left, mapping),
+                       substitute(formula.right, mapping))
+    if isinstance(formula, (Exists, Forall)):
+        inner = {k: v for k, v in mapping.items() if k != formula.var}
+        if formula.var in inner.values():
+            # Rename the bound variable away from the substitution range.
+            fresh = _fresh_var(formula.var,
+                               set(inner.values()) | free_variables(formula.body))
+            body = substitute(formula.body, {formula.var: fresh})
+            node = Exists if isinstance(formula, Exists) else Forall
+            return node(fresh, substitute(body, inner))
+        node = Exists if isinstance(formula, Exists) else Forall
+        return node(formula.var, substitute(formula.body, inner))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _fresh_var(base: Var, avoid: set[Var]) -> Var:
+    i = 0
+    while True:
+        candidate = Var(f"{base.name}_{i}")
+        if candidate not in avoid:
+            return candidate
+        i += 1
+
+
+def validate(formula: Formula, signature: Sequence[int]) -> None:
+    """Check every relational atom against a database type.
+
+    Raises :class:`TypeSignatureError` for an out-of-range relation index
+    and :class:`ArityError` for an arity mismatch.
+    """
+    if isinstance(formula, RelAtom):
+        if not 0 <= formula.index < len(signature):
+            raise TypeSignatureError(
+                f"atom refers to R{formula.index + 1} but the type has "
+                f"{len(signature)} relations")
+        if len(formula.args) != signature[formula.index]:
+            raise ArityError(
+                f"atom on R{formula.index + 1} has {len(formula.args)} "
+                f"arguments, relation has arity {signature[formula.index]}")
+        return
+    if isinstance(formula, (TrueF, FalseF, Eq)):
+        return
+    if isinstance(formula, Not):
+        validate(formula.body, signature)
+    elif isinstance(formula, (And, Or)):
+        for c in formula.children:
+            validate(c, signature)
+    elif isinstance(formula, Implies):
+        validate(formula.left, signature)
+        validate(formula.right, signature)
+    elif isinstance(formula, (Exists, Forall)):
+        validate(formula.body, signature)
+    else:
+        raise TypeError(f"unknown formula node {formula!r}")
+
+
+def is_quantifier_free(formula: Formula) -> bool:
+    """Whether the formula belongs to the ``L⁻`` fragment."""
+    if isinstance(formula, (TrueF, FalseF, Eq, RelAtom)):
+        return True
+    if isinstance(formula, Not):
+        return is_quantifier_free(formula.body)
+    if isinstance(formula, (And, Or)):
+        return all(is_quantifier_free(c) for c in formula.children)
+    if isinstance(formula, Implies):
+        return (is_quantifier_free(formula.left)
+                and is_quantifier_free(formula.right))
+    if isinstance(formula, (Exists, Forall)):
+        return False
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def quantifier_rank(formula: Formula) -> int:
+    """The quantifier rank — nesting depth of quantifiers.
+
+    Definition 3.4's stratification: ``u #ᵣ v`` iff ``u`` and ``v``
+    satisfy the same formulas of quantifier rank ≤ r.
+    """
+    if isinstance(formula, (TrueF, FalseF, Eq, RelAtom)):
+        return 0
+    if isinstance(formula, Not):
+        return quantifier_rank(formula.body)
+    if isinstance(formula, (And, Or)):
+        return max((quantifier_rank(c) for c in formula.children), default=0)
+    if isinstance(formula, Implies):
+        return max(quantifier_rank(formula.left),
+                   quantifier_rank(formula.right))
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + quantifier_rank(formula.body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def eliminate_implications(formula: Formula) -> Formula:
+    """Rewrite ``p -> q`` as ``¬p ∨ q`` throughout."""
+    if isinstance(formula, (TrueF, FalseF, Eq, RelAtom)):
+        return formula
+    if isinstance(formula, Not):
+        return neg(eliminate_implications(formula.body))
+    if isinstance(formula, And):
+        return conj(eliminate_implications(c) for c in formula.children)
+    if isinstance(formula, Or):
+        return disj(eliminate_implications(c) for c in formula.children)
+    if isinstance(formula, Implies):
+        return disj([neg(eliminate_implications(formula.left)),
+                     eliminate_implications(formula.right)])
+    if isinstance(formula, Exists):
+        return Exists(formula.var, eliminate_implications(formula.body))
+    if isinstance(formula, Forall):
+        return Forall(formula.var, eliminate_implications(formula.body))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed down to atoms."""
+    formula = eliminate_implications(formula)
+    return _nnf(formula, positive=True)
+
+
+def _nnf(formula: Formula, positive: bool) -> Formula:
+    if isinstance(formula, (Eq, RelAtom)):
+        return formula if positive else Not(formula)
+    if isinstance(formula, TrueF):
+        return TRUE if positive else FALSE
+    if isinstance(formula, FalseF):
+        return FALSE if positive else TRUE
+    if isinstance(formula, Not):
+        return _nnf(formula.body, not positive)
+    if isinstance(formula, And):
+        parts = [_nnf(c, positive) for c in formula.children]
+        return conj(parts) if positive else disj(parts)
+    if isinstance(formula, Or):
+        parts = [_nnf(c, positive) for c in formula.children]
+        return disj(parts) if positive else conj(parts)
+    if isinstance(formula, Exists):
+        body = _nnf(formula.body, positive)
+        return Exists(formula.var, body) if positive else Forall(formula.var, body)
+    if isinstance(formula, Forall):
+        body = _nnf(formula.body, positive)
+        return Forall(formula.var, body) if positive else Exists(formula.var, body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def dnf(formula: Formula) -> Formula:
+    """Disjunctive normal form of a quantifier-free formula.
+
+    The shape Theorem 2.1 compiles to: a disjunction of conjunctions of
+    literals, one disjunct per selected ``≅ₗ`` class.
+    """
+    if not is_quantifier_free(formula):
+        raise ValueError("dnf is defined on the quantifier-free fragment")
+    formula = nnf(formula)
+    clauses = _dnf_clauses(formula)
+    return disj(conj(clause) for clause in clauses)
+
+
+def _dnf_clauses(formula: Formula) -> list[list[Formula]]:
+    if isinstance(formula, TrueF):
+        return [[]]
+    if isinstance(formula, FalseF):
+        return []
+    if isinstance(formula, (Eq, RelAtom, Not)):
+        return [[formula]]
+    if isinstance(formula, Or):
+        out: list[list[Formula]] = []
+        for c in formula.children:
+            out.extend(_dnf_clauses(c))
+        return out
+    if isinstance(formula, And):
+        clauses: list[list[Formula]] = [[]]
+        for c in formula.children:
+            parts = _dnf_clauses(c)
+            clauses = [left + right for left in clauses for right in parts]
+        return clauses
+    raise TypeError(f"unexpected node in NNF quantifier-free formula: {formula!r}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Light syntactic simplification: rebuild through smart constructors
+    and drop duplicate conjuncts/disjuncts and complementary literals."""
+    if isinstance(formula, (TrueF, FalseF, RelAtom)):
+        return formula
+    if isinstance(formula, Eq):
+        return TRUE if formula.left == formula.right else formula
+    if isinstance(formula, Not):
+        return neg(simplify(formula.body))
+    if isinstance(formula, And):
+        parts = list(dict.fromkeys(simplify(c) for c in formula.children))
+        for p in parts:
+            if neg(p) in parts:
+                return FALSE
+        return conj(parts)
+    if isinstance(formula, Or):
+        parts = list(dict.fromkeys(simplify(c) for c in formula.children))
+        for p in parts:
+            if neg(p) in parts:
+                return TRUE
+        return disj(parts)
+    if isinstance(formula, Implies):
+        return simplify(disj([neg(formula.left), formula.right]))
+    if isinstance(formula, Exists):
+        return Exists(formula.var, simplify(formula.body))
+    if isinstance(formula, Forall):
+        return Forall(formula.var, simplify(formula.body))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def prenex(formula: Formula) -> Formula:
+    """Prenex normal form: all quantifiers hoisted to a leading prefix.
+
+    The formula is first normalized (NNF), bound variables are renamed
+    apart, and quantifiers are pulled out of conjunctions and
+    disjunctions.  Used by tests relating quantifier rank to the
+    Ehrenfeucht–Fraïssé stratification and by the Theorem 6.3 pipeline's
+    introspection helpers.
+    """
+    counter = [0]
+
+    def fresh(base: Var) -> Var:
+        counter[0] += 1
+        return Var(f"{base.name}#{counter[0]}")
+
+    def pull(f: Formula) -> tuple[list[tuple[type, Var]], Formula]:
+        if isinstance(f, (TrueF, FalseF, Eq, RelAtom)):
+            return [], f
+        if isinstance(f, Not):
+            # NNF: negations sit on atoms only.
+            return [], f
+        if isinstance(f, (Exists, Forall)):
+            v = fresh(f.var)
+            body = substitute(f.body, {f.var: v})
+            prefix, matrix = pull(body)
+            return [(type(f), v)] + prefix, matrix
+        if isinstance(f, (And, Or)):
+            prefix: list[tuple[type, Var]] = []
+            matrices = []
+            for child in f.children:
+                p, m = pull(child)
+                prefix.extend(p)
+                matrices.append(m)
+            combine = conj if isinstance(f, And) else disj
+            return prefix, combine(matrices)
+        raise TypeError(f"unexpected node in NNF formula: {f!r}")
+
+    prefix, matrix = pull(nnf(formula))
+    out = matrix
+    for kind, v in reversed(prefix):
+        out = kind(v, out)
+    return out
+
+
+def is_prenex(formula: Formula) -> bool:
+    """Whether the formula is a quantifier prefix over a QF matrix."""
+    while isinstance(formula, (Exists, Forall)):
+        formula = formula.body
+    return is_quantifier_free(formula)
+
+
+def formula_size(formula: Formula) -> int:
+    """Node count — the size metric reported by the E3/E12 benchmarks."""
+    if isinstance(formula, (TrueF, FalseF, Eq, RelAtom)):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.body)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(c) for c in formula.children)
+    if isinstance(formula, Implies):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + formula_size(formula.body)
+    raise TypeError(f"unknown formula node {formula!r}")

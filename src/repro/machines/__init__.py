@@ -1,0 +1,97 @@
+"""Computability substrate: Turing, oracle, counter, and generic machines.
+
+* :mod:`~repro.machines.turing` — single-tape TMs and the effective
+  enumeration behind the paper's halting-steps relation (§1, §2);
+* :mod:`~repro.machines.oracle` — register machines whose only database
+  access is the ``ASK`` instruction (Definition 2.4 as syntax);
+* :mod:`~repro.machines.counter` — counter machines, the power source
+  of Theorem 3.1 via :mod:`repro.qlhs.counter_compile`;
+* :mod:`~repro.machines.generic` — [AV] generic machines for finite
+  databases: spawn, synchronous steps, collapse (Section 5);
+* :mod:`~repro.machines.gmhs` — GMhs: generic machines with the T_B and
+  ≅_B oracles (Theorem 5.1).
+"""
+
+from .assembler import (
+    assemble,
+    copy_machine,
+    disassemble,
+    double_machine,
+    subtract_machine,
+)
+from .counter import (
+    CounterMachine,
+    Dec,
+    Halt as CounterHalt,
+    Inc,
+    Jmp,
+    Jz,
+    addition_machine,
+    comparison_machine,
+    multiplication_machine,
+)
+from .generic import (
+    Action,
+    ClearRelation,
+    Continue,
+    GenericMachine,
+    HALT_STATE,
+    Halt,
+    Load,
+    RunMetrics,
+    StoreTuple,
+    UnitGM,
+    loading_protocol,
+)
+from .gmhs_pipeline import run_query_gmhs
+from .gmhs import (
+    GMhsMachine,
+    LoadChildren,
+    StoreCanonical,
+    children_explorer,
+    equivalence_filter,
+)
+from .oracle import (
+    Accept,
+    Ask,
+    EqJump,
+    Input,
+    Jump,
+    Next,
+    OracleProgram,
+    Reject,
+    membership_program,
+    symmetric_pair_program,
+)
+from .turing import (
+    BLANK,
+    LEFT,
+    RIGHT,
+    STAY,
+    RunResult,
+    TuringMachine,
+    halting_steps_relation,
+    loop_machine,
+    machine_count,
+    machine_from_index,
+    parity_machine,
+    slow_halt_machine,
+    unary_successor_machine,
+)
+
+__all__ = [
+    "Accept", "Action", "Ask", "BLANK", "ClearRelation", "Continue",
+    "CounterHalt", "CounterMachine", "Dec", "EqJump", "GMhsMachine",
+    "GenericMachine", "HALT_STATE", "Halt", "Inc", "Input", "Jmp",
+    "Jump", "Jz", "LEFT", "Load", "LoadChildren", "Next", "OracleProgram",
+    "RIGHT", "Reject", "RunMetrics", "RunResult", "STAY", "StoreCanonical",
+    "StoreTuple", "TuringMachine", "UnitGM", "addition_machine",
+    "children_explorer", "comparison_machine", "equivalence_filter",
+    "assemble", "copy_machine", "disassemble", "double_machine",
+    "halting_steps_relation", "loading_protocol", "loop_machine",
+    "subtract_machine",
+    "machine_count", "machine_from_index", "membership_program",
+    "multiplication_machine", "parity_machine", "run_query_gmhs",
+    "slow_halt_machine",
+    "symmetric_pair_program", "unary_successor_machine",
+]

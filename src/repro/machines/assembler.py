@@ -1,0 +1,176 @@
+"""A textual assembler for counter machines.
+
+Counter machines are the power source of Theorem 3.1 (via
+:mod:`repro.qlhs.counter_compile`); the assembler makes them pleasant to
+write, read, and test::
+
+    # R0 := R0 + R1
+    loop:  jz r1 end
+           dec r1
+           inc r0
+           jmp loop
+    end:   halt
+
+Syntax: one instruction per line; ``#`` starts a comment; a leading
+``name:`` defines a label; operands are ``rN`` registers and label or
+numeric jump targets.  ``disassemble`` renders a machine back to this
+format (with generated labels), and round-trips with ``assemble``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .counter import CounterMachine, Dec, Halt, Inc, Instruction, Jmp, Jz
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*):")
+_REG_RE = re.compile(r"^r(\d+)$")
+
+
+def assemble(text: str, name: str = "M") -> CounterMachine:
+    """Parse assembly text into a :class:`CounterMachine`."""
+    lines = []
+    labels: dict[str, int] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while True:
+            m = _LABEL_RE.match(line)
+            if m is None:
+                break
+            label = m.group(1)
+            if label in labels:
+                raise ParseError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(lines)
+            line = line[m.end():].strip()
+        if line:
+            lines.append((lineno, line))
+
+    instructions: list[Instruction] = []
+    max_reg = -1
+
+    def parse_reg(token: str, lineno: int) -> int:
+        m = _REG_RE.match(token)
+        if m is None:
+            raise ParseError(
+                f"line {lineno}: expected a register (r0, r1, …), "
+                f"got {token!r}")
+        return int(m.group(1))
+
+    def parse_target(token: str, lineno: int) -> int:
+        if token.isdigit():
+            return int(token)
+        if token in labels:
+            return labels[token]
+        raise ParseError(f"line {lineno}: unknown label {token!r}")
+
+    for lineno, line in lines:
+        parts = line.split()
+        op = parts[0].lower()
+        if op == "inc" and len(parts) == 2:
+            reg = parse_reg(parts[1], lineno)
+            instructions.append(Inc(reg))
+        elif op == "dec" and len(parts) == 2:
+            reg = parse_reg(parts[1], lineno)
+            instructions.append(Dec(reg))
+        elif op == "jz" and len(parts) == 3:
+            reg = parse_reg(parts[1], lineno)
+            instructions.append(Jz(reg, parse_target(parts[2], lineno)))
+        elif op == "jmp" and len(parts) == 2:
+            instructions.append(Jmp(parse_target(parts[1], lineno)))
+        elif op == "halt" and len(parts) == 1:
+            instructions.append(Halt())
+        else:
+            raise ParseError(f"line {lineno}: cannot parse {line!r}")
+        for ins in instructions[-1:]:
+            if isinstance(ins, (Inc, Dec, Jz)):
+                max_reg = max(max_reg, ins.reg)
+
+    return CounterMachine(instructions, num_registers=max_reg + 1 or 1,
+                          name=name)
+
+
+def disassemble(machine: CounterMachine) -> str:
+    """Render a machine back to assembly text (round-trips with
+    :func:`assemble` up to label naming)."""
+    targets = set()
+    for ins in machine.instructions:
+        if isinstance(ins, Jz):
+            targets.add(ins.target)
+        elif isinstance(ins, Jmp):
+            targets.add(ins.target)
+    labels = {pc: f"L{pc}" for pc in sorted(targets)}
+
+    out_lines = []
+    for pc, ins in enumerate(machine.instructions):
+        prefix = f"{labels[pc]}:" if pc in labels else ""
+        prefix = prefix.ljust(6)
+        if isinstance(ins, Inc):
+            body = f"inc r{ins.reg}"
+        elif isinstance(ins, Dec):
+            body = f"dec r{ins.reg}"
+        elif isinstance(ins, Jz):
+            body = f"jz r{ins.reg} {labels[ins.target]}"
+        elif isinstance(ins, Jmp):
+            body = f"jmp {labels[ins.target]}"
+        elif isinstance(ins, Halt):
+            body = "halt"
+        else:
+            raise TypeError(f"unknown instruction {ins!r}")
+        out_lines.append(prefix + body)
+    return "\n".join(out_lines) + "\n"
+
+
+SUBTRACT = """
+# r0 := max(0, r0 - r1)
+loop:  jz r1 end
+       dec r1
+       dec r0
+       jmp loop
+end:   halt
+"""
+
+COPY = """
+# r1 := r0 (via r2), preserving r0
+move:  jz r0 back
+       dec r0
+       inc r1
+       inc r2
+       jmp move
+back:  jz r2 end
+       dec r2
+       inc r0
+       jmp back
+end:   halt
+"""
+
+DOUBLE = """
+# r0 := 2 * r0 (via r1)
+spread: jz r0 gather
+        dec r0
+        inc r1
+        inc r1
+        jmp spread
+gather: jz r1 end
+        dec r1
+        inc r0
+        jmp gather
+end:    halt
+"""
+
+
+def subtract_machine() -> CounterMachine:
+    """r0 := r0 ∸ r1 (truncated subtraction)."""
+    return assemble(SUBTRACT, name="sub")
+
+
+def copy_machine() -> CounterMachine:
+    """r1 := r0, preserving r0."""
+    return assemble(COPY, name="copy")
+
+
+def double_machine() -> CounterMachine:
+    """r0 := 2 · r0."""
+    return assemble(DOUBLE, name="double")

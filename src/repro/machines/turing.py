@@ -1,0 +1,225 @@
+"""Single-tape Turing machines.
+
+The paper's objects are defined in terms of Turing machines throughout:
+a recursive relation "can be represented by a Turing machine, which on
+input u decides whether the tuple u is in R" (Section 2), and the
+non-closure example of the introduction is built from the predicate
+"the y-th Turing machine halts on input z after x steps".  This module
+provides the substrate: a standard deterministic single-tape TM with
+step-bounded execution, plus an effective enumeration of small machines
+that makes the halting-step relation a genuine recursive relation with
+non-trivial behaviour (see ``examples/halting_projection.py`` and
+``tests/test_core/test_nonclosure.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..errors import MachineError, OutOfFuel
+
+LEFT = -1
+RIGHT = 1
+STAY = 0
+
+BLANK = "_"
+
+Transition = tuple[str, str, int]  # (next_state, write_symbol, move)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a (possibly step-bounded) TM run."""
+
+    halted: bool
+    accepted: bool
+    steps: int
+    tape: dict[int, str]
+    state: str
+
+    def tape_text(self) -> str:
+        if not self.tape:
+            return ""
+        lo, hi = min(self.tape), max(self.tape)
+        return "".join(self.tape.get(i, BLANK) for i in range(lo, hi + 1))
+
+
+class TuringMachine:
+    """A deterministic single-tape Turing machine.
+
+    ``transitions`` maps ``(state, symbol)`` to
+    ``(next_state, write, move)``; a missing entry halts the machine
+    (accepting iff in ``accept_state``).
+    """
+
+    def __init__(self, transitions: Mapping[tuple[str, str], Transition],
+                 start_state: str = "q0", accept_state: str = "qa",
+                 reject_state: str = "qr", name: str = "M"):
+        self.transitions = dict(transitions)
+        self.start_state = start_state
+        self.accept_state = accept_state
+        self.reject_state = reject_state
+        self.name = name
+        for (state, symbol), (nxt, write, move) in self.transitions.items():
+            if move not in (LEFT, RIGHT, STAY):
+                raise MachineError(
+                    f"invalid move {move!r} in transition ({state}, {symbol})")
+
+    def run(self, tape_input: Sequence[str] | str, max_steps: int,
+            raise_on_timeout: bool = False) -> RunResult:
+        """Execute for at most ``max_steps`` steps."""
+        tape: dict[int, str] = {
+            i: s for i, s in enumerate(tape_input) if s != BLANK}
+        state = self.start_state
+        head = 0
+        steps = 0
+        while True:
+            # Halting is checked before the budget: a machine that
+            # reaches a halting configuration after exactly k transitions
+            # "halts within k steps".
+            if state in (self.accept_state, self.reject_state):
+                return RunResult(True, state == self.accept_state,
+                                 steps, tape, state)
+            symbol = tape.get(head, BLANK)
+            key = (state, symbol)
+            if key not in self.transitions:
+                return RunResult(True, state == self.accept_state,
+                                 steps, tape, state)
+            if steps >= max_steps:
+                break
+            state, write, move = self.transitions[key]
+            if write == BLANK:
+                tape.pop(head, None)
+            else:
+                tape[head] = write
+            head += move
+            steps += 1
+        if raise_on_timeout:
+            raise OutOfFuel(f"{self.name} did not halt in {max_steps} steps",
+                            steps=steps)
+        return RunResult(False, False, steps, tape, state)
+
+    def halts_within(self, tape_input: Sequence[str] | str,
+                     steps: int) -> bool:
+        """Whether the machine halts on the input within ``steps`` steps.
+
+        This is the decidable predicate at the heart of the paper's
+        non-closure example: R(x, y, z) ⇔ machine y halts on z in x steps.
+        """
+        return self.run(tape_input, steps).halted
+
+    def accepts(self, tape_input: Sequence[str] | str,
+                max_steps: int = 10_000) -> bool:
+        result = self.run(tape_input, max_steps, raise_on_timeout=True)
+        return result.accepted
+
+    def __repr__(self) -> str:
+        return f"TuringMachine({self.name}, {len(self.transitions)} transitions)"
+
+
+# ---------------------------------------------------------------------------
+# Machine library.
+# ---------------------------------------------------------------------------
+
+def parity_machine() -> TuringMachine:
+    """Accept binary strings with an even number of 1s."""
+    return TuringMachine({
+        ("q0", "0"): ("q0", "0", RIGHT),
+        ("q0", "1"): ("q1", "1", RIGHT),
+        ("q1", "0"): ("q1", "0", RIGHT),
+        ("q1", "1"): ("q0", "1", RIGHT),
+        ("q0", BLANK): ("qa", BLANK, STAY),
+        ("q1", BLANK): ("qr", BLANK, STAY),
+    }, name="even-ones")
+
+
+def unary_successor_machine() -> TuringMachine:
+    """Append one '1' to a unary numeral, then accept."""
+    return TuringMachine({
+        ("q0", "1"): ("q0", "1", RIGHT),
+        ("q0", BLANK): ("qa", "1", STAY),
+    }, name="succ")
+
+
+def loop_machine() -> TuringMachine:
+    """Never halts (shuttles over a single cell)."""
+    return TuringMachine({
+        ("q0", BLANK): ("q1", "1", RIGHT),
+        ("q1", BLANK): ("q0", BLANK, LEFT),
+        ("q0", "1"): ("q1", "1", RIGHT),
+        ("q1", "1"): ("q0", "1", LEFT),
+    }, name="loop")
+
+
+def slow_halt_machine() -> TuringMachine:
+    """Walks to the end of the input, then back, then accepts —
+    halting time grows with input length."""
+    return TuringMachine({
+        ("q0", "1"): ("q0", "1", RIGHT),
+        ("q0", BLANK): ("q1", BLANK, LEFT),
+        ("q1", "1"): ("q1", "1", LEFT),
+        ("q1", BLANK): ("qa", BLANK, STAY),
+    }, name="there-and-back")
+
+
+# ---------------------------------------------------------------------------
+# An effective enumeration of small machines.
+# ---------------------------------------------------------------------------
+
+_ALPHABET = ("0", "1", BLANK)
+_STATES = ("q0", "q1")
+_TARGETS = ("q0", "q1", "qa")
+_MOVES = (LEFT, RIGHT)
+
+
+def _transition_choices() -> list[Transition | None]:
+    out: list[Transition | None] = [None]  # None = halt on this key
+    for target in _TARGETS:
+        for write in _ALPHABET:
+            for move in _MOVES:
+                out.append((target, write, move))
+    return out
+
+
+_CHOICES = _transition_choices()
+_KEYS = [(s, a) for s in _STATES for a in _ALPHABET]
+
+
+def machine_count() -> int:
+    """Size of the enumerated family (|choices| ^ |keys|)."""
+    return len(_CHOICES) ** len(_KEYS)
+
+
+def machine_from_index(index: int) -> TuringMachine:
+    """The ``index``-th machine of an effective enumeration.
+
+    Decodes the index as a mixed-radix numeral selecting one transition
+    (or a halt) for each ``(state, symbol)`` key of a 2-state machine
+    over ``{0, 1, blank}``.  Indices beyond the family size wrap around,
+    so every natural number names a machine — the "y-th Turing machine"
+    of the paper's introduction, made concrete.
+    """
+    if index < 0:
+        raise MachineError("machine indices are naturals")
+    index %= machine_count()
+    label = index
+    transitions: dict[tuple[str, str], Transition] = {}
+    for key in _KEYS:
+        index, digit = divmod(index, len(_CHOICES))
+        choice = _CHOICES[digit]
+        if choice is not None:
+            transitions[key] = choice
+    return TuringMachine(transitions, name=f"M{label}")
+
+
+def halting_steps_relation(x: int, y: int, z: int) -> bool:
+    """The introduction's primitive recursive relation R(x, y, z):
+
+    "the y-th Turing machine halts on input z after x steps" — here:
+    halts on the unary numeral of z within x steps.  Decidable; its
+    projection on (y, z) is the (undecidable) halting predicate for the
+    enumerated family.
+    """
+    machine = machine_from_index(y)
+    return machine.run("1" * z, max_steps=x).halted

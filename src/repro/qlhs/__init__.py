@@ -1,0 +1,107 @@
+"""QLhs — the complete query language for hs-r-dbs (Section 3.3).
+
+Syntax (:mod:`~repro.qlhs.ast`, :mod:`~repro.qlhs.parser`), semantics
+over the ``CB`` representation (:mod:`~repro.qlhs.interpreter`), the
+[CH] derived-operator toolkit (:mod:`~repro.qlhs.derived`), counters as
+ranks with a counter-machine compiler proving the Turing-power step of
+Theorem 3.1 (:mod:`~repro.qlhs.numbers`,
+:mod:`~repro.qlhs.counter_compile`), and the full ``P_Q`` completeness
+pipeline (:mod:`~repro.qlhs.completeness`).
+"""
+
+from .ast import (
+    Assign,
+    Comp,
+    Down,
+    E,
+    Inter,
+    Permute,
+    Product,
+    Program,
+    Rel,
+    SelectEq,
+    Seq,
+    Swap,
+    Term,
+    Up,
+    VarT,
+    WhileEmpty,
+    WhileSingleton,
+    program_uses_intrinsics,
+    seq,
+    term_uses_intrinsics,
+)
+from .completeness import (
+    ModelOracle,
+    PQPipeline,
+    compute_v_n,
+    compute_v_n_0,
+    compute_v_n_r,
+    encode_n_model,
+    find_d_qlhs,
+    full_level_value,
+    project_blocks,
+)
+from .counter_compile import (
+    compile_counter_machine,
+    load_inputs,
+    register_var,
+    run_compiled,
+)
+from .from_logic import (
+    compile_formula,
+    evaluate_via_algebra,
+    sentence_via_algebra,
+)
+from .derived import (
+    difference,
+    rank_of,
+    drop_first_k,
+    false_flag,
+    full_term,
+    if_empty,
+    if_flag,
+    if_singleton,
+    move_to_front,
+    project_onto,
+    run_once,
+    select_atom,
+    select_equal,
+    select_not_atom,
+    select_not_equal,
+    set_flag_if_empty,
+    set_flag_if_singleton,
+    true_flag,
+    union,
+)
+from .interpreter import QLhsInterpreter, Value, empty_value
+from .numbers import (
+    assign_constant,
+    constant_term,
+    dec_term,
+    decode_number,
+    inc_term,
+    zero_term,
+    zero_test,
+)
+from .parser import parse_program, parse_term
+from .printer import is_parseable, program_to_text, term_to_text
+
+__all__ = [
+    "Assign", "Comp", "Down", "E", "Inter", "PQPipeline", "Permute",
+    "ModelOracle", "Product", "Program", "QLhsInterpreter", "Rel", "SelectEq", "Seq",
+    "Swap", "Term", "Up", "Value", "VarT", "WhileEmpty", "WhileSingleton",
+    "assign_constant", "compile_counter_machine", "compute_v_n",
+    "compute_v_n_0", "compute_v_n_r", "constant_term", "dec_term",
+    "decode_number", "difference", "drop_first_k", "empty_value",
+    "encode_n_model", "false_flag", "find_d_qlhs", "full_level_value",
+    "full_term", "if_empty", "if_flag", "if_singleton", "inc_term",
+    "is_parseable", "program_to_text", "term_to_text",
+    "compile_formula", "evaluate_via_algebra", "sentence_via_algebra",
+    "load_inputs", "move_to_front", "parse_program", "parse_term",
+    "program_uses_intrinsics", "project_blocks", "project_onto", "rank_of",
+    "register_var", "run_compiled", "run_once", "select_atom",
+    "select_equal", "select_not_atom", "select_not_equal", "seq",
+    "set_flag_if_empty", "set_flag_if_singleton", "term_uses_intrinsics",
+    "true_flag", "union", "zero_term", "zero_test",
+]

@@ -1,0 +1,224 @@
+"""Abstract syntax of QLhs (Section 3.3).
+
+Terms (Definition of QLhs syntax, §3.3)::
+
+    E  |  Rel_i  |  Y_i  |  (e ∩ f)  |  (¬e)  |  (e↑)  |  (e↓)  |  (e~)
+
+Programs::
+
+    Y_i ← e  |  (P ; P')  |  while |Y_i| = 0 do P  |  while |Y_i| = 1 do P
+
+The ``|Y|=1`` test is the paper's addition over the original QL: in the
+infinite setting ``perm(D)`` has infinite rank, so the singleton test
+cannot be derived from the emptiness test (footnote 8).
+
+Two groups of extra term constructors are provided beyond the core:
+
+* *macros* (see :mod:`repro.qlhs.derived`) expand to core terms/programs
+  before execution — union, difference, if-then-else, flags;
+* *intrinsics* — ``Product``, ``Permute``, ``SelectEq`` — are executed
+  directly by the interpreter.  They are definable in core QLhs by the
+  Chandra–Harel constructions ([CH], and the paper's remark that "the
+  conventional operators … can be programmed in QLhs precisely as is
+  done in [CH]"); we implement them natively for tractability and flag
+  them with ``definable_in_core = True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+
+class Term:
+    """Base class of QLhs terms."""
+
+    definable_in_core = True  # every node is core or [CH]-definable
+
+
+@dataclass(frozen=True)
+class E(Term):
+    """The fixed term ``E`` = T² ∩ {(a,a) | a ∈ D} — the equality class."""
+
+
+@dataclass(frozen=True)
+class Rel(Term):
+    """``Rel_i``: the input relation ``Cᵢ`` (0-based index)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class VarT(Term):
+    """A relational variable ``Y_name`` used as a term."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Inter(Term):
+    """``(e ∩ f)`` — both operands must have equal rank."""
+
+    left: Term
+    right: Term
+
+
+@dataclass(frozen=True)
+class Comp(Term):
+    """``(¬e)`` — complement within ``Tⁿ``."""
+
+    body: Term
+
+
+@dataclass(frozen=True)
+class Up(Term):
+    """``(e↑)`` — all one-element tree extensions of the paths in ``e``."""
+
+    body: Term
+
+
+@dataclass(frozen=True)
+class Down(Term):
+    """``(e↓)`` — project out the first coordinate, canonicalized.
+
+    Deviation note: on a rank-0 operand the paper leaves ``↓`` undefined;
+    we define it as the empty rank-0 value, which realizes the proof of
+    Theorem 3.1's counter arithmetic ("testing whether e is 'equal' to 0
+    is accomplished by testing e↓ for emptiness") literally.
+    """
+
+    body: Term
+
+
+@dataclass(frozen=True)
+class Swap(Term):
+    """``(e~)`` — exchange the two rightmost coordinates, canonicalized."""
+
+    body: Term
+
+
+@dataclass(frozen=True)
+class Product(Term):
+    """Intrinsic: the cartesian product of the denoted relations.
+
+    Computed on representatives as
+    ``{r ∈ T^{m+n} : canon(r[:m]) ∈ e and canon(r[m:]) ∈ f}`` — scanning
+    the concatenated level is what makes overlapping-element classes
+    (absent from naive concatenation of representatives) appear.
+    Definable in core QLhs per [CH].
+    """
+
+    left: Term
+    right: Term
+
+
+@dataclass(frozen=True)
+class Permute(Term):
+    """Intrinsic: reorder coordinates by a permutation.
+
+    ``perm[i]`` is the source coordinate of output coordinate ``i``.
+    Definable in core QLhs per [CH] (from ``~``, ``↑``, ``↓``, ``E``).
+    """
+
+    body: Term
+    perm: tuple[int, ...]
+
+    def __init__(self, body: Term, perm: Sequence[int]):
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "perm", tuple(perm))
+        if sorted(self.perm) != list(range(len(self.perm))):
+            raise ValueError(f"{self.perm!r} is not a permutation")
+
+
+@dataclass(frozen=True)
+class SelectEq(Term):
+    """Intrinsic: keep paths whose coordinates ``i`` and ``j`` are equal.
+
+    Negative indices count from the end (Python-style), so rank-generic
+    programs — the counter encoding's increment selects the "new
+    coordinate equals the previous last" child with ``(-2, -1)`` — work
+    on values of any rank.  Definable in core QLhs per [CH]
+    (intersection with an equality relation built from ``E`` and ``↑``).
+    """
+
+    body: Term
+    i: int
+    j: int
+
+
+class Program:
+    """Base class of QLhs programs."""
+
+
+@dataclass(frozen=True)
+class Assign(Program):
+    """``Y ← e``."""
+
+    var: str
+    term: Term
+
+
+@dataclass(frozen=True)
+class Seq(Program):
+    """``(P; P')`` generalized to a statement list."""
+
+    body: tuple[Program, ...]
+
+    def __init__(self, body: Sequence[Program]):
+        flat: list[Program] = []
+        for p in body:
+            if isinstance(p, Seq):
+                flat.extend(p.body)
+            else:
+                flat.append(p)
+        object.__setattr__(self, "body", tuple(flat))
+
+
+@dataclass(frozen=True)
+class WhileEmpty(Program):
+    """``while |Y| = 0 do P``."""
+
+    var: str
+    body: Program
+
+
+@dataclass(frozen=True)
+class WhileSingleton(Program):
+    """``while |Y| = 1 do P`` — the paper's added test (footnote 8)."""
+
+    var: str
+    body: Program
+
+
+def seq(*programs: Program) -> Program:
+    """Sequence several statements (flattening nested sequences)."""
+    if len(programs) == 1:
+        return programs[0]
+    return Seq(programs)
+
+
+def term_uses_intrinsics(term: Term) -> bool:
+    """Whether a term contains ``Product``/``Permute``/``SelectEq`` nodes.
+
+    Lets callers distinguish strictly-core programs (benchmarked as such)
+    from programs leaning on the [CH]-definable intrinsics.
+    """
+    if isinstance(term, (Product, Permute, SelectEq)):
+        return True
+    if isinstance(term, (E, Rel, VarT)):
+        return False
+    if isinstance(term, Inter):
+        return term_uses_intrinsics(term.left) or term_uses_intrinsics(term.right)
+    if isinstance(term, (Comp, Up, Down, Swap)):
+        return term_uses_intrinsics(term.body)
+    raise TypeError(f"unknown term {term!r}")
+
+
+def program_uses_intrinsics(program: Program) -> bool:
+    if isinstance(program, Assign):
+        return term_uses_intrinsics(program.term)
+    if isinstance(program, Seq):
+        return any(program_uses_intrinsics(p) for p in program.body)
+    if isinstance(program, (WhileEmpty, WhileSingleton)):
+        return program_uses_intrinsics(program.body)
+    raise TypeError(f"unknown program {program!r}")

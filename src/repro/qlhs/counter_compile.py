@@ -1,0 +1,170 @@
+"""Compiling counter machines into core QLhs (Theorem 3.1's key step).
+
+The proof of Theorem 3.1 rests on QLhs having "the power of general
+counter machines (and hence of Turing machines), with numbers
+represented by the ranks of the relations in the variables".  This
+module makes the claim executable: any
+:class:`~repro.machines.counter.CounterMachine` compiles into a QLhs
+program (core operators plus the flag/if macros, which themselves expand
+to core), and running the compiled program on any hs-r-db computes the
+same register contents, numbers read back as ranks.
+
+Compilation scheme
+------------------
+* register ``i``  → variable ``Ri_`` holding a rank-encoded number;
+* program counter → variable ``PC`` holding a rank-encoded number;
+* one sweep of the main loop dispatches on ``PC = k`` for every
+  instruction index ``k`` (the tests are mutually exclusive, and the
+  next PC is staged in ``PCN`` so later guards never fire in the same
+  sweep);
+* the machine halts by setting ``HALT`` to a non-empty flag, ending the
+  ``while |HALT| = 0`` driver loop.
+
+``PC = k`` is decided by copying ``PC``, decrementing ``k`` times, and
+testing "is exactly zero": the probe's ``↓`` is empty *and* the probe is
+itself non-empty (a probe that went past zero is empty, a probe still
+positive has non-empty ``↓``).
+"""
+
+from __future__ import annotations
+
+from ..errors import MachineError
+from ..machines.counter import (
+    CounterMachine,
+    Dec,
+    Halt,
+    Inc,
+    Jmp,
+    Jz,
+)
+from .ast import Assign, Down, Program, VarT, WhileEmpty, seq
+from .derived import (
+    false_flag,
+    if_flag,
+    set_flag_if_empty,
+    true_flag,
+)
+from .interpreter import QLhsInterpreter, Value
+from .numbers import constant_term, decode_number, inc_term, zero_test
+
+HALT_VAR = "HALT"
+PC_VAR = "PC"
+PC_NEXT_VAR = "PCN"
+
+
+def register_var(i: int) -> str:
+    return f"Rg{i}"
+
+
+def _pc_equals(k: int, flag_var: str, fresh: str) -> Program:
+    """``flag ← (PC == k)`` via copy, k decrements, exact-zero test."""
+    probe = f"{fresh}_p"
+    down_flag = f"{fresh}_d"
+    nonempty_flag = f"{fresh}_n"
+    steps: list[Program] = [Assign(probe, VarT(PC_VAR))]
+    for j in range(k):
+        steps.append(Assign(probe, Down(VarT(probe))))
+    # PC == k leaves the probe at rank exactly 1 (the diagonal encoding's
+    # zero): probe↓↓ empty AND probe↓ non-empty.  A probe that went past
+    # zero decays through the non-empty rank-0 value to empty, so both
+    # halves are needed: ↓↓-empty alone also accepts PC == k−1 (probe at
+    # rank 0), which the ↓-non-empty half rejects.
+    probe_down2 = f"{fresh}_pd"
+    steps.append(Assign(probe_down2, Down(Down(VarT(probe)))))
+    steps.append(set_flag_if_empty(probe_down2, down_flag, f"{fresh}_e1"))
+    probe_down1 = f"{fresh}_p1"
+    probe_empty = f"{fresh}_pe"
+    steps.append(Assign(probe_down1, Down(VarT(probe))))
+    steps.append(set_flag_if_empty(probe_down1, probe_empty, f"{fresh}_e2"))
+    steps.append(Assign(nonempty_flag, false_flag()))
+    steps.append(if_flag(probe_empty,
+                         Assign(nonempty_flag, false_flag()),
+                         Assign(nonempty_flag, true_flag()),
+                         f"{fresh}_b1"))
+    # flag := down_flag AND nonempty_flag  (both are rank-0: intersection)
+    from .ast import Inter
+    steps.append(Assign(flag_var, Inter(VarT(down_flag),
+                                        VarT(nonempty_flag))))
+    return seq(*steps)
+
+
+def _guarded(k: int, body: Program, fresh: str) -> Program:
+    """Run ``body`` iff ``PC == k``."""
+    flag = f"{fresh}_g"
+    return seq(
+        _pc_equals(k, flag, fresh),
+        if_flag(flag, body, None, f"{fresh}_if"),
+    )
+
+
+def _instruction_body(ins, k: int, fresh: str) -> Program:
+    """The staged effect of one instruction (next PC goes to PCN)."""
+    fall_through = Assign(PC_NEXT_VAR, constant_term(k + 1))
+    if isinstance(ins, Halt):
+        return Assign(HALT_VAR, true_flag())
+    if isinstance(ins, Inc):
+        reg = register_var(ins.reg)
+        return seq(Assign(reg, inc_term(VarT(reg))), fall_through)
+    if isinstance(ins, Dec):
+        reg = register_var(ins.reg)
+        zflag = f"{fresh}_z"
+        return seq(
+            zero_test(reg, zflag, f"{fresh}_zt"),
+            if_flag(zflag,
+                    seq(),  # dec of 0 is a no-op (machine semantics)
+                    Assign(reg, Down(VarT(reg))),
+                    f"{fresh}_zi"),
+            fall_through,
+        )
+    if isinstance(ins, Jz):
+        reg = register_var(ins.reg)
+        zflag = f"{fresh}_z"
+        return seq(
+            zero_test(reg, zflag, f"{fresh}_zt"),
+            if_flag(zflag,
+                    Assign(PC_NEXT_VAR, constant_term(ins.target)),
+                    fall_through,
+                    f"{fresh}_zi"),
+        )
+    if isinstance(ins, Jmp):
+        return Assign(PC_NEXT_VAR, constant_term(ins.target))
+    raise MachineError(f"unknown instruction {ins!r}")
+
+
+def compile_counter_machine(machine: CounterMachine) -> Program:
+    """Compile a counter machine into a QLhs program.
+
+    Input registers are expected pre-loaded (see :func:`load_inputs`);
+    after the program ends, register values decode via
+    :func:`~repro.qlhs.numbers.decode_number`.
+    """
+    sweep: list[Program] = [Assign(PC_NEXT_VAR, VarT(PC_VAR))]
+    for k, ins in enumerate(machine.instructions):
+        fresh = f"s{k}"
+        sweep.append(_guarded(k, _instruction_body(ins, k, fresh), fresh))
+    sweep.append(Assign(PC_VAR, VarT(PC_NEXT_VAR)))
+
+    return seq(
+        Assign(HALT_VAR, false_flag()),
+        Assign(PC_VAR, constant_term(0)),
+        WhileEmpty(HALT_VAR, seq(*sweep)),
+    )
+
+
+def load_inputs(machine: CounterMachine, inputs: list[int]) -> Program:
+    """Initialization program: registers ← inputs (missing ones ← 0)."""
+    steps = []
+    for i in range(machine.num_registers):
+        value = inputs[i] if i < len(inputs) else 0
+        steps.append(Assign(register_var(i), constant_term(value)))
+    return seq(*steps)
+
+
+def run_compiled(machine: CounterMachine, inputs: list[int],
+                 interpreter: QLhsInterpreter) -> list[int]:
+    """Compile, execute on the given hs-r-db, and decode all registers."""
+    program = seq(load_inputs(machine, inputs),
+                  compile_counter_machine(machine))
+    store = interpreter.execute(program)
+    return [decode_number(store[register_var(i)])
+            for i in range(machine.num_registers)]

@@ -1,0 +1,271 @@
+"""Derived QLhs operators — the [CH] toolkit as macro expansions.
+
+The completeness proof of Theorem 3.1 freely uses "the conventional
+operators on relations appearing in [CH], such as if Y then P else P',
+rank(e), Cartesian product, etc.", noting they "can be programmed in
+QLhs precisely as is done in [CH]".  This module provides them in two
+tiers:
+
+* **true macros** — pure functions returning *core* QLhs syntax:
+  union and difference (De Morgan), boolean flags as rank-0 values,
+  emptiness/singleton reification into flags, if-then-else and run-once
+  (the loop-with-flag technique);
+* **intrinsic-based builders** — terms using ``Product``/``Permute``/
+  ``SelectEq`` (themselves [CH]-definable, executed natively):
+  atom selection ``σ_{(i₁..i_a) ∈ R_j}`` and projection onto arbitrary
+  coordinates, the building blocks of the ``P_Q`` pipeline.
+
+Scratch variables: macros that need temporaries take a ``fresh`` name
+prefix; callers must keep prefixes disjoint from their own variables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .ast import (
+    Assign,
+    Comp,
+    Down,
+    E,
+    Inter,
+    Permute,
+    Product,
+    Program,
+    Rel,
+    SelectEq,
+    Seq,
+    Swap,
+    Term,
+    Up,
+    VarT,
+    WhileEmpty,
+    WhileSingleton,
+    seq,
+)
+
+# ---------------------------------------------------------------------------
+# Pure term macros (core QLhs only).
+# ---------------------------------------------------------------------------
+
+def union(e: Term, f: Term) -> Term:
+    """``e ∪ f = ¬(¬e ∩ ¬f)`` — a genuine core expansion."""
+    return Comp(Inter(Comp(e), Comp(f)))
+
+
+def difference(e: Term, f: Term) -> Term:
+    """``e − f = e ∩ ¬f``."""
+    return Inter(e, Comp(f))
+
+
+def true_flag() -> Term:
+    """The rank-0 value ``{()}`` — boolean *true* — as ``E↓↓``."""
+    return Down(Down(E()))
+
+
+def false_flag() -> Term:
+    """The empty rank-0 value — boolean *false* — as ``E↓↓ ∩ ¬E↓↓``."""
+    return Inter(true_flag(), Comp(true_flag()))
+
+
+def full_term(n: int) -> Term:
+    """``Tⁿ`` as a term: ``(E↓↓)↑ⁿ`` — exactly the ``P_Q`` construction."""
+    t: Term = true_flag()
+    for __ in range(n):
+        t = Up(t)
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Program macros (core QLhs only).
+# ---------------------------------------------------------------------------
+
+def set_flag_if_empty(test_var: str, flag_var: str, fresh: str) -> Program:
+    """``flag ← (|test| = 0)`` reified as a rank-0 flag.
+
+    The loop-with-escape technique: copy the tested variable to a
+    scratch; the while body runs at most once (it makes the scratch
+    non-empty) and runs at all only when the test held.
+    """
+    scratch = f"{fresh}_s"
+    return seq(
+        Assign(flag_var, false_flag()),
+        Assign(scratch, VarT(test_var)),
+        WhileEmpty(scratch, seq(
+            Assign(flag_var, true_flag()),
+            Assign(scratch, true_flag()),
+        )),
+    )
+
+
+def set_flag_if_singleton(test_var: str, flag_var: str, fresh: str) -> Program:
+    """``flag ← (|test| = 1)`` reified as a rank-0 flag."""
+    scratch = f"{fresh}_s"
+    return seq(
+        Assign(flag_var, false_flag()),
+        Assign(scratch, VarT(test_var)),
+        WhileSingleton(scratch, seq(
+            Assign(flag_var, true_flag()),
+            Assign(scratch, false_flag()),
+        )),
+    )
+
+
+def if_flag(flag_var: str, then_program: Program,
+            else_program: Program | None, fresh: str) -> Program:
+    """``if flag then P else P'`` — flag is a rank-0 boolean.
+
+    Two run-once loops driven by scratch copies: the *then* loop runs
+    exactly when the flag is a singleton, the *else* loop exactly when it
+    started empty.
+    """
+    then_driver = f"{fresh}_t"
+    else_driver = f"{fresh}_e"
+    parts: list[Program] = [
+        Assign(then_driver, VarT(flag_var)),
+        Assign(else_driver, VarT(flag_var)),
+        WhileSingleton(then_driver, seq(
+            then_program,
+            Assign(then_driver, false_flag()),
+        )),
+    ]
+    if else_program is not None:
+        parts.append(WhileEmpty(else_driver, seq(
+            else_program,
+            Assign(else_driver, true_flag()),
+        )))
+    return seq(*parts)
+
+
+def if_empty(test_var: str, then_program: Program,
+             else_program: Program | None, fresh: str) -> Program:
+    """``if |Y| = 0 then P else P'`` as a core-QLhs expansion."""
+    flag = f"{fresh}_f"
+    return seq(
+        set_flag_if_empty(test_var, flag, f"{fresh}_i"),
+        if_flag(flag, then_program, else_program, f"{fresh}_b"),
+    )
+
+
+def if_singleton(test_var: str, then_program: Program,
+                 else_program: Program | None, fresh: str) -> Program:
+    """``if |Y| = 1 then P else P'`` as a core-QLhs expansion."""
+    flag = f"{fresh}_f"
+    return seq(
+        set_flag_if_singleton(test_var, flag, f"{fresh}_i"),
+        if_flag(flag, then_program, else_program, f"{fresh}_b"),
+    )
+
+
+def rank_of(source_var: str, out_var: str, fresh: str) -> Program:
+    """``out ← rank(source)`` — the [CH] ``rank(e)`` operator.
+
+    The output is a counters-as-ranks number (diagonal encoding of
+    :mod:`repro.qlhs.numbers`): repeatedly project the source until its
+    projection is empty, counting the steps.  ``rank`` of an *empty*
+    source is 0 (there is nothing to project).  A genuine core+intrinsic
+    expansion: the loop body uses only ``↓``, flags, and the increment.
+    """
+    from .numbers import zero_term
+
+    probe = f"{fresh}_p"
+    probe_down = f"{fresh}_pd"
+    return seq(
+        Assign(out_var, zero_term()),
+        Assign(probe, VarT(source_var)),
+        Assign(probe_down, Down(VarT(probe))),
+        # While probe↓ is non-empty: probe := probe↓ ; out := out + 1.
+        _rank_loop(probe, probe_down, out_var, fresh),
+    )
+
+
+def _rank_loop(probe: str, probe_down: str, out_var: str,
+               fresh: str) -> Program:
+    from .numbers import inc_term
+
+    guard = f"{fresh}_g"
+    return seq(
+        set_flag_if_empty(probe_down, guard, f"{fresh}_i0"),
+        WhileEmpty(guard, seq(
+            Assign(probe, Down(VarT(probe))),
+            Assign(out_var, inc_term(VarT(out_var))),
+            Assign(probe_down, Down(VarT(probe))),
+            set_flag_if_empty(probe_down, guard, f"{fresh}_i1"),
+        )),
+    )
+
+
+def run_once(body: Program, fresh: str) -> Program:
+    """Execute ``body`` exactly once via the while-with-flag idiom
+    (demonstrates the technique; useful inside larger macros)."""
+    driver = f"{fresh}_d"
+    return seq(
+        Assign(driver, false_flag()),
+        WhileEmpty(driver, seq(body, Assign(driver, true_flag()))),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Intrinsic-based builders ([CH]-definable; executed natively).
+# ---------------------------------------------------------------------------
+
+def move_to_front(rank: int, positions: Sequence[int]) -> tuple[int, ...]:
+    """A permutation bringing ``positions`` (distinct) to the front."""
+    positions = list(positions)
+    rest = [i for i in range(rank) if i not in positions]
+    return tuple(positions + rest)
+
+
+def drop_first_k(e: Term, k: int) -> Term:
+    """``e↓ᵏ`` — project out the first ``k`` coordinates."""
+    for __ in range(k):
+        e = Down(e)
+    return e
+
+
+def project_onto(e: Term, rank: int, positions: Sequence[int]) -> Term:
+    """``π_{positions}(e)`` for distinct positions, via Permute + ↓.
+
+    Moves the unwanted coordinates to the front and drops them.
+    """
+    positions = list(positions)
+    if len(set(positions)) != len(positions):
+        raise ValueError("project_onto requires distinct positions")
+    unwanted = [i for i in range(rank) if i not in positions]
+    perm = tuple(unwanted + positions)
+    return drop_first_k(Permute(e, perm), len(unwanted))
+
+
+def select_atom(e: Term, rank: int, rel_index: int, rel_arity: int,
+                positions: Sequence[int]) -> Term:
+    """``σ_{(x_{i₁},…,x_{i_a}) ∈ R_j}(e)`` — positions may repeat.
+
+    The join technique: form ``e × Rel_j`` (rank ``rank + a``), equate
+    each appended coordinate with its source position, and project the
+    appended coordinates away.  Every step is an intrinsic or core op.
+    """
+    positions = list(positions)
+    if len(positions) != rel_arity:
+        raise ValueError(
+            f"atom on R{rel_index + 1} needs {rel_arity} positions")
+    joined: Term = Product(e, Rel(rel_index))
+    for t, pos in enumerate(positions):
+        joined = SelectEq(joined, rank + t, pos)
+    # Keep the original coordinates only.
+    return project_onto(joined, rank + rel_arity, list(range(rank)))
+
+
+def select_not_atom(e: Term, rank: int, rel_index: int, rel_arity: int,
+                    positions: Sequence[int]) -> Term:
+    """``σ_{(…) ∉ R_j}(e)`` = ``e − σ_{(…) ∈ R_j}(e)``."""
+    return difference(e, select_atom(e, rank, rel_index, rel_arity, positions))
+
+
+def select_equal(e: Term, i: int, j: int) -> Term:
+    """``σ_{x_i = x_j}(e)`` — the SelectEq intrinsic, named RA-style."""
+    return SelectEq(e, i, j)
+
+
+def select_not_equal(e: Term, i: int, j: int) -> Term:
+    """``σ_{x_i ≠ x_j}(e)``."""
+    return difference(e, SelectEq(e, i, j))

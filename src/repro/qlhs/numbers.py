@@ -1,0 +1,92 @@
+"""Counters-as-ranks: natural numbers inside QLhs (Theorem 3.1 proof).
+
+"QLhs can be thought of as having counters: E↓↓ plays the role of 0, and
+if e plays the role of the natural number i, then e↑ and e↓ play the
+role of i+1 and i−1, respectively.  Testing whether e is 'equal' to 0 is
+accomplished by testing e↓ for emptiness."
+
+The paper only needs the *rank* of a value to carry the number; the
+contents are irrelevant.  Implemented naively (``↑`` = all children),
+values balloon with the tree's level sizes, so this module uses the
+**diagonal encoding**, which keeps the rank semantics and bounds value
+sizes by ``|T¹|``:
+
+* the number ``k`` is a non-empty value of rank ``k + 1`` whose paths
+  are *diagonals* (all coordinates equal);
+* ``0`` is ``E↓`` (the rank-1 representatives of the all-equal pair's
+  projections);
+* ``i + 1`` is ``SelectEq(e↑, −2, −1)`` — of all children, keep exactly
+  the "new coordinate equals the last" extension, which every
+  characteristic tree represents literally (a representative of that
+  class is a member of it, so its last two labels are equal);
+* ``i − 1`` is ``e↓``, and the zero test is "is ``e↓↓`` empty" — the
+  paper's test shifted by the +1 offset (``↓`` of the rank-0 value is
+  empty by the interpreter's documented convention).
+
+``decode_number(value) = value.rank − 1``.
+"""
+
+from __future__ import annotations
+
+from ..errors import RankMismatchError
+from .ast import Assign, Down, E, Program, SelectEq, Term, Up, VarT, seq
+from .derived import set_flag_if_empty
+from .interpreter import Value
+
+
+def zero_term() -> Term:
+    """The number 0: ``E↓`` — rank 1, all diagonal projections."""
+    return Down(E())
+
+
+def inc_term(e: Term) -> Term:
+    """``i + 1``: the diagonal children of ``e``'s paths."""
+    return SelectEq(Up(e), -2, -1)
+
+
+def dec_term(e: Term) -> Term:
+    """``i − 1`` as ``e↓``.  Decrementing 0 yields the rank-0 value
+    (still non-empty); counter-machine semantics guard with a zero test
+    first, as :mod:`repro.qlhs.counter_compile` does."""
+    return Down(e)
+
+
+def constant_term(k: int) -> Term:
+    """The number ``k``: zero incremented ``k`` times."""
+    if k < 0:
+        raise ValueError("counters hold naturals")
+    t = zero_term()
+    for __ in range(k):
+        t = inc_term(t)
+    return t
+
+
+def assign_constant(var: str, k: int) -> Program:
+    """``var ← k``."""
+    return Assign(var, constant_term(k))
+
+
+def zero_test(number_var: str, flag_var: str, fresh: str) -> Program:
+    """``flag ← (var == 0)``: test ``var↓↓`` for emptiness.
+
+    A number k has rank k+1; two projections reach rank k−1 — empty
+    exactly when k = 0 (projecting "past" rank 0).
+    """
+    probe = f"{fresh}_z"
+    return seq(
+        Assign(probe, Down(Down(VarT(number_var)))),
+        set_flag_if_empty(probe, flag_var, f"{fresh}_zf"),
+    )
+
+
+def decode_number(value: Value) -> int:
+    """Read a number back: ``rank − 1``.  Raises on invalid encodings."""
+    if value.is_empty:
+        raise RankMismatchError(
+            "an empty value does not encode a number (the encoding "
+            "invariant requires non-emptiness)")
+    if value.rank < 1:
+        raise RankMismatchError(
+            "number encoding uses ranks >= 1 (the diagonal encoding's "
+            "+1 offset); got a rank-0 value")
+    return value.rank - 1

@@ -1,0 +1,212 @@
+"""Concrete syntax for QLhs programs.
+
+An ASCII rendering of the paper's notation::
+
+    Y1 := up(E) & !R1 ;
+    while |Y2| = 0 do {
+        Y2 := down(swap(Y1))
+    }
+
+Grammar::
+
+    program  := stmt { ';' stmt }
+    stmt     := VAR ':=' term
+              | 'while' '|' VAR '|' '=' ('0' | '1') 'do' '{' program '}'
+    term     := factor { '&' factor }          (intersection)
+    factor   := '!' factor                     (complement)
+              | 'up' '(' term ')'
+              | 'down' '(' term ')'
+              | 'swap' '(' term ')'
+              | 'prod' '(' term ',' term ')'   (intrinsic)
+              | 'E'
+              | RELNAME                        (R1, R2, …)
+              | VAR
+              | '(' term ')'
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .ast import (
+    Assign,
+    Comp,
+    Down,
+    E,
+    Inter,
+    Product,
+    Program,
+    Rel,
+    Seq,
+    Swap,
+    Term,
+    Up,
+    VarT,
+    WhileEmpty,
+    WhileSingleton,
+)
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<assign>:=)
+  | (?P<eq>=)
+  | (?P<bar>\|)
+  | (?P<amp>&)
+  | (?P<bang>!)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<semi>;)
+  | (?P<comma>,)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+""", re.VERBOSE)
+
+_KEYWORDS = {"while", "do", "up", "down", "swap", "prod", "E"}
+_REL_RE = re.compile(r"^R(\d+)$")
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: list[tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise ParseError(f"unexpected character {text[pos]!r}", pos)
+            if (m.lastgroup or "") != "ws":
+                self.items.append((m.lastgroup or "", m.group(), pos))
+            pos = m.end()
+        self.index = 0
+
+    def peek(self):
+        return self.items[self.index] if self.index < len(self.items) else None
+
+    def next(self):
+        item = self.peek()
+        if item is None:
+            raise ParseError("unexpected end of input", len(self.text))
+        self.index += 1
+        return item
+
+    def expect(self, kind: str, value: str | None = None):
+        item = self.next()
+        if item[0] != kind or (value is not None and item[1] != value):
+            raise ParseError(
+                f"expected {value or kind}, found {item[1]!r}", item[2])
+        return item
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        item = self.peek()
+        return (item is not None and item[0] == kind
+                and (value is None or item[1] == value))
+
+    def done(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def parse_program(text: str) -> Program:
+    """Parse a QLhs program."""
+    tokens = _Tokens(text)
+    program = _program(tokens)
+    if not tokens.done():
+        __, value, pos = tokens.next()
+        raise ParseError(f"trailing input starting at {value!r}", pos)
+    return program
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single QLhs term."""
+    tokens = _Tokens(text)
+    term = _term(tokens)
+    if not tokens.done():
+        __, value, pos = tokens.next()
+        raise ParseError(f"trailing input starting at {value!r}", pos)
+    return term
+
+
+def _program(tokens: _Tokens) -> Program:
+    stmts = [_stmt(tokens)]
+    while tokens.at("semi"):
+        tokens.next()
+        if tokens.at("rbrace") or tokens.done():
+            break  # tolerate a trailing semicolon
+        stmts.append(_stmt(tokens))
+    return stmts[0] if len(stmts) == 1 else Seq(stmts)
+
+
+def _stmt(tokens: _Tokens) -> Program:
+    if tokens.at("name", "while"):
+        tokens.next()
+        tokens.expect("bar")
+        __, var, vpos = tokens.expect("name")
+        _check_var(var, vpos)
+        tokens.expect("bar")
+        tokens.expect("eq")
+        __, num, npos = tokens.expect("num")
+        if num not in ("0", "1"):
+            raise ParseError("while tests are |Y| = 0 or |Y| = 1", npos)
+        tokens.expect("name", "do")
+        tokens.expect("lbrace")
+        body = _program(tokens)
+        tokens.expect("rbrace")
+        node = WhileEmpty if num == "0" else WhileSingleton
+        return node(var, body)
+    __, var, vpos = tokens.expect("name")
+    _check_var(var, vpos)
+    tokens.expect("assign")
+    return Assign(var, _term(tokens))
+
+
+def _term(tokens: _Tokens) -> Term:
+    left = _factor(tokens)
+    while tokens.at("amp"):
+        tokens.next()
+        left = Inter(left, _factor(tokens))
+    return left
+
+
+def _factor(tokens: _Tokens) -> Term:
+    if tokens.at("bang"):
+        tokens.next()
+        return Comp(_factor(tokens))
+    kind, value, pos = tokens.next()
+    if kind == "lparen":
+        inner = _term(tokens)
+        tokens.expect("rparen")
+        return inner
+    if kind != "name":
+        raise ParseError(f"expected a term, found {value!r}", pos)
+    if value == "E":
+        return E()
+    if value in ("up", "down", "swap"):
+        tokens.expect("lparen")
+        inner = _term(tokens)
+        tokens.expect("rparen")
+        return {"up": Up, "down": Down, "swap": Swap}[value](inner)
+    if value == "prod":
+        tokens.expect("lparen")
+        left = _term(tokens)
+        tokens.expect("comma")
+        right = _term(tokens)
+        tokens.expect("rparen")
+        return Product(left, right)
+    rel = _REL_RE.match(value)
+    if rel is not None:
+        index = int(rel.group(1)) - 1
+        if index < 0:
+            raise ParseError("relation names are 1-based (R1, R2, …)", pos)
+        return Rel(index)
+    _check_var(value, pos)
+    return VarT(value)
+
+
+def _check_var(name: str, pos: int) -> None:
+    if name in _KEYWORDS:
+        raise ParseError(f"{name!r} is reserved and cannot be a variable", pos)
+    if _REL_RE.match(name):
+        raise ParseError(
+            f"{name!r} is a relation name and cannot be a variable", pos)

@@ -1,0 +1,117 @@
+"""Pretty-printer for QLhs terms and programs.
+
+Round-trips with :mod:`repro.qlhs.parser` for the parseable fragment
+(core operators plus the ``prod`` intrinsic); ``Permute``/``SelectEq``
+render in a functional notation the parser does not accept (they are
+interpreter-level intrinsics built by :mod:`repro.qlhs.derived`).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Assign,
+    Comp,
+    Down,
+    E,
+    Inter,
+    Permute,
+    Product,
+    Program,
+    Rel,
+    SelectEq,
+    Seq,
+    Swap,
+    Term,
+    Up,
+    VarT,
+    WhileEmpty,
+    WhileSingleton,
+)
+
+
+def term_to_text(term: Term) -> str:
+    """Render a term in the concrete syntax."""
+    if isinstance(term, E):
+        return "E"
+    if isinstance(term, Rel):
+        return f"R{term.index + 1}"
+    if isinstance(term, VarT):
+        return term.name
+    if isinstance(term, Inter):
+        return (f"{_factor(term.left)} & {_factor(term.right)}")
+    if isinstance(term, Comp):
+        return f"!{_factor(term.body)}"
+    if isinstance(term, Up):
+        return f"up({term_to_text(term.body)})"
+    if isinstance(term, Down):
+        return f"down({term_to_text(term.body)})"
+    if isinstance(term, Swap):
+        return f"swap({term_to_text(term.body)})"
+    if isinstance(term, Product):
+        return (f"prod({term_to_text(term.left)}, "
+                f"{term_to_text(term.right)})")
+    if isinstance(term, Permute):
+        perm = " ".join(str(i) for i in term.perm)
+        return f"permute({term_to_text(term.body)}; {perm})"
+    if isinstance(term, SelectEq):
+        return f"seleq({term_to_text(term.body)}; {term.i}, {term.j})"
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _factor(term: Term) -> str:
+    """Parenthesize intersections appearing under tighter operators."""
+    text = term_to_text(term)
+    if isinstance(term, Inter):
+        return f"({text})"
+    return text
+
+
+def program_to_text(program: Program, indent: int = 0) -> str:
+    """Render a program; statements one per line, loops braced."""
+    pad = "  " * indent
+    if isinstance(program, Assign):
+        return f"{pad}{program.var} := {term_to_text(program.term)}"
+    if isinstance(program, Seq):
+        return " ;\n".join(program_to_text(p, indent) for p in program.body)
+    if isinstance(program, (WhileEmpty, WhileSingleton)):
+        test = "0" if isinstance(program, WhileEmpty) else "1"
+        body = program_to_text(program.body, indent + 1)
+        return (f"{pad}while |{program.var}| = {test} do {{\n"
+                f"{body}\n{pad}}}")
+    raise TypeError(f"unknown program {program!r}")
+
+
+def is_parseable(term_or_program) -> bool:
+    """Whether the rendering is accepted by the parser (no Permute /
+    SelectEq nodes)."""
+    from .ast import program_uses_intrinsics, term_uses_intrinsics
+
+    if isinstance(term_or_program, Term):
+        return not _has_unparseable_term(term_or_program)
+    return not _has_unparseable_program(term_or_program)
+
+
+def _has_unparseable_term(term: Term) -> bool:
+    if isinstance(term, (Permute, SelectEq)):
+        return True
+    if isinstance(term, (E, Rel, VarT)):
+        return False
+    if isinstance(term, Inter):
+        return (_has_unparseable_term(term.left)
+                or _has_unparseable_term(term.right))
+    if isinstance(term, Product):
+        return (_has_unparseable_term(term.left)
+                or _has_unparseable_term(term.right))
+    if isinstance(term, (Comp, Up, Down, Swap)):
+        return _has_unparseable_term(term.body)
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _has_unparseable_program(program: Program) -> bool:
+    if isinstance(program, Assign):
+        return _has_unparseable_term(program.term)
+    if isinstance(program, Seq):
+        return any(_has_unparseable_program(p) for p in program.body)
+    if isinstance(program, (WhileEmpty, WhileSingleton)):
+        return _has_unparseable_program(program.body)
+    raise TypeError(f"unknown program {program!r}")

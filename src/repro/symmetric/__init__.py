@@ -1,0 +1,105 @@
+"""Highly symmetric recursive databases (Section 3).
+
+The ``CB = (T_B, ≅_B, C₁, …, C_k)`` representation (Definition 3.7), the
+stratified-equivalence refinement machinery of Section 3.2, detection
+heuristics for (non-)high-symmetry (Proposition 3.1), concrete hs-r-db
+constructions, and recursive random structures (Proposition 3.2).
+"""
+
+from .analysis import (
+    branching_profile,
+    class_growth,
+    distinguishing_sentence,
+    equivalent_to_depth,
+    first_divergence,
+    node_signature,
+)
+from .constructions import (
+    stretch_hsdb,
+    INFINITE,
+    build_tree,
+    canonical_path,
+    component_union,
+    from_finite_database,
+    infinite_clique,
+)
+from .detection import (
+    certified_distinct,
+    class_lower_bound,
+    stretching_refutation,
+)
+from .equivalence import (
+    cross_check_equivalence,
+    game_decides_equivalence,
+    game_equivalent,
+    tree_pool,
+)
+from .hsdb import HSDatabase
+from .random_structure import (
+    RandomStructure,
+    extension_axiom_holds,
+    extension_witness,
+    rado_database,
+    rado_edge,
+    rado_hsdb,
+    random_structure_class_counts,
+)
+from .refinement import (
+    base_partition,
+    equivalent_via_refinement,
+    find_d,
+    fixed_r,
+    partition_nr,
+    project_partition,
+    projection_index,
+    refinement_trace,
+    stable_partition,
+)
+from .serialize import from_json, restore, snapshot, to_json
+from .tree import CharacteristicTree, tree_from_levels
+
+__all__ = [
+    "CharacteristicTree",
+    "RandomStructure",
+    "HSDatabase",
+    "INFINITE",
+    "base_partition",
+    "branching_profile",
+    "class_growth",
+    "distinguishing_sentence",
+    "equivalent_to_depth",
+    "first_divergence",
+    "node_signature",
+    "build_tree",
+    "canonical_path",
+    "certified_distinct",
+    "class_lower_bound",
+    "component_union",
+    "cross_check_equivalence",
+    "equivalent_via_refinement",
+    "extension_axiom_holds",
+    "extension_witness",
+    "find_d",
+    "fixed_r",
+    "from_finite_database",
+    "game_decides_equivalence",
+    "game_equivalent",
+    "infinite_clique",
+    "partition_nr",
+    "project_partition",
+    "projection_index",
+    "rado_database",
+    "rado_edge",
+    "rado_hsdb",
+    "random_structure_class_counts",
+    "refinement_trace",
+    "restore",
+    "snapshot",
+    "stable_partition",
+    "stretch_hsdb",
+    "stretching_refutation",
+    "to_json",
+    "from_json",
+    "tree_from_levels",
+    "tree_pool",
+]

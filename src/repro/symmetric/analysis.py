@@ -1,0 +1,117 @@
+"""Comparing highly symmetric databases (Corollary 3.1, executable).
+
+Corollary 3.1: highly symmetric databases of the same type are
+isomorphic iff elementarily equivalent.  Elementary equivalence is a
+statement about all sentences, but on hs-r-dbs it stratifies along the
+characteristic trees: two databases agree on all sentences of quantifier
+rank ≤ d exactly when their trees are *bisimilar to depth d* with
+local-type labels — each node matched to a node of equal local type
+whose children realize the same multiset of (depth−1)-signatures.
+
+This module implements:
+
+* :func:`node_signature` / :func:`equivalent_to_depth` — the
+  depth-bounded bisimulation check;
+* :func:`distinguishing_sentence` — when the check fails, an actual
+  first-order sentence (an existentially closed Hintikka formula) true
+  in one database and false in the other, verified by the relativized
+  evaluator;
+* profiling helpers used by the benchmarks (branching and class-growth
+  series).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..errors import TypeSignatureError
+from .hsdb import HSDatabase
+from .tree import Path
+
+# NB: the logic package imports repro.symmetric (the evaluator runs over
+# HSDatabase), so its pieces are imported lazily inside the functions
+# that need them to avoid an import cycle.
+
+
+def node_signature(hsdb: HSDatabase, path: Path, depth: int):
+    """The depth-``d`` bisimulation signature of a tree node.
+
+    Depth 0: the node's local type.  Depth d+1: the local type together
+    with the multiset of the children's depth-d signatures.  Hashable,
+    comparable across databases of the same type.
+    """
+    base = hsdb.local_type_of_path(tuple(path))
+    if depth == 0:
+        return base
+    kids = Counter(node_signature(hsdb, tuple(path) + (a,), depth - 1)
+                   for a in hsdb.tree.children(tuple(path)))
+    return (base, frozenset(kids.items()))
+
+
+def equivalent_to_depth(a: HSDatabase, b: HSDatabase, depth: int) -> bool:
+    """Whether the two databases agree to bisimulation depth ``depth``.
+
+    Agreement at depth d implies agreement on all sentences of
+    quantifier rank ≤ d (the signatures encode exactly the
+    Ehrenfeucht–Fraïssé information); by Proposition 3.6 / Corollary 3.1
+    a sufficiently large d decides isomorphism.
+    """
+    if a.signature != b.signature:
+        raise TypeSignatureError(
+            f"cannot compare type {a.signature} with {b.signature}")
+    return node_signature(a, (), depth) == node_signature(b, (), depth)
+
+
+def first_divergence(a: HSDatabase, b: HSDatabase,
+                     max_depth: int) -> int | None:
+    """The least depth at which the databases diverge, or None."""
+    for d in range(max_depth + 1):
+        if not equivalent_to_depth(a, b, d):
+            return d
+    return None
+
+
+def distinguishing_sentence(a: HSDatabase, b: HSDatabase,
+                            max_depth: int = 4):
+    """A sentence separating the databases, or None if none found.
+
+    Searches each rank ``n ≤ max_depth`` for a class realized in one
+    database whose ``r``-round Hintikka description no tuple of the
+    other satisfies; the sentence is its existential closure
+    ``∃x₁…∃xₙ χʳ_p``.  The returned sentence is *verified* (true in one,
+    false in the other) before being returned.
+    """
+    from ..logic.evaluator import holds_sentence
+    from ..logic.hintikka import hintikka_formula
+    from ..logic.qf import default_variables
+    from ..logic.syntax import exists_all
+
+    if a.signature != b.signature:
+        raise TypeSignatureError("same type required")
+    for n in range(1, max_depth + 1):
+        rounds = max_depth - n
+        for source, other in ((a, b), (b, a)):
+            for p in source.tree.level(n):
+                chi = hintikka_formula(source, p, rounds)
+                sentence = exists_all(default_variables(n), chi)
+                holds_source = holds_sentence(source, sentence)
+                holds_other = holds_sentence(other, sentence)
+                if holds_source and not holds_other:
+                    return sentence
+                if holds_other and not holds_source:
+                    return sentence
+    return None
+
+
+def branching_profile(hsdb: HSDatabase, depth: int) -> list[list[int]]:
+    """Per-level branching factors (sorted), levels 0..depth."""
+    out = []
+    for n in range(depth + 1):
+        out.append(sorted(hsdb.tree.branching_at(p)
+                          for p in hsdb.tree.level(n)))
+    return out
+
+
+def class_growth(hsdb: HSDatabase, depth: int) -> list[int]:
+    """``|Tⁿ|`` for n = 0..depth (the class-count series)."""
+    return [hsdb.class_count(n) for n in range(depth + 1)]

@@ -1,0 +1,94 @@
+"""Detecting (non-)high-symmetry on bounded approximations.
+
+High symmetry quantifies over all ranks, so it is not decidable from an
+r-db alone; what the paper gives us, and what this module implements:
+
+* **Refutation by stretching** (Proposition 3.1): mark finitely many
+  elements and exhibit many pairwise non-equivalent rank-1 tuples.
+  Non-equivalence of specific tuples is witnessed by a spoiler win in a
+  *window-restricted* Ehrenfeucht–Fraïssé game.  The restriction cuts
+  both players, so a spoiler win is exact only when the window is
+  *duplicator-sufficient* — large enough to contain the replies an
+  optimal duplicator would make.  Callers size windows accordingly
+  (several elements per "side" and per round); with that discipline a
+  spoiler win is a genuine first-order distinction, and ``≅_B`` refines
+  every ``#ᵣ``.
+* **Evidence for symmetry**: counting certified-distinct classes as the
+  window grows; a bounded count (clique, component unions) is consistent
+  with high symmetry, a growing count (line, grid) refutes it in the
+  limit — the paper's distance-marking argument made quantitative.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.database import PointedDatabase, RecursiveDatabase
+from ..core.domain import Element
+from ..logic.ef_games import bounded_window_pool, duplicator_wins
+
+
+def certified_distinct(db: RecursiveDatabase,
+                       tuples: Sequence[tuple],
+                       rounds: int, window: int) -> list[list[tuple]]:
+    """Group tuples so that *across* groups non-equivalence is certified.
+
+    Two tuples land in different groups only when the spoiler wins the
+    ``rounds``-round game (with window pools) on the corresponding
+    pointed databases — hence tuples in different groups are genuinely
+    non-``≅_B``-equivalent.  Within a group nothing is claimed.
+    """
+    groups: list[list[tuple]] = []
+    for u in tuples:
+        placed = False
+        for group in groups:
+            rep = group[0]
+            if _maybe_equivalent(db, u, rep, rounds, window):
+                group.append(u)
+                placed = True
+                break
+        if not placed:
+            groups.append([tuple(u)])
+    return groups
+
+
+def _maybe_equivalent(db: RecursiveDatabase, u: tuple, v: tuple,
+                      rounds: int, window: int) -> bool:
+    p1 = db.point(u)
+    p2 = db.point(v)
+    pool1 = bounded_window_pool(p1, window)
+    pool2 = bounded_window_pool(p2, window)
+    return duplicator_wins(p1, p2, rounds, pool1, pool2)
+
+
+def class_lower_bound(db: RecursiveDatabase, rank: int, pool_size: int,
+                      rounds: int = 2, window: int = 8) -> int:
+    """A certified lower bound on the number of ``≅_B`` classes of a rank.
+
+    Enumerates tuples over the first ``pool_size`` domain elements and
+    counts pairwise-certified-distinct groups.  For a database that is
+    *not* highly symmetric (line, grid) this grows without bound as the
+    pool grows; for a highly symmetric one it is eventually constant.
+    """
+    from itertools import product
+
+    elements = db.domain.first(pool_size)
+    tuples = [u for u in product(elements, repeat=rank)]
+    return len(certified_distinct(db, tuples, rounds, window))
+
+
+def stretching_refutation(db: RecursiveDatabase, marks: Sequence[Element],
+                          pool_size: int, rounds: int = 2,
+                          window: int = 8) -> int:
+    """Proposition 3.1's refutation technique, quantified.
+
+    Stretch ``B`` by the marked constants and lower-bound the number of
+    rank-1 classes of the stretching.  A value that keeps growing with
+    ``pool_size`` witnesses (in the limit) that the stretching has
+    infinitely many rank-1 classes, hence ``B`` is not highly symmetric.
+    The paper's example: marking one node of the two-way infinite line
+    separates nodes by distance.
+    """
+    stretched = db.stretch(list(marks))
+    return class_lower_bound(stretched, 1, pool_size,
+                             rounds=rounds, window=window)

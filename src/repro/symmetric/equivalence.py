@@ -1,0 +1,77 @@
+"""Tuple equivalence utilities on hs-r-dbs (Section 3.2).
+
+Glue between the three faces of ``≅_B`` the paper proves equal:
+
+* the oracle of the ``CB`` representation (Definition 3.7),
+* the limit of the stratified equivalences ``#ᵣ`` (Propositions 3.5/3.6),
+  computed by partition refinement (:mod:`repro.symmetric.refinement`),
+* the Ehrenfeucht–Fraïssé game relativized to the characteristic tree
+  (Proposition 3.4).
+
+Cross-checking these is the executable content of Section 3.2, and the
+tree-relativized game pool defined here is also what the Theorem 6.3
+evaluator quantifies over.
+"""
+
+from __future__ import annotations
+
+from ..core.database import PointedDatabase
+from ..logic.ef_games import ExtensionPool, duplicator_wins
+from .hsdb import HSDatabase
+from .refinement import stable_partition
+from .tree import Path
+
+
+def tree_pool(hsdb: HSDatabase) -> ExtensionPool:
+    """The Proposition 3.4 candidate pool: children of the current path.
+
+    Only valid when game positions are kept on tree paths (start the
+    game from canonical representatives); then every extension class is
+    represented and nothing is lost.
+    """
+    return lambda current: hsdb.tree.children(tuple(current))
+
+
+def game_equivalent(hsdb: HSDatabase, u: tuple, v: tuple,
+                    rounds: int) -> bool:
+    """``u #ᵣ v`` decided by the tree-relativized r-round game."""
+    if len(u) != len(v):
+        return False
+    pu = hsdb.canonical_representative(u)
+    pv = hsdb.canonical_representative(v)
+    rdb = hsdb.as_rdb()
+    pool = tree_pool(hsdb)
+    return duplicator_wins(rdb.point(pu), rdb.point(pv), rounds, pool, pool)
+
+
+def game_decides_equivalence(hsdb: HSDatabase, u: tuple, v: tuple,
+                             max_rounds: int = 16) -> bool:
+    """Decide ``u ≅_B v`` by games, using the fixed r of Proposition 3.6.
+
+    Computes the stabilization radius ``r*`` for the rank via refinement,
+    then plays the ``r*``-round game; Proposition 3.6 makes this exact.
+    """
+    if len(u) != len(v):
+        return False
+    __, r_star = stable_partition(hsdb, len(u), max_r=max_rounds)
+    return game_equivalent(hsdb, u, v, r_star)
+
+
+def cross_check_equivalence(hsdb: HSDatabase, samples: list[tuple[tuple, tuple]],
+                            max_rounds: int = 16) -> None:
+    """Assert oracle ≅_B, refinement, and games agree on sample pairs.
+
+    Raises :class:`AssertionError` with a description on the first
+    disagreement; used by integration tests and the E5 benchmark's
+    validation phase.
+    """
+    from .refinement import equivalent_via_refinement
+
+    for u, v in samples:
+        oracle = hsdb.equivalent(u, v)
+        refined = equivalent_via_refinement(hsdb, u, v, max_r=max_rounds)
+        game = game_decides_equivalence(hsdb, u, v, max_rounds=max_rounds)
+        if not oracle == refined == game:
+            raise AssertionError(
+                f"equivalence mismatch on {u!r} ~ {v!r}: oracle={oracle}, "
+                f"refinement={refined}, game={game}")

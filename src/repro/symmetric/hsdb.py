@@ -1,0 +1,206 @@
+"""Highly symmetric recursive databases and their ``CB`` representation.
+
+Definition 3.7: ``B`` is an *hs-r-db* when it can be represented by
+
+    ``CB = (T_B, ≅_B, C₁, …, C_k)``
+
+where ``T_B`` is a highly recursive characteristic tree, ``≅_B`` is a
+recursive tuple-equivalence predicate, and each ``Cᵢ`` is the finite set
+of representatives (paths of ``T_B``) of the classes constituting ``Rᵢ``.
+
+The representation is *complete*: membership is reconstructed by
+``u ∈ Rᵢ  iff  u ≅_B v for some v ∈ Cᵢ`` — this is the sense in which a
+finite object stands for an infinite database, and it is what QLhs and
+GMhs compute over.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from ..core.database import RecursiveDatabase
+from ..core.domain import Domain, Element
+from ..core.localtypes import LocalType, local_type_of
+from ..core.relation import RecursiveRelation
+from ..errors import RepresentationError, TypeSignatureError
+from ..util.memo import CallCounter
+from .tree import CharacteristicTree, Path
+
+EquivPredicate = Callable[[tuple, tuple], bool]
+
+
+class HSDatabase:
+    """An hs-r-db presented by its computable ``CB`` representation.
+
+    Parameters
+    ----------
+    domain:
+        The (infinite) recursive domain of the underlying database.
+    signature:
+        The database type ``a = (a₁,…,a_k)``.
+    tree:
+        The characteristic tree ``T_B``.
+    equiv:
+        The recursive predicate deciding ``u ≅_B v`` for arbitrary
+        same-rank tuples over the domain.
+    representatives:
+        For each relation, the finite set ``Cᵢ`` of representative paths.
+    name:
+        Label for reprs.
+    """
+
+    def __init__(self, domain: Domain, signature: Sequence[int],
+                 tree: CharacteristicTree, equiv: EquivPredicate,
+                 representatives: Sequence[Iterable[Path]],
+                 name: str = "B"):
+        self.domain = domain
+        self.signature = tuple(signature)
+        self.tree = tree
+        self.equiv = CallCounter(equiv, name=f"equiv({name})")
+        self.representatives: tuple[frozenset[Path], ...] = tuple(
+            frozenset(tuple(p) for p in reps) for reps in representatives)
+        self.name = name
+        self._canon_cache: dict[tuple, Path] = {}
+        self._equiv_cache: dict[tuple[tuple, tuple], bool] = {}
+        if len(self.representatives) != len(self.signature):
+            raise TypeSignatureError(
+                f"{len(self.representatives)} representative sets for a "
+                f"type with {len(self.signature)} relations")
+        for i, (arity, reps) in enumerate(zip(self.signature,
+                                              self.representatives)):
+            for p in reps:
+                if len(p) != arity:
+                    raise RepresentationError(
+                        f"representative {p!r} of C{i + 1} has rank "
+                        f"{len(p)}, relation has arity {arity}")
+
+    @property
+    def k(self) -> int:
+        return len(self.signature)
+
+    def equivalent(self, u: Sequence[Element], v: Sequence[Element]) -> bool:
+        """Decide ``u ≅_B v`` (the recursive predicate of Definition 3.7)."""
+        u, v = tuple(u), tuple(v)
+        if len(u) != len(v):
+            return False
+        key = (u, v)
+        if key not in self._equiv_cache:
+            answer = bool(self.equiv(u, v))
+            self._equiv_cache[key] = answer
+            self._equiv_cache[(v, u)] = answer
+            if len(self._equiv_cache) > 1_000_000:
+                self._equiv_cache.clear()
+        return self._equiv_cache[key]
+
+    def contains(self, i: int, u: Sequence[Element]) -> bool:
+        """Membership reconstruction: ``u ∈ Rᵢ`` iff ``u ≅_B`` some rep."""
+        u = tuple(u)
+        if len(u) != self.signature[i]:
+            return False
+        return any(self.equivalent(u, v) for v in self.representatives[i])
+
+    def canonical_representative(self, u: Sequence[Element]) -> Path:
+        """The unique path of ``T^{|u|}`` equivalent to ``u``.
+
+        This is the canonicalization every QLhs operation relies on
+        (``↓`` and ``~`` produce arbitrary tuples that must be folded
+        back onto the tree).
+        """
+        u = tuple(u)
+        if u in self._canon_cache:
+            return self._canon_cache[u]
+        # Fast path: a tuple that already labels a tree path is its own
+        # (unique) representative — no level scan needed.
+        if self.tree.is_path(u):
+            self._canon_cache[u] = u
+            return u
+        for p in self.tree.level(len(u)):
+            if self.equivalent(p, u):
+                self._canon_cache[u] = p
+                if len(self._canon_cache) > 1_000_000:
+                    self._canon_cache.clear()
+                return p
+        raise RepresentationError(
+            f"no representative of rank {len(u)} is equivalent to {u!r}; "
+            "the characteristic tree does not cover its class")
+
+    def canonicalize_set(self, tuples: Iterable[Sequence[Element]]
+                         ) -> frozenset[Path]:
+        """Canonical representatives of a set of tuples (deduplicated)."""
+        return frozenset(self.canonical_representative(u) for u in tuples)
+
+    def as_rdb(self) -> RecursiveDatabase:
+        """The underlying r-db, with membership via the representation."""
+        relations = [
+            RecursiveRelation(
+                arity, (lambda idx: lambda u: self.contains(idx, u))(i),
+                name=f"R{i + 1}")
+            for i, arity in enumerate(self.signature)
+        ]
+        return RecursiveDatabase(self.domain, relations, name=self.name)
+
+    def local_type_of_path(self, p: Path) -> LocalType:
+        """The local type of a tree path in this database."""
+        return local_type_of(self.as_rdb().point(p))
+
+    def class_count(self, n: int) -> int:
+        """``|Tⁿ|`` — the number of ``≅_B`` classes of rank ``n``."""
+        return len(self.tree.level(n))
+
+    def validate(self, max_rank: int = 2) -> None:
+        """Consistency checks on the representation (Definition 3.7).
+
+        * every ``Cᵢ`` member is a path of the tree;
+        * tree paths of a level are pairwise non-equivalent (no class is
+          represented twice);
+        * every tree path is equivalent to itself (sanity of ``≅_B``);
+        * relations are unions of whole classes: for each rep set, every
+          path of the level is either equivalent to a member or to none.
+        """
+        for i, reps in enumerate(self.representatives):
+            for p in reps:
+                if not self.tree.is_path(p):
+                    raise RepresentationError(
+                        f"C{i + 1} representative {p!r} is not a path of "
+                        "the characteristic tree")
+        for n in range(max_rank + 1):
+            level = self.tree.level(n)
+            for idx, p in enumerate(level):
+                if not self.equivalent(p, p):
+                    raise RepresentationError(
+                        f"≅_B is not reflexive on {p!r}")
+                for q in level[idx + 1:]:
+                    if self.equivalent(p, q):
+                        raise RepresentationError(
+                            f"tree paths {p!r} and {q!r} are equivalent; "
+                            "a class is represented twice")
+
+    def cross_check_membership(self, other: RecursiveDatabase,
+                               n_samples: int = 30) -> None:
+        """Compare reconstructed membership against an independent r-db.
+
+        Samples tuples from the first elements of the domain and verifies
+        ``contains`` agrees with ``other`` on every relation — the test
+        harness's bridge between a construction's direct definition and
+        its ``CB`` representation.
+        """
+        from itertools import product
+
+        if other.type_signature != self.signature:
+            raise TypeSignatureError("cross-check requires equal types")
+        pool = self.domain.first(max(3, int(n_samples ** 0.5)))
+        for i, arity in enumerate(self.signature):
+            count = 0
+            for u in product(pool, repeat=arity):
+                if count >= n_samples:
+                    break
+                count += 1
+                if self.contains(i, u) != other.contains(i, u):
+                    raise RepresentationError(
+                        f"membership mismatch on R{i + 1}{u!r}: "
+                        f"representation says {self.contains(i, u)}, "
+                        f"database says {other.contains(i, u)}")
+
+    def __repr__(self) -> str:
+        return (f"HSDatabase({self.name}, type={self.signature}, "
+                f"reps={[len(r) for r in self.representatives]})")

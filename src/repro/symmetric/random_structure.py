@@ -1,0 +1,329 @@
+"""Countable random structures: extension axioms and the Rado graph.
+
+Section 3.1 singles out the countable random structures as "a
+particularly interesting example of highly symmetric data bases": they
+satisfy the *extension axioms* — for every finite set ``X`` of points and
+every way a new point can relate to ``X`` atomically, such a point
+exists — and Proposition 3.2 shows any such structure is highly
+symmetric, with ``≅_A`` coinciding with local isomorphism ``≅ₗ``.
+
+The paper cites [HH2] for the existence of a *recursive* countable
+random structure.  The classical concrete witness for graphs is the
+**Rado graph** defined by the BIT predicate::
+
+    edge(x, y)  iff  x ≠ y and bit min(x,y) of max(x,y) is 1
+
+which is recursive, satisfies every extension axiom *with an explicitly
+computable witness*, and therefore yields a full hs-r-db representation
+(`rado_hsdb`): ``≅_B`` is local-type equality (decidable by
+Proposition 2.2) and the characteristic tree's offspring are the
+explicit witnesses, exactly as the paper's Definition 3.7 example
+describes ("to compute T_A(x) it suffices to find sufficiently many
+non-equivalent tuples of the form xa").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..core.database import RecursiveDatabase, database_from_predicates
+from ..core.domain import naturals_domain
+from ..core.localtypes import local_type_of
+from .hsdb import HSDatabase
+from .tree import CharacteristicTree, Path
+
+
+def rado_edge(x: int, y: int) -> bool:
+    """The BIT adjacency: bit ``min`` of ``max``, symmetric, irreflexive."""
+    if x == y:
+        return False
+    lo, hi = (x, y) if x < y else (y, x)
+    return (hi >> lo) & 1 == 1
+
+
+def rado_database(name: str = "rado") -> RecursiveDatabase:
+    """The Rado graph as a plain r-db of type (2,)."""
+    return database_from_predicates([(2, rado_edge)], name=name)
+
+
+def extension_witness(support: Sequence[int], neighbours: Iterable[int]) -> int:
+    """The explicit Rado witness: a fresh point adjacent within ``support``
+    exactly to ``neighbours``.
+
+    ``y = Σ_{x ∈ neighbours} 2^x + 2^M`` with ``M > max(support)``: for
+    each ``x`` in the support, ``x < y`` and bit ``x`` of ``y`` is set iff
+    ``x ∈ neighbours``; the ``2^M`` summand keeps ``y`` outside the
+    support.  This is the constructive content of the extension axioms
+    for the BIT graph.
+    """
+    support = list(support)
+    neighbours = set(neighbours)
+    if not neighbours <= set(support):
+        raise ValueError("neighbours must be a subset of the support")
+    m = max(support) + 1 if support else 0
+    return sum(1 << x for x in neighbours) + (1 << m)
+
+
+def extension_axiom_holds(db: RecursiveDatabase, support: Sequence[int],
+                          neighbours: Iterable[int],
+                          search_bound: int = 4096) -> int | None:
+    """Search a graph r-db for an extension-axiom witness.
+
+    Returns a point outside ``support`` adjacent (symmetrically) exactly
+    to ``neighbours`` among the support, or None within the bound.  For
+    :func:`rado_database` the explicit witness always exists, but this
+    generic searcher also lets tests show *failures* on non-random graphs
+    (a line has no point adjacent to two far-apart points).
+    """
+    support = list(support)
+    wanted = set(neighbours)
+    for y in db.domain.first(search_bound):
+        if y in support:
+            continue
+        if all(db.contains(0, (x, y)) == (x in wanted) and
+               db.contains(0, (y, x)) == (x in wanted)
+               for x in support):
+            return y
+    return None
+
+
+def rado_hsdb(name: str = "rado") -> HSDatabase:
+    """The Rado graph as a full hs-r-db (Definition 3.7).
+
+    * ``≅_B`` = local-type equality: by Proposition 3.2 tuples of a
+      countable random structure are automorphism-equivalent iff locally
+      isomorphic, and the latter is decidable (Proposition 2.2);
+    * the characteristic tree's offspring of a path with ``m`` distinct
+      elements are: each element already present (one per repeat class)
+      plus one explicit witness per adjacency pattern — ``m + 2^m``
+      children, all pairwise non-equivalent and jointly exhaustive;
+    * ``C₁`` is the single representative of the edge class.
+    """
+    db = rado_database(name=name)
+
+    def equiv(u: tuple, v: tuple) -> bool:
+        if len(u) != len(v):
+            return False
+        return local_type_of(db.point(u)) == local_type_of(db.point(v))
+
+    def children(path: Path) -> tuple[int, ...]:
+        support = list(dict.fromkeys(path))
+        kids = list(support)
+        m = len(support)
+        for mask in range(1 << m):
+            neighbours = [support[i] for i in range(m) if mask >> i & 1]
+            kids.append(extension_witness(support, neighbours))
+        return tuple(dict.fromkeys(kids))
+
+    tree = CharacteristicTree(children, name=f"T({name})")
+
+    # The representative of the (unique) edge class: find an adjacent
+    # pair among rank-2 paths.
+    edge_rep = None
+    for p in tree.level(2):
+        if db.contains(0, p):
+            edge_rep = p
+            break
+    assert edge_rep is not None, "the Rado tree must contain an edge path"
+
+    return HSDatabase(naturals_domain(), (2,), tree, equiv,
+                      [frozenset({edge_rep})], name=name)
+
+
+def random_structure_class_counts(max_rank: int) -> list[int]:
+    """``|Tⁿ|`` for the Rado graph, n = 0..max_rank.
+
+    For a random graph the ``≅``-classes of rank ``n`` are exactly the
+    ``≅ₗ`` classes realized by *some* tuple: every equality pattern with
+    every loop-free symmetric adjacency on its blocks.  Benchmarked as
+    E11 against :func:`repro.core.localtypes.count_local_types`-style
+    closed forms.
+    """
+    hs = rado_hsdb()
+    return [hs.class_count(n) for n in range(max_rank + 1)]
+
+
+# ---------------------------------------------------------------------------
+# The general countable random structure, for arbitrary types of arity <= 2.
+# ---------------------------------------------------------------------------
+
+class RandomStructure:
+    """A recursive countable random structure of any type with arities ≤ 2.
+
+    Section 3.1's example invokes [HH2]: "for each a there is a countable
+    random structure that is an hs-r-db of type a".  This class is a
+    concrete witness for types mixing unary and binary relations,
+    generalizing the BIT trick: every atomic fact about an element ``y``
+    is read off ``y``'s binary digits —
+
+    * bit ``j``            (j < U)          — ``y ∈ Uⱼ`` (unary facts);
+    * bit ``U + i``        (i < B)          — ``(y, y) ∈ Rᵢ`` (loops);
+    * bit ``U + B + 2Bx + 2i``     (x < y)  — ``(x, y) ∈ Rᵢ``;
+    * bit ``U + B + 2Bx + 2i + 1`` (x < y)  — ``(y, x) ∈ Rᵢ``
+
+    where ``U``/``B`` count the unary/binary relations.  All facts about
+    the pair ``{x, y}`` live in the digits of ``max(x, y)``, so
+    membership is decidable, and the extension axioms hold with a
+    *computed* witness (:meth:`witness`): any atomic relationship of a
+    new point to a finite support is a bit pattern, and some natural
+    number has exactly those bits.
+
+    Consequences, all tested:
+
+    * every local type of the signature is realized, so the rank-n class
+      count equals :func:`repro.core.localtypes.count_local_types`;
+    * by Proposition 3.2, ``≅`` coincides with (decidable) ``≅ₗ`` and
+      the structure is an hs-r-db (:meth:`hsdb`).
+    """
+
+    def __init__(self, signature: Sequence[int], name: str = "random"):
+        self.signature = tuple(signature)
+        if not self.signature:
+            raise ValueError("the type needs at least one relation")
+        if any(a not in (1, 2) for a in self.signature):
+            raise ValueError(
+                "RandomStructure supports arities 1 and 2 (the paper's "
+                "[HH2] result covers all types; higher arities would need "
+                "a higher-dimensional digit scheme)")
+        self.name = name
+        self._unary = [i for i, a in enumerate(self.signature) if a == 1]
+        self._binary = [i for i, a in enumerate(self.signature) if a == 2]
+        self._u = len(self._unary)
+        self._b = len(self._binary)
+
+    # -- bit layout ---------------------------------------------------------
+
+    def _unary_bit(self, relation: int) -> int:
+        return self._unary.index(relation)
+
+    def _loop_bit(self, relation: int) -> int:
+        return self._u + self._binary.index(relation)
+
+    def _pair_bit(self, relation: int, lo: int, forward: bool) -> int:
+        """Bit (within the digits of ``hi``) for ``(lo, hi) ∈ R`` when
+        ``forward`` else ``(hi, lo) ∈ R``."""
+        i = self._binary.index(relation)
+        return (self._u + self._b + 2 * self._b * lo + 2 * i
+                + (0 if forward else 1))
+
+    # -- membership ----------------------------------------------------------
+
+    def contains(self, relation: int, t: tuple) -> bool:
+        arity = self.signature[relation]
+        if len(t) != arity:
+            return False
+        if arity == 1:
+            (y,) = t
+            return (y >> self._unary_bit(relation)) & 1 == 1
+        x, y = t
+        if x == y:
+            return (x >> self._loop_bit(relation)) & 1 == 1
+        lo, hi = (x, y) if x < y else (y, x)
+        return (hi >> self._pair_bit(relation, lo, forward=(x == lo))) & 1 == 1
+
+    def database(self) -> RecursiveDatabase:
+        """The structure as a plain r-db."""
+        from ..core.relation import RecursiveRelation
+        relations = [
+            RecursiveRelation(
+                a, (lambda idx: lambda t: self.contains(idx, t))(i),
+                name=f"R{i + 1}")
+            for i, a in enumerate(self.signature)
+        ]
+        return RecursiveDatabase(naturals_domain(), relations,
+                                 name=self.name)
+
+    # -- extension witnesses --------------------------------------------------
+
+    def witness(self, support: Sequence[int], unary: Iterable[int] = (),
+                loops: Iterable[int] = (),
+                edges_to: dict | None = None,
+                edges_from: dict | None = None) -> int:
+        """A fresh point realizing an arbitrary atomic specification.
+
+        ``unary``/``loops`` list relation indices that should hold of the
+        new point; ``edges_to[r]`` lists support elements ``x`` with
+        ``(y, x) ∈ R_r`` and ``edges_from[r]`` those with ``(x, y) ∈ R_r``.
+        The returned ``y`` exceeds every support element, so all the
+        relevant bits are its own.
+        """
+        support = list(support)
+        edges_to = {k: set(v) for k, v in (edges_to or {}).items()}
+        edges_from = {k: set(v) for k, v in (edges_from or {}).items()}
+        y = 0
+        for r in unary:
+            y |= 1 << self._unary_bit(r)
+        for r in loops:
+            y |= 1 << self._loop_bit(r)
+        for r, xs in edges_from.items():
+            for x in xs:
+                y |= 1 << self._pair_bit(r, x, forward=True)
+        for r, xs in edges_to.items():
+            for x in xs:
+                y |= 1 << self._pair_bit(r, x, forward=False)
+        # A high guard bit makes y fresh and larger than the support.
+        top = self._u + self._b + 2 * self._b * (max(support) + 1 if support
+                                                 else 1)
+        guard = 1 << (top + 1)
+        while (y | guard) <= (max(support) if support else 0):
+            guard <<= 1
+        return y | guard
+
+    # -- the hs-r-db representation ------------------------------------------
+
+    def hsdb(self) -> HSDatabase:
+        """The Definition 3.7 package: ``≅`` = local-type equality
+        (Proposition 3.2), tree children = one element per realized
+        extension class (all of them, by randomness)."""
+        db = self.database()
+
+        def equiv(u: tuple, v: tuple) -> bool:
+            if len(u) != len(v):
+                return False
+            return local_type_of(db.point(u)) == local_type_of(db.point(v))
+
+        structure = self
+
+        def children(path: Path) -> tuple[int, ...]:
+            support = list(dict.fromkeys(path))
+            kids = list(support)
+            # One witness per atomic specification of the new point.
+            u_masks = range(1 << structure._u)
+            l_masks = range(1 << structure._b)
+            pair_masks = range(1 << (2 * structure._b * len(support)))
+            for um in u_masks:
+                for lm in l_masks:
+                    for pm in pair_masks:
+                        kids.append(structure._witness_from_masks(
+                            support, um, lm, pm))
+            return tuple(dict.fromkeys(kids))
+
+        tree = CharacteristicTree(children, name=f"T({self.name})")
+
+        reps = []
+        for i, arity in enumerate(self.signature):
+            members = {p for p in tree.level(arity)
+                       if self.contains(i, p)}
+            reps.append(frozenset(members))
+        return HSDatabase(naturals_domain(), self.signature, tree, equiv,
+                          reps, name=self.name)
+
+    def _witness_from_masks(self, support: list[int], unary_mask: int,
+                            loop_mask: int, pair_mask: int) -> int:
+        unary = [self._unary[j] for j in range(self._u)
+                 if unary_mask >> j & 1]
+        loops = [self._binary[j] for j in range(self._b)
+                 if loop_mask >> j & 1]
+        edges_from: dict[int, list[int]] = {}
+        edges_to: dict[int, list[int]] = {}
+        bit = 0
+        for x in support:
+            for j, r in enumerate(self._binary):
+                if pair_mask >> bit & 1:
+                    edges_from.setdefault(r, []).append(x)
+                bit += 1
+                if pair_mask >> bit & 1:
+                    edges_to.setdefault(r, []).append(x)
+                bit += 1
+        return self.witness(support, unary=unary, loops=loops,
+                            edges_to=edges_to, edges_from=edges_from)

@@ -1,0 +1,202 @@
+"""Partition refinement on characteristic-tree levels (Section 3.2).
+
+Definitions 3.4–3.6 stratify tuple equivalence:
+
+* ``u #₀ v`` iff ``(B,u) ≅ₗ (B,v)`` (same local type);
+* ``u #_{r+1} v`` iff each one-element extension on either side can be
+  matched on the other so ``#ᵣ`` still holds.
+
+``Vⁿᵣ`` is the partition of ``Tⁿ`` into ``#ᵣ`` classes, and ``Vⁿ`` the
+partition into ``≅_B`` classes — which, since the tree has exactly one
+representative per class, is the all-singletons partition.  The paper's
+computational route (used verbatim by the Theorem 3.1 program ``P_Q``):
+
+* Proposition 3.7: ``Vⁿ⁺¹ᵣ ↓ = Vⁿᵣ₊₁`` — one refinement round comes from
+  projecting the next level's partition;
+* Corollary 3.3: ``Vⁿᵣ = Vⁿ⁺ʳ₀ ↓ʳ`` — start from local types at depth
+  ``n + r`` and project down ``r`` times;
+* Proposition 3.6 / Corollary 3.2: some fixed ``r`` makes ``Vⁿᵣ = Vⁿ``;
+  it is detected by the ``|Vᵢ| = 1`` test, exactly as ``P_Q`` does.
+"""
+
+from __future__ import annotations
+
+from ..errors import NotHighlySymmetricError
+from ..util.partitions import Partition
+from ..util.seqs import distinct, project
+from .hsdb import HSDatabase
+from .tree import Path
+
+
+def base_partition(hsdb: HSDatabase, n: int) -> Partition:
+    """``Vⁿ₀``: the partition of ``Tⁿ`` by local type.
+
+    Computed exactly as ``P_Q`` computes it: by checking containment of
+    all projections of each path in the relations of ``B``.
+    """
+    level = hsdb.tree.level(n)
+    return Partition(level, key=hsdb.local_type_of_path)
+
+
+def project_partition(hsdb: HSDatabase, upper: Partition, n: int) -> Partition:
+    """The ``↓`` of Definition 3.6 on a partition of ``Tⁿ⁺¹``.
+
+    Yields the partition of ``Tⁿ`` in which ``u`` and ``v`` share a block
+    iff they extend into the same set of upper blocks — Proposition 3.4's
+    tree-relativized back-and-forth condition, which by Proposition 3.7
+    is ``Vⁿᵣ₊₁`` when ``upper`` is ``Vⁿ⁺¹ᵣ``.
+    """
+    level = hsdb.tree.level(n)
+
+    def signature(u: Path):
+        return frozenset(upper.block_index(u + (a,))
+                         for a in hsdb.tree.children(u))
+
+    return Partition(level, key=signature)
+
+
+def partition_nr(hsdb: HSDatabase, n: int, r: int) -> Partition:
+    """``Vⁿᵣ`` via Corollary 3.3: ``Vⁿ⁺ʳ₀`` projected down ``r`` times."""
+    part = base_partition(hsdb, n + r)
+    for depth in range(n + r - 1, n - 1, -1):
+        part = project_partition(hsdb, part, depth)
+    return part
+
+
+def stable_partition(hsdb: HSDatabase, n: int,
+                     max_r: int = 64) -> tuple[Partition, int]:
+    """``(Vⁿ, r*)``: refine until every block is a singleton.
+
+    The ``P_Q`` loop of Theorem 3.1: compute ``Vⁿ₀, Vⁿ₁, …`` until the
+    ``|Vᵢ| = 1`` test succeeds for every block.  Since ``Tⁿ`` holds one
+    representative per ``≅_B`` class, the all-singletons partition *is*
+    ``Vⁿ``; Proposition 3.6 guarantees termination at some fixed ``r``.
+    ``max_r`` guards against an invalid representation.
+    """
+    part = base_partition(hsdb, n)
+    r = 0
+    upper: Partition | None = None
+    while not part.all_singletons():
+        if r >= max_r:
+            raise NotHighlySymmetricError(
+                f"V^{n}_r did not stabilize to singletons within r={max_r}; "
+                "the tree may represent a class twice or ≅_B may be wrong")
+        r += 1
+        # Incremental Corollary 3.3: reuse the previous round's upper
+        # partitions by recomputing from depth n + r.
+        part = partition_nr(hsdb, n, r)
+        if upper is not None and part.as_frozen() == upper.as_frozen():
+            # Refinement stalled without reaching singletons: with a valid
+            # tree this cannot happen (stalling means the partition equals
+            # V^n, which is all singletons), so the representation is bad.
+            raise NotHighlySymmetricError(
+                f"V^{n}_r stalled at a non-singleton partition; two tree "
+                "paths appear to be ≅_B-equivalent")
+        upper = part
+    return part, r
+
+
+def fixed_r(hsdb: HSDatabase, n: int, max_r: int = 64) -> int:
+    """The least ``r`` with ``Vⁿᵣ = Vⁿ`` (Proposition 3.6 / Corollary 3.2)."""
+    __, r = stable_partition(hsdb, n, max_r=max_r)
+    return r
+
+
+def equivalent_via_refinement(hsdb: HSDatabase, u: tuple, v: tuple,
+                              max_r: int = 64) -> bool:
+    """Decide ``u ≅_B v`` *without* calling the ``≅_B`` oracle on (u, v).
+
+    Cross-check for the Definition 3.7 oracle: canonicalize both tuples
+    onto the tree, then compare — equivalence holds iff the canonical
+    representatives coincide (classes have unique representatives).
+    The canonicalization itself needs the oracle, so the genuinely
+    oracle-free content is the path comparison backed by
+    :func:`stable_partition`'s singleton guarantee.
+    """
+    if len(u) != len(v):
+        return False
+    pu = hsdb.canonical_representative(u)
+    pv = hsdb.canonical_representative(v)
+    if pu == pv:
+        return True
+    part, __ = stable_partition(hsdb, len(u), max_r=max_r)
+    return part.same_block(pu, pv)
+
+
+def refinement_trace(hsdb: HSDatabase, n: int,
+                     max_r: int = 64) -> list[int]:
+    """Block counts of ``Vⁿ₀, Vⁿ₁, …`` up to stabilization.
+
+    The E4 benchmark's raw series: how fast the stratified equivalences
+    converge to ``≅_B`` on each level.
+    """
+    counts = [base_partition(hsdb, n).block_count()]
+    target = len(hsdb.tree.level(n))
+    r = 0
+    while counts[-1] != target and r < max_r:
+        r += 1
+        counts.append(partition_nr(hsdb, n, r).block_count())
+        if len(counts) >= 3 and counts[-1] == counts[-2] and counts[-1] != target:
+            raise NotHighlySymmetricError(
+                f"refinement stalled at {counts[-1]} blocks on level {n}")
+    return counts
+
+
+def find_d(hsdb: HSDatabase, max_n: int = 12) -> Path:
+    """Step 1 of the Theorem 3.1 program ``P_Q``: find the encoding tuple.
+
+    Searches ``T¹, T², …`` for a path ``d`` of pairwise-distinct elements
+    such that every representative in every ``Cᵢ`` is (equivalent to) a
+    projection of ``d`` — i.e. the input relations are recoverable from
+    ``d`` by projections.  The proof notes the search succeeds by the
+    time ``n`` reaches the number of distinct elements appearing in the
+    ``Cᵢ``; ``max_n`` merely guards invalid representations.
+    """
+    from itertools import product
+
+    needed = {x for reps in hsdb.representatives for p in reps for x in p}
+    bound = min(max_n, max(1, len(needed)))
+    for n in range(1, bound + 1):
+        for d in hsdb.tree.level(n):
+            if not distinct(d):
+                continue
+            if _encodes_all(hsdb, d):
+                return d
+    raise NotHighlySymmetricError(
+        f"no encoding tuple d found up to rank {bound}; the representation "
+        "appears inconsistent")
+
+
+def _encodes_all(hsdb: HSDatabase, d: Path) -> bool:
+    """Whether every Cᵢ representative is equivalent to a projection of d."""
+    from itertools import product
+
+    n = len(d)
+    for arity, reps in zip(hsdb.signature, hsdb.representatives):
+        for c in reps:
+            if not any(hsdb.equivalent(project(d, positions), c)
+                       for positions in product(range(n), repeat=arity)):
+                return False
+    return True
+
+
+def projection_index(hsdb: HSDatabase, d: Path) -> list[frozenset[tuple]]:
+    """Step 2 of ``P_Q``: the sets ``Xⱼ`` of positions.
+
+    ``Xⱼ = {(i₁,…,i_{aⱼ}) : d[i₁,…,i_{aⱼ}] ∈ Rⱼ}`` — a database over the
+    *positions* ``{0,…,|d|−1}`` isomorphic to the input's restriction to
+    the elements of ``d``; this is the internal ℕ-model ``B_N`` on which
+    the Turing-machine stage of ``P_Q`` runs.
+    """
+    from itertools import product
+
+    n = len(d)
+    out = []
+    for i, arity in enumerate(hsdb.signature):
+        members = {
+            positions
+            for positions in product(range(n), repeat=arity)
+            if hsdb.contains(i, project(d, positions))
+        }
+        out.append(frozenset(members))
+    return out

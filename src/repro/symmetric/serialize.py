@@ -1,0 +1,140 @@
+"""Serialization of ``CB`` representations.
+
+A highly symmetric database's *finite core* — the characteristic tree to
+a chosen depth, the representative sets, and the type — is ordinary
+finite data.  This module archives it to a JSON-compatible structure and
+restores it as a depth-bounded :class:`HSDatabase` whose equivalence is
+path identity (classes have unique representatives, so on tree paths
+``≅_B`` *is* equality).
+
+Uses: sharing representations between processes, golden-file tests, and
+inspecting a database's class structure without its defining code.
+The restored database answers membership and canonicalization only for
+tuples that are (or are equivalent to) stored paths; deeper questions
+need the original oracles, and raise rather than guess.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.domain import Domain
+from ..errors import RepresentationError
+from .hsdb import HSDatabase
+from .tree import CharacteristicTree, Path
+
+FORMAT_VERSION = 1
+
+
+def _encode_value(x: Any) -> Any:
+    """JSON-encode a label (int, str, or nested tuple thereof)."""
+    if isinstance(x, tuple):
+        return {"t": [_encode_value(c) for c in x]}
+    if isinstance(x, (int, str)) and not isinstance(x, bool):
+        return x
+    raise RepresentationError(
+        f"cannot serialize label {x!r}: only ints, strings and nested "
+        "tuples are supported")
+
+
+def _decode_value(x: Any) -> Any:
+    if isinstance(x, dict) and set(x) == {"t"}:
+        return tuple(_decode_value(c) for c in x["t"])
+    if isinstance(x, (int, str)):
+        return x
+    raise RepresentationError(f"malformed serialized label {x!r}")
+
+
+def snapshot(hsdb: HSDatabase, depth: int) -> dict:
+    """Archive the finite core of a representation to JSON-safe data.
+
+    ``depth`` bounds the stored tree; it must cover the largest relation
+    arity so the representative sets stay meaningful.
+    """
+    if depth < max(hsdb.signature, default=0):
+        raise ValueError(
+            "depth must cover the largest relation arity so every "
+            "representative is a stored path")
+    children: dict[str, list] = {}
+    for n in range(depth):
+        for p in hsdb.tree.level(n):
+            key = json.dumps(_encode_value(p))
+            children[key] = [_encode_value(a)
+                             for a in hsdb.tree.children(p)]
+    return {
+        "format": FORMAT_VERSION,
+        "name": hsdb.name,
+        "signature": list(hsdb.signature),
+        "depth": depth,
+        "children": children,
+        "representatives": [
+            [ _encode_value(p) for p in sorted(reps, key=repr) ]
+            for reps in hsdb.representatives
+        ],
+    }
+
+
+def to_json(hsdb: HSDatabase, depth: int, indent: int | None = None) -> str:
+    """The snapshot as a JSON string."""
+    return json.dumps(snapshot(hsdb, depth), indent=indent, sort_keys=True)
+
+
+def restore(data: dict) -> HSDatabase:
+    """Rebuild a depth-bounded HSDatabase from a snapshot.
+
+    * the tree reports the archived children (empty beyond the depth);
+    * ``≅_B`` is path identity on stored paths — exact there, and a
+      :class:`RepresentationError` for anything else;
+    * the domain contains exactly the labels appearing in the archive.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise RepresentationError(
+            f"unsupported snapshot format {data.get('format')!r}")
+    signature = tuple(data["signature"])
+    depth = data["depth"]
+    children_map: dict[Path, tuple] = {}
+    labels: dict[Any, None] = {}
+    for key, kids in data["children"].items():
+        path = _decode_value(json.loads(key))
+        decoded = tuple(_decode_value(a) for a in kids)
+        children_map[path] = decoded
+        for a in decoded:
+            labels[a] = None
+
+    tree = CharacteristicTree(
+        lambda p: children_map.get(tuple(p), ()),
+        name=f"T({data['name']})")
+
+    known_paths: set[Path] = {()}
+    frontier = [()]
+    for __ in range(depth):
+        frontier = [p + (a,) for p in frontier
+                    for a in children_map.get(p, ())]
+        known_paths.update(frontier)
+
+    def equiv(u: tuple, v: tuple) -> bool:
+        if u not in known_paths or v not in known_paths:
+            raise RepresentationError(
+                "a restored snapshot only decides equivalence on its "
+                "stored tree paths; reconnect the original oracle for "
+                "arbitrary tuples")
+        return u == v
+
+    domain = Domain(
+        contains=lambda x: x in labels,
+        enumerate_fn=lambda: iter(list(labels)),
+        name=f"D({data['name']})",
+        finite_size=len(labels),
+    )
+    representatives = [
+        frozenset(_decode_value(p) for p in reps)
+        for reps in data["representatives"]
+    ]
+    return HSDatabase(domain, signature, tree, equiv, representatives,
+                      name=data["name"])
+
+
+def from_json(text: str) -> HSDatabase:
+    """Rebuild from :func:`to_json` output."""
+    return restore(json.loads(text))

@@ -1,0 +1,123 @@
+"""Characteristic trees (Definition 3.3).
+
+A characteristic tree ``T_B`` for a database ``B`` is a tree whose
+vertices are labeled with domain elements such that the label tuples
+along root paths are representatives of the ``≅_B`` equivalence classes:
+every class of every rank has exactly one representative path.
+
+``B`` is highly symmetric iff ``T_B`` is finitely branching, and the
+Definition 3.7 representation requires the tree to be *highly recursive*:
+the function ``T(x)`` yielding the finitely many immediate offspring of a
+node must be computable.  :class:`CharacteristicTree` wraps exactly that
+function, with memoization and level iterators (the paper's ``Tⁿ``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+from ..core.domain import Element
+from ..errors import NotHighlySymmetricError
+
+Path = tuple  # a tuple of labels from the root (the root itself is ())
+
+
+class CharacteristicTree:
+    """A finitely branching recursive tree of class representatives.
+
+    Parameters
+    ----------
+    children_fn:
+        The highly-recursive offspring function ``T(x)``: given a path
+        (tuple of labels from the root), return the finite sequence of
+        child labels.  Must be deterministic.
+    name:
+        Label for reprs.
+    branching_bound:
+        Optional sanity bound; exceeding it raises
+        :class:`NotHighlySymmetricError` (used by constructions whose
+        candidate search could run away on invalid input).
+    """
+
+    def __init__(self, children_fn: Callable[[Path], Sequence[Element]],
+                 name: str = "T", branching_bound: int | None = None):
+        self._children_fn = children_fn
+        self.name = name
+        self.branching_bound = branching_bound
+        self._children_cache: dict[Path, tuple[Element, ...]] = {}
+        self._level_cache: dict[int, list[Path]] = {0: [()]}
+
+    def children(self, path: Path) -> tuple[Element, ...]:
+        """The labels of the immediate offspring of ``path`` — ``T_B(x)``."""
+        path = tuple(path)
+        if path not in self._children_cache:
+            kids = tuple(self._children_fn(path))
+            if self.branching_bound is not None and len(kids) > self.branching_bound:
+                raise NotHighlySymmetricError(
+                    f"node {path!r} has {len(kids)} children, exceeding the "
+                    f"bound {self.branching_bound}; the database does not "
+                    "appear to be highly symmetric")
+            if len(set(kids)) != len(kids):
+                raise NotHighlySymmetricError(
+                    f"node {path!r} has duplicate child labels {kids!r}")
+            self._children_cache[path] = kids
+        return self._children_cache[path]
+
+    def level(self, n: int) -> list[Path]:
+        """``Tⁿ`` — all paths of length ``n`` from the root."""
+        if n < 0:
+            raise ValueError("level must be >= 0")
+        if n not in self._level_cache:
+            previous = self.level(n - 1)
+            self._level_cache[n] = [
+                p + (a,) for p in previous for a in self.children(p)]
+        return list(self._level_cache[n])
+
+    def iter_paths(self, max_depth: int) -> Iterator[Path]:
+        """All paths of length ≤ ``max_depth``, shallow first."""
+        for n in range(max_depth + 1):
+            yield from self.level(n)
+
+    def is_path(self, u: Sequence[Element]) -> bool:
+        """Whether ``u`` labels a root path of the tree."""
+        u = tuple(u)
+        prefix: Path = ()
+        for a in u:
+            if a not in self.children(prefix):
+                return False
+            prefix = prefix + (a,)
+        return True
+
+    def branching_at(self, path: Path) -> int:
+        return len(self.children(path))
+
+    def max_branching(self, depth: int) -> int:
+        """The widest node among levels 0..depth (forces those levels)."""
+        widest = 0
+        for n in range(depth + 1):
+            for p in self.level(n):
+                widest = max(widest, self.branching_at(p))
+        return widest
+
+    def __repr__(self) -> str:
+        return f"CharacteristicTree({self.name})"
+
+
+def tree_from_levels(levels: Sequence[Sequence[Path]],
+                     name: str = "T") -> CharacteristicTree:
+    """Build a (finite-depth) tree from explicit levels.
+
+    ``levels[n]`` lists the paths of length ``n``; beyond the given depth
+    the tree reports no children.  Used in tests and for hand-written
+    examples such as the paper's figure in Section 3.1.
+    """
+    by_prefix: dict[Path, list[Element]] = {}
+    for level in levels:
+        for p in level:
+            p = tuple(p)
+            if not p:
+                continue
+            by_prefix.setdefault(p[:-1], []).append(p[-1])
+    return CharacteristicTree(
+        lambda path: tuple(dict.fromkeys(by_prefix.get(tuple(path), ()))),
+        name=name)

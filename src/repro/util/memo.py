@@ -1,0 +1,70 @@
+"""Bounded memoization helpers.
+
+Characteristic trees, tuple-equivalence oracles, and local-type
+computations are pure but repeatedly consulted; these helpers cache their
+results without letting caches grow without bound during long benchmark
+sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from functools import wraps
+from typing import TypeVar
+
+R = TypeVar("R")
+
+
+def lru_cached(maxsize: int = 65536) -> Callable[[Callable[..., R]], Callable[..., R]]:
+    """An LRU cache decorator with introspection hooks.
+
+    Unlike :func:`functools.lru_cache` the wrapper exposes the cache dict
+    (``.cache``) and a ``.misses`` counter, which the benchmarks use to
+    report how many distinct subproblems a construction touched.
+    """
+
+    def decorate(fn: Callable[..., R]) -> Callable[..., R]:
+        cache: OrderedDict[Hashable, R] = OrderedDict()
+
+        @wraps(fn)
+        def wrapper(*args: Hashable) -> R:
+            if args in cache:
+                cache.move_to_end(args)
+                return cache[args]
+            result = fn(*args)
+            cache[args] = result
+            wrapper.misses += 1  # type: ignore[attr-defined]
+            if len(cache) > maxsize:
+                cache.popitem(last=False)
+            return result
+
+        wrapper.cache = cache  # type: ignore[attr-defined]
+        wrapper.misses = 0  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+class CallCounter:
+    """Wrap a callable and count its invocations.
+
+    Used to instrument oracles: Definition 2.4 queries a database only
+    through "is u ∈ Rᵢ?" questions, and experiments report how many such
+    questions each algorithm asks.
+    """
+
+    def __init__(self, fn: Callable[..., R], name: str = ""):
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "callable")
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs) -> R:
+        self.calls += 1
+        return self._fn(*args, **kwargs)
+
+    def reset(self) -> None:
+        self.calls = 0
+
+    def __repr__(self) -> str:
+        return f"CallCounter({self.name}, calls={self.calls})"

@@ -1,0 +1,154 @@
+"""Canonical orderings and fair enumerations of countable sets.
+
+Recursive databases live over countably infinite domains that are never
+materialized.  Algorithms that must "walk the domain" (back-and-forth
+constructions, characteristic-tree searches, extension-axiom witnesses)
+instead consume a *fair enumeration*: an iterator guaranteed to reach every
+element eventually.  This module provides the standard tools:
+
+* Cantor pairing/unpairing for ℕ² and its extension to ℕ^k,
+* fair (dovetailed) enumeration of k-tuples over a given enumerable set,
+* fair union of countably many iterators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import count, islice
+from math import isqrt
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def cantor_pair(x: int, y: int) -> int:
+    """Cantor pairing function: a bijection ℕ² → ℕ.
+
+    >>> cantor_pair(0, 0), cantor_pair(1, 0), cantor_pair(0, 1)
+    (0, 1, 2)
+    """
+    if x < 0 or y < 0:
+        raise ValueError("cantor_pair is defined on non-negative integers")
+    s = x + y
+    return s * (s + 1) // 2 + y
+
+
+def cantor_unpair(z: int) -> tuple[int, int]:
+    """Inverse of :func:`cantor_pair`.
+
+    >>> all(cantor_unpair(cantor_pair(x, y)) == (x, y)
+    ...     for x in range(20) for y in range(20))
+    True
+    """
+    if z < 0:
+        raise ValueError("cantor_unpair is defined on non-negative integers")
+    # Largest s with s(s+1)/2 <= z, via exact integer square root.
+    s = (isqrt(8 * z + 1) - 1) // 2
+    y = z - s * (s + 1) // 2
+    return s - y, y
+
+
+def encode_tuple(values: Sequence[int]) -> int:
+    """Encode a non-empty tuple of naturals as a single natural.
+
+    The encoding folds :func:`cantor_pair` left to right; tuples of
+    different ranks may collide, so the rank must be known externally
+    (it always is: relations have fixed arity).
+    """
+    if not values:
+        raise ValueError("cannot encode the empty tuple; encode rank separately")
+    acc = values[0]
+    for v in values[1:]:
+        acc = cantor_pair(acc, v)
+    return acc
+
+
+def decode_tuple(code: int, rank: int) -> tuple[int, ...]:
+    """Inverse of :func:`encode_tuple` for a known ``rank >= 1``."""
+    if rank < 1:
+        raise ValueError("rank must be >= 1")
+    parts = [code]
+    for _ in range(rank - 1):
+        head, tail = cantor_unpair(parts[0])
+        parts[0] = head
+        parts.insert(1, tail)
+    return tuple(parts)
+
+
+def naturals(start: int = 0) -> Iterator[int]:
+    """The fair enumeration 0, 1, 2, … of ℕ (optionally offset)."""
+    return count(start)
+
+
+def fair_tuples(elements: Iterable[T], rank: int) -> Iterator[tuple[T, ...]]:
+    """Fairly enumerate all ``rank``-tuples over a (possibly infinite) iterable.
+
+    The enumeration is *fair*: every tuple whose components appear in the
+    input enumeration is produced after finitely many steps, even when the
+    input is infinite.  Rank 0 yields exactly the empty tuple.
+
+    >>> list(islice(fair_tuples(naturals(), 2), 4))
+    [(0, 0), (0, 1), (1, 0), (1, 1)]
+    """
+    if rank < 0:
+        raise ValueError("rank must be >= 0")
+    if rank == 0:
+        yield ()
+        return
+
+    seen: list[T] = []
+    source = iter(elements)
+    exhausted = False
+    emitted_upto = 0  # tuples over seen[:emitted_upto] have been emitted
+
+    while True:
+        if not exhausted:
+            try:
+                seen.append(next(source))
+            except StopIteration:
+                exhausted = True
+        n = len(seen)
+        if n == emitted_upto:
+            return  # finite input fully processed
+        # Emit all tuples over seen[:n] that use at least one new element
+        # (i.e. tuples not already emitted over seen[:emitted_upto]).
+        for tup in _tuples_with_new_element(seen, emitted_upto, rank):
+            yield tup
+        emitted_upto = n
+        if exhausted and emitted_upto == len(seen):
+            return
+
+
+def _tuples_with_new_element(seen: Sequence[T], old: int,
+                             rank: int) -> Iterator[tuple[T, ...]]:
+    """Tuples over ``seen`` using at least one index >= ``old``."""
+    n = len(seen)
+
+    def rec(prefix: tuple[T, ...], uses_new: bool, slots: int) -> Iterator[tuple[T, ...]]:
+        if slots == 0:
+            if uses_new:
+                yield prefix
+            return
+        for i in range(n):
+            yield from rec(prefix + (seen[i],), uses_new or i >= old, slots - 1)
+
+    yield from rec((), False, rank)
+
+
+def fair_union(iterators: Sequence[Iterator[T]]) -> Iterator[T]:
+    """Round-robin (dovetailed) union of finitely many iterators."""
+    active = list(iterators)
+    while active:
+        still = []
+        for it in active:
+            try:
+                yield next(it)
+            except StopIteration:
+                continue
+            still.append(it)
+        active = still
+
+
+def take(iterable: Iterable[T], n: int) -> list[T]:
+    """The first ``n`` items of ``iterable`` as a list."""
+    return list(islice(iterable, n))

@@ -1,0 +1,237 @@
+"""Set partitions and partition refinement.
+
+Two uses in the library:
+
+* enumerating the *equality patterns* of a tuple — i.e. all set partitions
+  of its positions — when enumerating the equivalence classes ``Cⁿ`` of
+  local isomorphism (Section 2 of the paper); and
+* refining partitions of characteristic-tree levels into the stratified
+  equivalences ``Vⁿᵣ`` of Section 3 (Definition 3.5, Proposition 3.7).
+
+Partitions of ``range(n)`` are represented canonically as *restricted
+growth strings* (RGS): a tuple ``p`` of length ``n`` where ``p[i]`` is the
+block index of position ``i``, blocks are numbered in order of first
+appearance, so ``p[0] == 0`` and ``p[i] <= max(p[:i]) + 1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Iterator, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def equality_pattern(values: Sequence[Hashable]) -> tuple[int, ...]:
+    """The restricted growth string describing which positions are equal.
+
+    >>> equality_pattern(('a', 'b', 'a'))
+    (0, 1, 0)
+    >>> equality_pattern(())
+    ()
+    """
+    blocks: dict[Hashable, int] = {}
+    out = []
+    for v in values:
+        if v not in blocks:
+            blocks[v] = len(blocks)
+        out.append(blocks[v])
+    return tuple(out)
+
+
+def is_restricted_growth(pattern: Sequence[int]) -> bool:
+    """Whether ``pattern`` is a valid restricted growth string."""
+    top = -1
+    for value in pattern:
+        if value < 0 or value > top + 1:
+            return False
+        top = max(top, value)
+    return True
+
+
+def set_partitions(n: int) -> Iterator[tuple[int, ...]]:
+    """All set partitions of ``range(n)`` as restricted growth strings.
+
+    The count is the Bell number B(n):
+
+    >>> [sum(1 for _ in set_partitions(k)) for k in range(6)]
+    [1, 1, 2, 5, 15, 52]
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if n == 0:
+        yield ()
+        return
+
+    def rec(prefix: tuple[int, ...], top: int) -> Iterator[tuple[int, ...]]:
+        if len(prefix) == n:
+            yield prefix
+            return
+        for b in range(top + 2):
+            yield from rec(prefix + (b,), max(top, b))
+
+    yield from rec((0,), 0)
+
+
+def block_count(pattern: Sequence[int]) -> int:
+    """Number of blocks of a restricted growth string."""
+    return (max(pattern) + 1) if pattern else 0
+
+
+def blocks_of(pattern: Sequence[int]) -> list[list[int]]:
+    """The blocks (as position lists) of a restricted growth string.
+
+    >>> blocks_of((0, 1, 0))
+    [[0, 2], [1]]
+    """
+    out: list[list[int]] = [[] for _ in range(block_count(pattern))]
+    for pos, b in enumerate(pattern):
+        out[b].append(pos)
+    return out
+
+
+def canonical_tuple(pattern: Sequence[int]) -> tuple[int, ...]:
+    """The canonical tuple over ℕ realizing an equality pattern.
+
+    The tuple uses block indices as elements, so positions are equal
+    exactly when the pattern says so.
+
+    >>> canonical_tuple((0, 1, 0))
+    (0, 1, 0)
+    """
+    if not is_restricted_growth(pattern):
+        raise ValueError(f"not a restricted growth string: {pattern!r}")
+    return tuple(pattern)
+
+
+def refines(finer: Sequence[int], coarser: Sequence[int]) -> bool:
+    """Whether equality pattern ``finer`` refines ``coarser``.
+
+    ``finer`` refines ``coarser`` when every block of ``finer`` is contained
+    in a block of ``coarser`` — i.e. positions equal under ``finer`` are
+    equal under ``coarser``.
+    """
+    if len(finer) != len(coarser):
+        raise ValueError("patterns must describe tuples of the same rank")
+    mapping: dict[int, int] = {}
+    for f, c in zip(finer, coarser):
+        if f in mapping:
+            if mapping[f] != c:
+                return False
+        else:
+            mapping[f] = c
+    return True
+
+
+class Partition:
+    """A partition of a finite set of hashable items, with refinement.
+
+    This is the workhorse behind the ``Vⁿᵣ`` computations of Section 3:
+    start from the partition of a tree level by local type (``Vⁿ₀``) and
+    repeatedly refine by signatures derived from the next level
+    (Proposition 3.7) until the partition stabilizes.
+    """
+
+    def __init__(self, items: Iterable[T],
+                 key: Callable[[T], Hashable] | None = None):
+        items = list(items)
+        if len(set(items)) != len(items):
+            raise ValueError("partition items must be distinct")
+        self._items: list[T] = items
+        if key is None:
+            self._block_of: dict[T, int] = {x: 0 for x in items}
+        else:
+            self._block_of = {}
+            index: dict[Hashable, int] = {}
+            for x in items:
+                k = key(x)
+                if k not in index:
+                    index[k] = len(index)
+                self._block_of[x] = index[k]
+        self._renumber()
+
+    def _renumber(self) -> None:
+        """Renumber blocks canonically by first appearance."""
+        remap: dict[int, int] = {}
+        for x in self._items:
+            b = self._block_of[x]
+            if b not in remap:
+                remap[b] = len(remap)
+        self._block_of = {x: remap[self._block_of[x]] for x in self._items}
+
+    @property
+    def items(self) -> list[T]:
+        return list(self._items)
+
+    def block_index(self, item: T) -> int:
+        """The index of the block containing ``item``."""
+        return self._block_of[item]
+
+    def blocks(self) -> list[list[T]]:
+        """The blocks, each as a list in item order."""
+        n = self.block_count()
+        out: list[list[T]] = [[] for _ in range(n)]
+        for x in self._items:
+            out[self._block_of[x]].append(x)
+        return out
+
+    def block_count(self) -> int:
+        return max(self._block_of.values(), default=-1) + 1
+
+    def same_block(self, a: T, b: T) -> bool:
+        return self._block_of[a] == self._block_of[b]
+
+    def all_singletons(self) -> bool:
+        """Whether every block has exactly one item."""
+        return self.block_count() == len(self._items)
+
+    def refine(self, signature: Callable[[T], Hashable]) -> bool:
+        """Split blocks by ``signature``; return True if anything changed.
+
+        Two items stay together only if they were together *and* have equal
+        signatures.
+        """
+        before = self.block_count()
+        index: dict[tuple[int, Hashable], int] = {}
+        new_block: dict[T, int] = {}
+        for x in self._items:
+            k = (self._block_of[x], signature(x))
+            if k not in index:
+                index[k] = len(index)
+            new_block[x] = index[k]
+        self._block_of = new_block
+        self._renumber()
+        return self.block_count() != before
+
+    def refine_to_fixpoint(self, signature: Callable[["Partition", T], Hashable],
+                           max_rounds: int | None = None) -> int:
+        """Refine with a self-referential signature until stable.
+
+        ``signature(partition, item)`` may consult the current partition
+        (e.g. block indices of related items).  Returns the number of
+        refinement rounds performed.
+        """
+        rounds = 0
+        while True:
+            if max_rounds is not None and rounds >= max_rounds:
+                return rounds
+            changed = self.refine(lambda x: signature(self, x))
+            rounds += 1
+            if not changed:
+                return rounds
+
+    def as_frozen(self) -> frozenset[frozenset[T]]:
+        """The partition as a hashable set of sets (order-independent)."""
+        return frozenset(frozenset(b) for b in self.blocks())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return (set(self._items) == set(other._items)
+                and self.as_frozen() == other.as_frozen())
+
+    def __hash__(self) -> int:
+        return hash(self.as_frozen())
+
+    def __repr__(self) -> str:
+        return f"Partition({self.blocks()!r})"

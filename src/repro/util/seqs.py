@@ -1,0 +1,105 @@
+"""Tuple (sequence) utilities shared across the library.
+
+Tuples are the atoms of the relational model: relations are sets of
+tuples, queries map databases to relations, and the paper's constructions
+constantly project, extend, and permute tuples.  Terminology follows the
+paper: the *rank* of a tuple is its length (denoted ``|u|``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from itertools import product
+from typing import TypeVar
+
+from ..errors import ArityError
+
+T = TypeVar("T")
+
+Tuple = tuple  # semantic alias used in signatures across the library
+
+
+def rank(u: Sequence[T]) -> int:
+    """The rank |u| of a tuple (its length)."""
+    return len(u)
+
+
+def project(u: Sequence[T], positions: Sequence[int]) -> tuple[T, ...]:
+    """The projection ``u[positions]`` — components at the given 0-based
+    positions, in the given order (repetitions allowed).
+
+    This is the paper's ``d[i1,...,im]`` notation (proof of Theorem 3.1).
+
+    >>> project(('a', 'b', 'c'), (2, 0, 0))
+    ('c', 'a', 'a')
+    """
+    try:
+        return tuple(u[i] for i in positions)
+    except IndexError as exc:
+        raise ArityError(
+            f"projection positions {tuple(positions)!r} out of range for "
+            f"rank-{len(u)} tuple") from exc
+
+
+def drop_first(u: Sequence[T]) -> tuple[T, ...]:
+    """``u`` without its first component (the QLhs ``↓`` projection)."""
+    if not u:
+        raise ArityError("cannot drop the first coordinate of a rank-0 tuple")
+    return tuple(u[1:])
+
+
+def drop_last(u: Sequence[T]) -> tuple[T, ...]:
+    """``u`` without its last component (the ``V↓`` of Definition 3.6)."""
+    if not u:
+        raise ArityError("cannot drop the last coordinate of a rank-0 tuple")
+    return tuple(u[:-1])
+
+
+def extend(u: Sequence[T], *items: T) -> tuple[T, ...]:
+    """``u`` extended on the right (the paper's ``ua₁a₂…`` shorthand)."""
+    return tuple(u) + items
+
+
+def swap_last_two(u: Sequence[T]) -> tuple[T, ...]:
+    """``u`` with its two rightmost coordinates exchanged (QLhs ``~``)."""
+    if len(u) < 2:
+        raise ArityError("swap_last_two requires rank >= 2")
+    return tuple(u[:-2]) + (u[-1], u[-2])
+
+
+def all_position_tuples(n: int, arity: int) -> Iterator[tuple[int, ...]]:
+    """All ``arity``-tuples of positions in ``range(n)``.
+
+    These index the atomic facts a rank-``n`` tuple can project into a
+    relation of the given arity — the atoms of local isomorphism
+    (Proposition 2.2 (iii)).
+    """
+    if n < 0 or arity < 0:
+        raise ValueError("n and arity must be >= 0")
+    yield from product(range(n), repeat=arity)
+
+
+def distinct(u: Sequence[T]) -> bool:
+    """Whether all components of ``u`` are pairwise distinct."""
+    return len(set(u)) == len(u)
+
+
+def support(u: Sequence[T]) -> tuple[T, ...]:
+    """The distinct components of ``u`` in order of first appearance."""
+    seen: dict[T, None] = {}
+    for x in u:
+        if x not in seen:
+            seen[x] = None
+    return tuple(seen)
+
+
+def substitute(u: Sequence[T], mapping: dict[T, T]) -> tuple[T, ...]:
+    """Apply a component-wise substitution; unmapped components unchanged."""
+    return tuple(mapping.get(x, x) for x in u)
+
+
+def is_over(u: Sequence[T], elements: Sequence[T] | frozenset[T] | set[T]) -> bool:
+    """Whether every component of ``u`` belongs to ``elements``
+    (the paper's "z is a tuple over {u₁,…,uₙ}")."""
+    pool = elements if isinstance(elements, (set, frozenset)) else set(elements)
+    return all(x in pool for x in u)

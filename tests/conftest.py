@@ -1,0 +1,16 @@
+"""Shared pytest configuration.
+
+Hypothesis deadlines are disabled: several property tests exercise
+interpreter and refinement machinery whose first invocation pays cache
+warm-up costs, and wall-clock deadlines make them flaky on loaded
+machines.  Correctness is unaffected.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "recdb",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("recdb")

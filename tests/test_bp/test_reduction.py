@@ -1,0 +1,149 @@
+"""Tests for the Theorem 6.1 gadget and BP preservation machinery."""
+
+import pytest
+
+from repro.bp import (
+    ANCHOR,
+    LEFT_HUB,
+    RIGHT_HUB,
+    bp_gadget,
+    class_coarseness,
+    finite_gadget,
+    gadget_equivalence,
+    preserves_automorphisms,
+    preserves_automorphisms_on,
+    refute_equivalence_bounded,
+    relation_from_representatives,
+    representatives_of,
+    separating_relation,
+    theorem_61_iff,
+)
+from repro.errors import TypeSignatureError
+from repro.graphs import (
+    clique,
+    complete_db,
+    cycle_db,
+    mixed_components_hsdb,
+    path_db,
+    star_db,
+    two_way_line,
+)
+
+
+class TestGadgetStructure:
+    def test_anchor_is_unique_r1_element(self):
+        B = finite_gadget(path_db(2, "A"), path_db(2, "B"))
+        assert B.contains(0, (ANCHOR,))
+        assert not B.contains(0, (LEFT_HUB,))
+
+    def test_anchor_adjacent_to_hubs_only(self):
+        B = finite_gadget(path_db(2, "A"), path_db(2, "B"))
+        assert B.contains(1, (ANCHOR, LEFT_HUB))
+        assert B.contains(1, (ANCHOR, RIGHT_HUB))
+        assert not B.contains(1, (ANCHOR, ("g1", 0)))
+
+    def test_hubs_cover_their_sides(self):
+        B = finite_gadget(path_db(2, "A"), path_db(3, "B"))
+        assert B.contains(1, (LEFT_HUB, ("g1", 0)))
+        assert not B.contains(1, (LEFT_HUB, ("g2", 0)))
+        assert B.contains(1, (RIGHT_HUB, ("g2", 2)))
+
+    def test_input_edges_preserved(self):
+        B = finite_gadget(path_db(3, "A"), path_db(3, "B"))
+        assert B.contains(1, (("g1", 0), ("g1", 1)))
+        assert not B.contains(1, (("g1", 0), ("g1", 2)))
+        assert not B.contains(1, (("g1", 0), ("g2", 0)))
+
+    def test_type_check(self):
+        from repro.core import finite_database
+        unary = finite_database([(1, [(0,)])], [0])
+        with pytest.raises(TypeSignatureError):
+            bp_gadget(unary, path_db(2))
+
+    def test_finite_gadget_requires_finite(self):
+        with pytest.raises(TypeSignatureError):
+            finite_gadget(clique(), path_db(2))
+
+
+class TestTheorem61Iff:
+    """b ≅_B c ⇔ G₁ ≅ G₂, checked exhaustively on finite inputs."""
+
+    @pytest.mark.parametrize("g1,g2,isomorphic", [
+        (path_db(3, "A"), path_db(3, "B"), True),
+        (path_db(3, "A"), cycle_db(3), False),
+        (cycle_db(3), complete_db(3), True),   # C3 = K3
+        (cycle_db(4), complete_db(4), False),
+        (star_db(3), path_db(4), False),
+        (path_db(2, "A"), complete_db(2), True),
+    ])
+    def test_iff(self, g1, g2, isomorphic):
+        report = theorem_61_iff(g1, g2)
+        assert report["graphs_isomorphic"] == isomorphic
+        assert report["hubs_equivalent"] == isomorphic
+
+    def test_nothing_else_equivalent_to_b(self):
+        """The anchor pins the hubs: no graph vertex can be equivalent
+        to b (b is adjacent to a via the reversed edge (a,b))."""
+        from repro.core import finite_pointed_isomorphic
+        B = finite_gadget(path_db(2, "A"), path_db(2, "B"))
+        for y in [("g1", 0), ("g2", 1), ANCHOR]:
+            assert not finite_pointed_isomorphic(
+                B.point((LEFT_HUB,)), B.point((y,)))
+
+    def test_separating_relation(self):
+        """{b} preserves automorphisms exactly when G₁ ≇ G₂."""
+        pred = separating_relation(None)
+        assert pred((LEFT_HUB,))
+        assert not pred((RIGHT_HUB,))
+
+
+class TestBoundedRefutation:
+    def test_refutes_distinguishable_inputs(self):
+        B = bp_gadget(two_way_line(), clique())
+        assert refute_equivalence_bounded(B, rounds=2, window=11)
+
+    def test_does_not_refute_identical_inputs(self):
+        B = bp_gadget(clique(), clique())
+        assert not refute_equivalence_bounded(B, rounds=2, window=11)
+
+    def test_window_guard(self):
+        B = bp_gadget(clique(), clique())
+        with pytest.raises(ValueError):
+            refute_equivalence_bounded(B, rounds=3, window=5)
+
+
+class TestPreserving:
+    def test_in_triangle_preserves(self):
+        cu = mixed_components_hsdb()
+        assert preserves_automorphisms(cu, lambda u: u[0][0] == 0, 1)
+
+    def test_element_pinning_violates(self):
+        cu = mixed_components_hsdb()
+        pinned = lambda u: u == ((0, 0, 0),)
+        assert not preserves_automorphisms(cu, pinned, 1)
+
+    def test_violation_on_explicit_pairs(self):
+        cu = mixed_components_hsdb()
+        pair = (((0, 0, 0),), ((0, 5, 1),))
+        violation = preserves_automorphisms_on(
+            cu, lambda u: u == ((0, 0, 0),), [pair])
+        assert violation == pair
+
+    def test_bad_witness_pair_rejected(self):
+        cu = mixed_components_hsdb()
+        with pytest.raises(ValueError):
+            preserves_automorphisms_on(
+                cu, lambda u: True, [(((0, 0, 0),), ((1, 0, 0),))])
+
+    def test_representatives_roundtrip(self):
+        cu = mixed_components_hsdb()
+        pred = lambda u: u[0][0] == 0
+        reps = representatives_of(cu, pred, 1)
+        back = relation_from_representatives(cu, reps)
+        for u in [((0, 7, 1),), ((1, 7, 1),)]:
+            assert back(u) == pred(u)
+
+    def test_class_coarseness(self):
+        cu = mixed_components_hsdb()
+        selected, total = class_coarseness(cu, lambda u: u[0][0] == 0, 1)
+        assert (selected, total) == (1, 2)

@@ -1,0 +1,142 @@
+"""Tests for Proposition 6.1, Theorem 6.2, and Theorem 6.3."""
+
+import pytest
+
+from repro.bp import (
+    expression_defines_relation,
+    formula_to_representatives,
+    is_unary,
+    proposition_61_automorphism,
+    realized_types,
+    relation_to_formula,
+    roundtrip_holds,
+    separating_radius,
+    unary_relation_to_expression,
+)
+from repro.core import database_from_predicates
+from repro.errors import TypeSignatureError
+from repro.graphs import mixed_components_hsdb, triangles_hsdb
+from repro.logic.syntax import FalseF
+from repro.logic.transform import quantifier_rank
+from repro.symmetric import infinite_clique, rado_hsdb
+
+
+def unary_db():
+    """U = (N, evens, multiples-of-3)."""
+    return database_from_predicates(
+        [(1, lambda x: x % 2 == 0), (1, lambda x: x % 3 == 0)], name="U")
+
+
+class TestProposition61:
+    def test_unary_equivalence_is_local(self):
+        U = unary_db()
+        # 2 and 4: both even non-multiples of 3 -> swap automorphism.
+        assert proposition_61_automorphism(U, (2,), (4,)) == {2: 4, 4: 2}
+        # 2 and 3 have different unary types.
+        assert proposition_61_automorphism(U, (2,), (3,)) is None
+
+    def test_double_transposition_shape(self):
+        U = unary_db()
+        mapping = proposition_61_automorphism(U, (2, 8), (4, 2))
+        # u = (2,8), v = (4,2): 2->4, 8->2, and 4 swaps back to 2's slot.
+        assert mapping[2] == 4 and mapping[8] == 2
+        assert mapping[4] == 2
+
+    def test_mapping_is_partial_permutation(self):
+        U = unary_db()
+        mapping = proposition_61_automorphism(U, (2, 4), (8, 10))
+        assert sorted(mapping) == sorted(set(mapping.values()))
+
+    def test_requires_unary(self):
+        B = database_from_predicates([(2, lambda x, y: x < y)])
+        with pytest.raises(TypeSignatureError):
+            proposition_61_automorphism(B, (0,), (1,))
+
+    def test_is_unary(self):
+        assert is_unary(unary_db())
+        assert not is_unary(database_from_predicates([(2, lambda x, y: True)]))
+
+
+class TestTheorem62:
+    def test_compiler_roundtrip_rank1(self):
+        U = unary_db()
+        pred = lambda u: (u[0] % 2 == 0) and (u[0] % 3 != 0)
+        expr = unary_relation_to_expression(U, pred, 1)
+        assert expression_defines_relation(U, expr, pred, 1)
+
+    def test_compiler_roundtrip_rank2(self):
+        U = unary_db()
+        pred = lambda u: (u[0] % 2 == 0) and (u[1] % 2 == 0) and u[0] != u[1]
+        expr = unary_relation_to_expression(U, pred, 2)
+        assert expression_defines_relation(U, expr, pred, 2, window=10)
+
+    def test_empty_relation(self):
+        U = unary_db()
+        expr = unary_relation_to_expression(U, lambda u: False, 1)
+        assert isinstance(expr.formula, FalseF)
+
+    def test_realized_types_subset_of_all(self):
+        from repro.core import count_local_types
+        U = unary_db()
+        realized = realized_types(U, 1)
+        # 4 residue combinations realized of 4 abstract types... all of
+        # (in R1)x(in R2) combinations occur among naturals: 0 (both),
+        # 2 (R1 only), 3 (R2 only), 1 (neither) — all 4.
+        assert len(realized) == count_local_types((1, 1), 1) == 4
+
+    def test_unrealized_types_skipped(self):
+        """In a db where R1 ⊆ R2, the type 'R1 but not R2' is unrealized."""
+        V = database_from_predicates(
+            [(1, lambda x: x % 6 == 0), (1, lambda x: x % 3 == 0)], name="V")
+        realized = realized_types(V, 1)
+        assert len(realized) == 3
+
+
+class TestTheorem63:
+    def test_roundtrip_component_relation(self):
+        cu = mixed_components_hsdb()
+        pred = lambda u: u[0][0] == 0  # "is a triangle node"
+        assert roundtrip_holds(cu, pred, 1,
+                               samples=[((0, 9, 2),), ((1, 9, 1),)])
+
+    def test_roundtrip_edge_relation(self):
+        cu = mixed_components_hsdb()
+        pred = lambda u: cu.contains(0, u)  # R1 itself
+        assert roundtrip_holds(cu, pred, 2,
+                               samples=[((0, 3, 0), (0, 3, 1)),
+                                        ((0, 3, 0), (0, 4, 1))])
+
+    def test_formula_quantifier_rank_is_radius(self):
+        cu = mixed_components_hsdb()
+        pred = lambda u: u[0][0] == 0
+        formula = relation_to_formula(cu, pred, 1)
+        assert quantifier_rank(formula) == separating_radius(cu, 1)
+
+    def test_empty_relation_compiles_to_false(self):
+        cu = mixed_components_hsdb()
+        assert isinstance(relation_to_formula(cu, lambda u: False, 1),
+                          FalseF)
+
+    def test_formula_to_representatives_inverse(self):
+        cu = mixed_components_hsdb()
+        pred = lambda u: u[0][0] == 0
+        formula = relation_to_formula(cu, pred, 1)
+        reps = formula_to_representatives(cu, formula, 1)
+        from repro.bp import representatives_of
+        assert reps == representatives_of(cu, pred, 1)
+
+    def test_radius_zero_databases(self):
+        """On the clique and the Rado graph local types already separate
+        classes, so compiled formulas are quantifier-free."""
+        for hs in (infinite_clique(), rado_hsdb()):
+            pred = lambda u: hs.contains(0, u)
+            formula = relation_to_formula(hs, pred, 2)
+            assert quantifier_rank(formula) == 0
+            assert roundtrip_holds(hs, pred, 2, samples=[])
+
+    def test_triangles_edge_vs_nonedge(self):
+        tri = triangles_hsdb()
+        pred = lambda u: tri.contains(0, u)
+        assert roundtrip_holds(
+            tri, pred, 2,
+            samples=[((0, 1, 0), (0, 1, 2)), ((0, 1, 0), (0, 2, 0))])

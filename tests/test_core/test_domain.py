@@ -1,0 +1,106 @@
+"""Tests for recursive domains."""
+
+import pytest
+
+from repro.core.domain import (
+    finite_domain,
+    integers_domain,
+    naturals_domain,
+    shifted_naturals,
+    subset_domain,
+    tagged_domain,
+    union_domain,
+)
+from repro.errors import DomainError
+
+
+class TestNaturals:
+    def test_membership(self):
+        N = naturals_domain()
+        assert 0 in N
+        assert 41 in N
+        assert -1 not in N
+        assert "x" not in N
+        assert True not in N  # bools are not naturals
+
+    def test_enumeration(self):
+        assert naturals_domain().first(4) == [0, 1, 2, 3]
+
+    def test_first_not_in(self):
+        N = naturals_domain()
+        assert N.first_not_in([0, 1, 3]) == 2
+
+    def test_fresh(self):
+        N = naturals_domain()
+        assert N.fresh([0, 2], 3) == [1, 3, 4]
+
+    def test_is_infinite(self):
+        assert not naturals_domain().is_finite
+
+    def test_check(self):
+        N = naturals_domain()
+        assert N.check(5) == 5
+        with pytest.raises(DomainError):
+            N.check(-3)
+
+
+class TestIntegers:
+    def test_fair_enumeration(self):
+        assert integers_domain().first(5) == [0, 1, -1, 2, -2]
+
+    def test_membership(self):
+        Z = integers_domain()
+        assert -17 in Z
+        assert 0 in Z
+        assert 0.5 not in Z
+
+
+class TestFiniteDomain:
+    def test_basics(self):
+        D = finite_domain(["a", "b", "a"])
+        assert D.is_finite
+        assert D.finite_size == 2
+        assert list(D) == ["a", "b"]
+
+    def test_fresh_exhaustion(self):
+        D = finite_domain([1, 2])
+        with pytest.raises(DomainError):
+            D.fresh([1, 2], 1)
+
+
+class TestDerivedDomains:
+    def test_shifted(self):
+        D = shifted_naturals(10)
+        assert 10 in D
+        assert 9 not in D
+        assert D.first(3) == [10, 11, 12]
+
+    def test_subset(self):
+        evens = subset_domain(naturals_domain(), lambda x: x % 2 == 0)
+        assert 4 in evens
+        assert 5 not in evens
+        assert evens.first(3) == [0, 2, 4]
+
+    def test_tagged(self):
+        D = tagged_domain(naturals_domain(), "a")
+        assert ("a", 3) in D
+        assert ("b", 3) not in D
+        assert 3 not in D
+        assert D.first(2) == [("a", 0), ("a", 1)]
+
+    def test_union_disjoint_tagged(self):
+        D = union_domain([
+            tagged_domain(naturals_domain(), "a"),
+            tagged_domain(naturals_domain(), "b"),
+        ])
+        assert ("a", 0) in D and ("b", 0) in D
+        first = D.first(4)
+        assert ("a", 0) in first and ("b", 0) in first  # fair interleave
+
+    def test_union_of_finite_is_finite(self):
+        D = union_domain([finite_domain([1]), finite_domain(["x", "y"])])
+        assert D.finite_size == 3
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union_domain([])

@@ -1,0 +1,161 @@
+"""Tests for local types — the equivalence classes Cⁿ of Section 2."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.database import database_from_predicates, finite_database
+from repro.core.isomorphism import locally_isomorphic
+from repro.core.localtypes import (
+    LocalType,
+    atom_slots,
+    canonical_pointed,
+    count_local_types,
+    enumerate_local_types,
+    local_type_of,
+    matches,
+)
+from repro.errors import ArityError, TypeSignatureError
+
+
+class TestCounting:
+    def test_paper_68_example(self):
+        """Type a=(2,1) has 2² + 2⁴·2² = 68 classes of rank 2."""
+        assert count_local_types((2, 1), 2) == 68
+
+    def test_enumeration_matches_count(self):
+        for signature in [(1,), (2,), (2, 1)]:
+            for rank in range(3):
+                assert (sum(1 for _ in enumerate_local_types(signature, rank))
+                        == count_local_types(signature, rank))
+
+    def test_rank_zero_counts(self):
+        # Rank 0: one empty pattern, no blocks; each relation contributes
+        # blocks^a = 0^a atoms unless a = 0.
+        assert count_local_types((2,), 0) == 1
+        assert count_local_types((0,), 0) == 2  # the proposition holds or not
+
+    def test_rank_one_graph(self):
+        # One block; a binary relation has 1 atom (the self-loop).
+        assert count_local_types((2,), 1) == 2
+
+    def test_rank_two_graph(self):
+        # x=y: 2^1; x≠y: 2^4 atoms.
+        assert count_local_types((2,), 2) == 2 + 16
+
+    def test_unary_type(self):
+        # rank n, unary relation: 2^blocks per partition.
+        assert count_local_types((1,), 1) == 2
+        assert count_local_types((1,), 2) == 2 + 4
+
+    def test_enumeration_distinct(self):
+        types = list(enumerate_local_types((2,), 2))
+        assert len(types) == len(set(types))
+
+
+class TestLocalTypeOf:
+    def test_equality_pattern_extracted(self):
+        B = database_from_predicates([(2, lambda x, y: False)])
+        t = local_type_of(B.point((5, 5, 7)))
+        assert t.pattern == (0, 0, 1)
+        assert t.rank == 3
+        assert t.num_blocks == 2
+
+    def test_atoms_extracted(self):
+        B = database_from_predicates([(2, lambda x, y: x < y)])
+        t = local_type_of(B.point((1, 5)))
+        assert (0, (0, 1)) in t.atoms        # 1 < 5
+        assert (0, (1, 0)) not in t.atoms    # not 5 < 1
+        assert (0, (0, 0)) not in t.atoms    # not 1 < 1
+
+    def test_characterizes_local_isomorphism(self):
+        """(B1,u) ≅ₗ (B2,v) iff equal local types — on a family of cases."""
+        B1 = database_from_predicates([(2, lambda x, y: x < y)], name="lt")
+        B2 = database_from_predicates([(2, lambda x, y: x > y)], name="gt")
+        cases = [
+            (B1.point((1, 5)), B2.point((9, 2))),   # both "first < second"-shaped
+            (B1.point((1, 5)), B2.point((2, 9))),   # opposite orientation
+            (B1.point((3, 3)), B2.point((4, 4))),
+            (B1.point((1, 2)), B1.point((1, 1))),
+        ]
+        for p, q in cases:
+            assert (local_type_of(p) == local_type_of(q)) == \
+                locally_isomorphic(p, q)
+
+    def test_holds_atom_respects_pattern(self):
+        B = database_from_predicates([(2, lambda x, y: x == y)])
+        t = local_type_of(B.point((4, 4)))
+        assert t.holds_atom(0, (0, 1))  # positions 0,1 are the same block
+
+    def test_describe_mentions_relations(self):
+        B = database_from_predicates([(1, lambda x: True)])
+        text = local_type_of(B.point((3,))).describe()
+        assert "R1" in text and "in" in text
+
+
+class TestCanonicalPointed:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_roundtrip_random_class(self, data):
+        """local_type_of(canonical_pointed(t)) == t for random classes."""
+        signature = data.draw(st.sampled_from([(1,), (2,), (2, 1)]))
+        rank = data.draw(st.integers(0, 2))
+        all_types = list(enumerate_local_types(signature, rank))
+        t = data.draw(st.sampled_from(all_types))
+        assert local_type_of(canonical_pointed(t)) == t
+
+    def test_roundtrip_exhaustive_small(self):
+        for t in enumerate_local_types((2,), 2):
+            assert local_type_of(canonical_pointed(t)) == t
+
+    def test_matches(self):
+        B = database_from_predicates([(2, lambda x, y: x <= y)])
+        p = B.point((2, 7))
+        t = local_type_of(p)
+        assert matches(t, p)
+        assert matches(t, B.point((0, 1)))
+        assert not matches(t, B.point((7, 2)))
+
+    def test_matches_type_mismatch(self):
+        B = database_from_predicates([(1, lambda x: True)])
+        t = local_type_of(B.point((0,)))
+        B2 = database_from_predicates([(2, lambda x, y: True)])
+        with pytest.raises(TypeSignatureError):
+            matches(t, B2.point((0,)))
+
+    def test_matches_rank_mismatch_is_false(self):
+        B = database_from_predicates([(1, lambda x: True)])
+        t = local_type_of(B.point((0,)))
+        assert not matches(t, B.point((0, 1)))
+
+
+class TestValidation:
+    def test_atom_bad_relation_index(self):
+        with pytest.raises(TypeSignatureError):
+            LocalType((1,), (0,), frozenset({(1, (0,))}))
+
+    def test_atom_bad_arity(self):
+        with pytest.raises(ArityError):
+            LocalType((2,), (0,), frozenset({(0, (0,))}))
+
+    def test_atom_bad_block(self):
+        with pytest.raises(ArityError):
+            LocalType((1,), (0,), frozenset({(0, (1,))}))
+
+    def test_atom_slots_count(self):
+        assert len(atom_slots((2, 1), 2)) == 4 + 2
+
+
+class TestPaperExampleClass:
+    def test_the_68th_style_class(self):
+        """The specific class C²ᵢ the paper spells out:
+        x≠y, (x,y)∉R1, (y,x)∈R1, (x,x)∈R1, (y,y)∉R1, x∉R2, y∈R2."""
+        B = finite_database(
+            [(2, [("y", "x"), ("x", "x")]), (1, [("y",)])],
+            ["x", "y"], name="paper")
+        t = local_type_of(B.point(("x", "y")))
+        assert t.pattern == (0, 1)
+        assert t.atoms == frozenset({
+            (0, (1, 0)), (0, (0, 0)), (1, (1,)),
+        })
+        # And it is one of the 68.
+        assert t in set(enumerate_local_types((2, 1), 2))

@@ -1,0 +1,87 @@
+"""The paper's opening example: recursive relations are not closed under
+projection.
+
+"If we define the primitive recursive relation R, such that R(x, y, z)
+holds for a 3-tuple of natural numbers iff the y-th Turing machine halts
+on input z after x steps, then R↓ — the projection of R on the second
+and third columns — is the non-recursive halting predicate."
+
+What is testable: R itself is decidable (built on the real TM simulator
+and the effective machine enumeration), bounded projections
+``∃x ≤ bound. R(x, y, z)`` are decidable but keep *growing* with the
+bound (no finite bound is a fixpoint across the enumeration), and the
+would-be projection is exactly the limit of that increasing chain —
+the computational footprint of undecidability.
+"""
+
+import pytest
+
+from repro.core import OracleQuery, database_from_predicates
+from repro.machines.turing import halting_steps_relation, machine_from_index
+
+
+def halting_db():
+    """The r-db B = (N, R) with R(x, y, z) = "machine y halts on z in x
+    steps"."""
+    return database_from_predicates([(3, halting_steps_relation)],
+                                    name="halting-steps")
+
+
+class TestHaltingStepsRelation:
+    def test_is_decidable_everywhere(self):
+        B = halting_db()
+        for x in (0, 5, 20):
+            for y in (0, 3, 57):
+                for z in (0, 2):
+                    assert B.contains(0, (x, y, z)) in (True, False)
+
+    def test_monotone_in_step_bound(self):
+        B = halting_db()
+        for y in range(0, 2000, 97):
+            for z in (0, 1):
+                if B.contains(0, (6, y, z)):
+                    assert B.contains(0, (40, y, z))
+
+    def test_projection_membership_via_bounded_search(self):
+        """The bounded projection ∃x ≤ b. R(x, y, z) is a recursive
+        query for each b; it answers True for quickly-halting machines
+        and (necessarily) False for divergent ones at every bound."""
+        B = halting_db()
+
+        def bounded_projection(bound):
+            return OracleQuery(
+                (3,),
+                lambda oracle, u: any(oracle.ask(0, (x, u[0], u[1]))
+                                      for x in range(bound)),
+                output_rank=2, name=f"proj<={bound}")
+
+        q = bounded_projection(64)
+        # A machine with no transitions halts immediately on everything.
+        halter = next(y for y in range(300)
+                      if halting_steps_relation(1, y, 1))
+        assert q.holds(B, (halter, 1))
+
+    def test_bounded_projections_grow_without_fixpoint(self):
+        """Across a sample of machine indices, larger step bounds keep
+        admitting new (y, z) pairs — the chain of recursive
+        approximations does not stabilize at any tested bound, which is
+        how the undecidable projection manifests computationally."""
+        sample = [(y, 1) for y in range(0, 60_000, 331)]
+
+        def admitted(bound):
+            return {(y, z) for (y, z) in sample
+                    if any(halting_steps_relation(x, y, z)
+                           for x in range(bound))}
+
+        sizes = [len(admitted(b)) for b in (1, 2, 4, 8, 16)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+        # Strict growth appears at least twice in the chain.
+        assert sum(1 for a, b in zip(sizes, sizes[1:]) if b > a) >= 2
+
+    def test_divergent_machines_exist_in_family(self):
+        """Some enumerated machine never halts on input 1 within a large
+        bound — the pairs the true projection would have to decide."""
+        divergent = [y for y in range(0, 60_000, 331)
+                     if not halting_steps_relation(256, y, 1)]
+        assert divergent

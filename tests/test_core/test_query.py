@@ -1,0 +1,166 @@
+"""Tests for r-queries: oracle discipline, locally generic queries (Prop 2.4)."""
+
+import pytest
+
+from repro.core.database import database_from_predicates, finite_database
+from repro.core.localtypes import enumerate_local_types, local_type_of
+from repro.core.query import (
+    UNDEFINED_QUERY,
+    DatabaseOracle,
+    LocallyGenericQuery,
+    OracleQuery,
+    empty_query,
+    query_from_pointed_examples,
+)
+from repro.errors import TypeSignatureError, UndefinedQueryError
+
+
+def less_than_db():
+    return database_from_predicates([(2, lambda x, y: x < y)], name="lt")
+
+
+class TestDatabaseOracle:
+    def test_ask_counts(self):
+        o = DatabaseOracle(less_than_db())
+        assert o.ask(0, (1, 2)) is True
+        assert o.ask(0, (2, 1)) is False
+        assert o.questions == 2
+
+    def test_transcript(self):
+        o = DatabaseOracle(less_than_db())
+        o.ask(0, (3, 4))
+        assert o.transcript() == [(0, (3, 4), True)]
+
+    def test_elements_touched(self):
+        o = DatabaseOracle(less_than_db())
+        o.ask(0, (3, 9))
+        assert o.elements_touched() == {3, 9}
+
+    def test_reset(self):
+        o = DatabaseOracle(less_than_db())
+        o.ask(0, (0, 1))
+        o.reset()
+        assert o.questions == 0
+
+
+class TestOracleQuery:
+    def test_membership_via_oracle(self):
+        Q = OracleQuery((2,), lambda o, u: o.ask(0, u), name="self")
+        assert Q.holds(less_than_db(), (1, 2))
+        assert not Q.holds(less_than_db(), (2, 1))
+
+    def test_type_check(self):
+        Q = OracleQuery((1,), lambda o, u: True)
+        with pytest.raises(TypeSignatureError):
+            Q.holds(less_than_db(), (0,))
+
+    def test_evaluate_over(self):
+        Q = OracleQuery((2,), lambda o, u: o.ask(0, u))
+        out = Q.evaluate_over(less_than_db(),
+                              [(x, y) for x in range(3) for y in range(3)])
+        assert out == {(0, 1), (0, 2), (1, 2)}
+
+    def test_everywhere_defined(self):
+        Q = OracleQuery((2,), lambda o, u: False)
+        assert Q.is_defined_on(less_than_db())
+
+
+class TestLocallyGenericQuery:
+    def test_from_examples(self):
+        B = less_than_db()
+        Q = query_from_pointed_examples([B.point((1, 2))], name="asc")
+        # Every ascending pair is in the same class.
+        assert Q.holds(B, (5, 9))
+        assert not Q.holds(B, (9, 5))
+        assert not Q.holds(B, (4, 4))
+
+    def test_rank_guard(self):
+        B = less_than_db()
+        Q = query_from_pointed_examples([B.point((1, 2))])
+        assert not Q.holds(B, (1, 2, 3))
+
+    def test_membership_is_class_membership(self):
+        """Q̄ is exactly the union of selected classes (Prop 2.4)."""
+        B = less_than_db()
+        Q = query_from_pointed_examples([B.point((1, 2)), B.point((3, 3))])
+        for u in [(0, 5), (5, 0), (2, 2), (7, 7)]:
+            expected = local_type_of(B.point(u)) in Q.classes
+            assert Q.holds(B, u) == expected
+
+    def test_requires_common_rank(self):
+        B = less_than_db()
+        t1 = local_type_of(B.point((0,)))
+        t2 = local_type_of(B.point((0, 1)))
+        with pytest.raises(TypeSignatureError):
+            LocallyGenericQuery({t1, t2})
+
+    def test_requires_common_signature(self):
+        B1 = less_than_db()
+        B2 = database_from_predicates([(1, lambda x: True)])
+        with pytest.raises(TypeSignatureError):
+            LocallyGenericQuery({local_type_of(B1.point((0,))),
+                                 local_type_of(B2.point((0,)))})
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            LocallyGenericQuery(set())
+
+    def test_boolean_structure(self):
+        """Unions/intersections/complements of locally generic queries are
+        locally generic — closure observed at the class level."""
+        universe = set(enumerate_local_types((2,), 2))
+        B = less_than_db()
+        asc = query_from_pointed_examples([B.point((1, 2))], name="asc")
+        desc = query_from_pointed_examples([B.point((2, 1))], name="desc")
+        both = asc.union(desc)
+        assert both.holds(B, (1, 2)) and both.holds(B, (2, 1))
+        neither = both.complement(universe)
+        assert not neither.holds(B, (1, 2))
+        assert neither.holds(B, (4, 4))
+        meet = asc.intersection(both)
+        assert meet.classes == asc.classes
+
+    def test_oracle_question_count_is_bounded(self):
+        """Deciding membership asks at most Σᵢ blocksᵃⁱ questions —
+        independent of the database."""
+        B = less_than_db()
+        Q = query_from_pointed_examples([B.point((1, 2))])
+        o = DatabaseOracle(B)
+        Q.membership(o, (10, 20))
+        assert o.questions <= 4  # 2 blocks, one binary relation
+
+
+class TestUndefinedAndEmpty:
+    def test_undefined_everywhere(self):
+        assert not UNDEFINED_QUERY.is_defined_on(less_than_db())
+        with pytest.raises(UndefinedQueryError):
+            UNDEFINED_QUERY.holds(less_than_db(), (0, 1))
+
+    def test_undefined_ignores_type(self):
+        B = database_from_predicates([(1, lambda x: True)])
+        assert not UNDEFINED_QUERY.is_defined_on(B)
+
+    def test_empty_query(self):
+        Q = empty_query((2,), 2)
+        assert Q.is_defined_on(less_than_db())
+        assert not Q.holds(less_than_db(), (0, 1))
+        assert Q.evaluate_over(less_than_db(), [(0, 1), (1, 0)]) == set()
+
+
+class TestProposition23:
+    def test_part3_common_rank(self):
+        """A locally generic query yields relations of one common rank;
+        LocallyGenericQuery enforces this by construction, and the
+        amalgamation argument is tested in test_genericity."""
+        B = less_than_db()
+        Q = query_from_pointed_examples([B.point((1, 2))])
+        assert Q.output_rank == 2
+
+    def test_part2_constant_on_classes(self):
+        """(B1,u) ≅ₗ (B2,v) implies equal membership."""
+        B1 = less_than_db()
+        B2 = database_from_predicates([(2, lambda x, y: y - x > 3)], name="gap")
+        Q = query_from_pointed_examples([B1.point((1, 2))])
+        p, q = B1.point((0, 9)), B2.point((1, 8))
+        assert local_type_of(p) == local_type_of(q)
+        assert Q.holds(B1, p.u) == Q.holds(B2, q.u)

@@ -1,0 +1,77 @@
+"""Rank-0 relations: Definition 2.1 allows arity 0 ("if R is of rank 0,
+then ( ) ∈ R is a legal atomic formula") — coverage across the stack."""
+
+import pytest
+
+from repro.core import (
+    LocalType,
+    count_local_types,
+    database_from_predicates,
+    enumerate_local_types,
+    local_type_of,
+    locally_isomorphic,
+)
+from repro.logic import QFExpression, parse
+from repro.logic.qf import classes_of_expression, expression_for_classes
+
+
+def prop_db(holds: bool):
+    """A database with one proposition (rank-0 relation) and one binary."""
+    return database_from_predicates(
+        [(0, lambda: holds), (2, lambda x, y: x < y)],
+        name=f"prop={holds}")
+
+
+class TestRankZeroRelations:
+    def test_membership(self):
+        assert prop_db(True).contains(0, ())
+        assert not prop_db(False).contains(0, ())
+
+    def test_local_types_include_propositions(self):
+        """A rank-0 relation contributes one atom slot regardless of the
+        tuple: blocks^0 = 1."""
+        assert count_local_types((0,), 0) == 2
+        assert count_local_types((0, 2), 1) == 2 * 2
+
+    def test_local_type_of_records_proposition(self):
+        t_true = local_type_of(prop_db(True).point((1, 2)))
+        t_false = local_type_of(prop_db(False).point((1, 2)))
+        assert t_true != t_false
+        assert (0, ()) in t_true.atoms
+        assert (0, ()) not in t_false.atoms
+
+    def test_local_isomorphism_respects_proposition(self):
+        """Rank-0 facts are part of every restriction: databases whose
+        propositions differ have no locally isomorphic tuples."""
+        assert not locally_isomorphic(prop_db(True).point((1, 2)),
+                                      prop_db(False).point((1, 2)))
+        assert locally_isomorphic(prop_db(True).point((1, 2)),
+                                  prop_db(True).point((5, 9)))
+
+    def test_rank_zero_tuples_split_by_proposition(self):
+        assert not locally_isomorphic(prop_db(True).point(()),
+                                      prop_db(False).point(()))
+
+
+class TestRankZeroInLMinus:
+    def test_nullary_atom_parses_and_evaluates(self):
+        e = QFExpression.from_text("x y", "R1() and R2(x, y)")
+        assert e.holds(prop_db(True), (0, 1))
+        assert not e.holds(prop_db(False), (0, 1))
+
+    def test_nullary_expression(self):
+        """A rank-0 query: {() | R1()} — the proposition itself."""
+        e = QFExpression((), parse("R1()"))
+        assert e.holds(prop_db(True), ())
+        assert not e.holds(prop_db(False), ())
+
+    def test_classes_roundtrip_with_proposition(self):
+        universe = list(enumerate_local_types((0, 2), 1))
+        selected = [t for t in universe if (0, ()) in t.atoms]
+        expr = expression_for_classes(selected)
+        assert classes_of_expression(expr, (0, 2)) == frozenset(selected)
+
+    def test_rank_zero_class_enumeration(self):
+        rank0 = list(enumerate_local_types((0,), 0))
+        assert len(rank0) == 2
+        assert all(isinstance(t, LocalType) for t in rank0)

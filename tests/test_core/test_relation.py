@@ -1,0 +1,109 @@
+"""Tests for recursive / finite / co-finite relations and oracles."""
+
+import pytest
+
+from repro.core.relation import (
+    CoFiniteRelation,
+    FiniteRelation,
+    RecursiveRelation,
+    RelationOracle,
+    empty_relation,
+    full_relation,
+    relation_from_predicate,
+)
+from repro.errors import ArityError
+
+
+class TestRecursiveRelation:
+    def test_multiplication_example(self):
+        """The paper's example: {(x,y,z) | z = x*y} is recursive."""
+        times = relation_from_predicate(3, lambda x, y, z: z == x * y, "times")
+        assert (3, 4, 12) in times
+        assert (3, 4, 13) not in times
+
+    def test_arity_enforced(self):
+        R = relation_from_predicate(2, lambda x, y: x < y)
+        with pytest.raises(ArityError):
+            (1, 2, 3) in R
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ArityError):
+            RecursiveRelation(-1, lambda u: True)
+
+    def test_rank_zero_relation(self):
+        """Rank-0 relations are propositions: {()} or {}."""
+        yes = RecursiveRelation(0, lambda u: True, "yes")
+        no = RecursiveRelation(0, lambda u: False, "no")
+        assert () in yes
+        assert () not in no
+
+    def test_restrict_to(self):
+        less = relation_from_predicate(2, lambda x, y: x < y)
+        fin = less.restrict_to([3, 1, 2])
+        assert fin.tuples == {(1, 2), (1, 3), (2, 3)}
+
+
+class TestFiniteRelation:
+    def test_membership_and_len(self):
+        R = FiniteRelation(2, [(1, 2), (2, 1)])
+        assert (1, 2) in R
+        assert (1, 1) not in R
+        assert len(R) == 2
+
+    def test_wrong_rank_tuple_rejected(self):
+        with pytest.raises(ArityError):
+            FiniteRelation(2, [(1, 2, 3)])
+
+    def test_equality_hash(self):
+        assert FiniteRelation(1, [(1,)]) == FiniteRelation(1, [(1,)])
+        assert hash(FiniteRelation(1, [(1,)])) == hash(FiniteRelation(1, [(1,)]))
+
+    def test_iteration_deterministic(self):
+        R = FiniteRelation(1, [(2,), (1,)])
+        assert list(R) == list(R)
+
+    def test_empty_and_full(self):
+        assert len(empty_relation(3)) == 0
+        assert (9, 9) in full_relation(2)
+
+
+class TestCoFiniteRelation:
+    def test_membership(self):
+        R = CoFiniteRelation(1, [(0,), (1,)])
+        assert (0,) not in R
+        assert (1,) not in R
+        assert (2,) in R
+        assert (10 ** 9,) in R
+
+    def test_domain_guard(self):
+        R = CoFiniteRelation(1, [(0,)],
+                             domain_contains=lambda x: isinstance(x, int))
+        assert ("a",) not in R
+        assert (5,) in R
+
+    def test_wrong_rank_in_complement(self):
+        with pytest.raises(ArityError):
+            CoFiniteRelation(2, [(1,)])
+
+
+class TestRelationOracle:
+    def test_counts_and_transcript(self):
+        R = relation_from_predicate(2, lambda x, y: x == y, "eq")
+        o = RelationOracle(R)
+        assert o.ask((1, 1)) is True
+        assert o.ask((1, 2)) is False
+        assert o.questions == 2
+        assert o.transcript == [((1, 1), True), ((1, 2), False)]
+
+    def test_elements_touched(self):
+        o = RelationOracle(relation_from_predicate(2, lambda x, y: True))
+        o.ask((3, 5))
+        o.ask((5, 7))
+        assert o.elements_touched() == {3, 5, 7}
+
+    def test_reset(self):
+        o = RelationOracle(relation_from_predicate(1, lambda x: True))
+        o.ask((1,))
+        o.reset()
+        assert o.questions == 0
+        assert o.transcript == []

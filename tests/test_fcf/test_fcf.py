@@ -1,0 +1,271 @@
+"""Tests for Section 4: fcf relations, databases, QLf+, and Prop 4.1/4.3."""
+
+import pytest
+
+from repro.errors import RankMismatchError, RepresentationError
+from repro.fcf import (
+    FcfDatabase,
+    FcfPipeline,
+    FcfValue,
+    QLfInterpreter,
+    WhileFinite,
+    cofinite_value,
+    complement,
+    df_from_hsdb,
+    difference,
+    down,
+    empty_fcf,
+    equality_over,
+    fcf_from_hsdb,
+    finite_value,
+    full_fcf,
+    intersection,
+    membership_matches,
+    restrict_to,
+    swap,
+    union,
+    up,
+)
+from repro.qlhs.ast import Assign, VarT, seq
+from repro.qlhs.parser import parse_program
+
+
+def sample_db():
+    """R1 finite {(1,2),(2,1)}; R2 co-finite with complement {(3,)}."""
+    return FcfDatabase([finite_value(2, [(1, 2), (2, 1)]),
+                        cofinite_value(1, [(3,)])], name="B")
+
+
+class TestFcfValue:
+    def test_finite_membership(self):
+        v = finite_value(2, [(1, 2)])
+        assert v.contains((1, 2))
+        assert not v.contains((2, 1))
+        assert not v.contains((1, 2, 3))
+
+    def test_cofinite_membership(self):
+        v = cofinite_value(1, [(3,)])
+        assert v.contains((99,))
+        assert not v.contains((3,))
+
+    def test_rank_zero_normalization(self):
+        assert FcfValue(0, frozenset(), cofinite=True).contains(())
+        assert not FcfValue(0, frozenset({()}), cofinite=True).contains(())
+        assert FcfValue(0, frozenset(), cofinite=True).is_finite
+
+    def test_rank_checked(self):
+        with pytest.raises(RankMismatchError):
+            FcfValue(1, frozenset({(1, 2)}))
+
+    def test_complement_flips_indicator(self):
+        v = finite_value(1, [(1,)])
+        c = complement(v)
+        assert c.cofinite and c.tuples == v.tuples
+        assert complement(c) == v
+
+    def test_intersection_cases(self):
+        fin = finite_value(1, [(1,), (2,)])
+        cof = cofinite_value(1, [(2,), (3,)])
+        assert intersection(fin, fin).tuples == fin.tuples
+        # finite ∩ co-finite: "computed as e − (¬f)".
+        mixed = intersection(fin, cof)
+        assert mixed.is_finite and mixed.tuples == frozenset({(1,)})
+        both = intersection(cof, cofinite_value(1, [(5,)]))
+        assert both.cofinite
+        assert both.tuples == frozenset({(2,), (3,), (5,)})
+
+    def test_union_de_morgan(self):
+        fin = finite_value(1, [(1,)])
+        cof = cofinite_value(1, [(1,), (2,)])
+        u = union(fin, cof)
+        assert u.cofinite and u.tuples == frozenset({(2,)})
+
+    def test_difference(self):
+        cof = cofinite_value(1, [(1,)])
+        fin = finite_value(1, [(2,)])
+        d = difference(cof, fin)
+        assert d.cofinite and d.tuples == frozenset({(1,), (2,)})
+
+    def test_proposition_42_projection(self):
+        """R co-finite of rank n ⟹ R↓ = D^{n-1}."""
+        cof = cofinite_value(2, [(1, 2), (3, 4)])
+        p = down(cof)
+        assert p.cofinite and p.tuples == frozenset()
+        # Rank 1: the projection is D^0 = {()}, finite.
+        p0 = down(cofinite_value(1, [(1,)]))
+        assert p0.is_finite and p0.contains(())
+
+    def test_finite_projection(self):
+        fin = finite_value(2, [(1, 2), (3, 2)])
+        assert down(fin).tuples == frozenset({(2,)})
+
+    def test_down_rank_zero(self):
+        assert down(empty_fcf(0)).is_finite
+
+    def test_swap_preserves_shape(self):
+        cof = cofinite_value(2, [(1, 2)])
+        s = swap(cof)
+        assert s.cofinite and s.tuples == frozenset({(2, 1)})
+
+    def test_up_requires_finite(self):
+        with pytest.raises(RepresentationError):
+            up(cofinite_value(1, [(1,)]), [1, 2])
+
+    def test_up_over_df(self):
+        v = up(finite_value(1, [(1,)]), [1, 2])
+        assert v.tuples == frozenset({(1, 1), (1, 2)})
+
+    def test_equality_over_df(self):
+        e = equality_over([1, 2])
+        assert e.tuples == frozenset({(1, 1), (2, 2)})
+
+    def test_restrict_to(self):
+        cof = cofinite_value(1, [(2,)])
+        r = restrict_to(cof, [1, 2, 3])
+        assert r.tuples == frozenset({(1,), (3,)})
+
+
+class TestFcfDatabase:
+    def test_df(self):
+        assert sample_db().df == frozenset({1, 2, 3})
+
+    def test_membership(self):
+        B = sample_db()
+        assert B.contains(0, (1, 2))
+        assert B.contains(1, (10 ** 6,))
+        assert not B.contains(1, (3,))
+
+    def test_as_rdb(self):
+        rdb = sample_db().as_rdb()
+        assert rdb.contains(1, (42,))
+
+    def test_finite_structure_relations(self):
+        F = sample_db().finite_structure()
+        assert F.domain.finite_size == 3
+        assert F.contains(0, (1, 2))
+        assert F.contains(1, (3,))  # stores the complement!
+
+
+class TestProposition41:
+    def test_to_hsdb_membership_agrees(self):
+        B = sample_db()
+        hs = B.to_hsdb()
+        hs.validate(max_rank=2)
+        for u in [(1, 2), (2, 1), (1, 1), (50, 51)]:
+            assert hs.contains(0, u) == B.contains(0, u)
+        for u in [(1,), (3,), (50,)]:
+            assert hs.contains(1, u) == B.contains(1, u)
+
+    def test_df_recovery(self):
+        hs = sample_db().to_hsdb()
+        assert df_from_hsdb(hs) == frozenset({1, 2, 3})
+
+    def test_full_roundtrip(self):
+        B = sample_db()
+        B2 = fcf_from_hsdb(B.to_hsdb())
+        assert [(r.rank, r.cofinite, r.tuples) for r in B2.relations] == \
+            [(r.rank, r.cofinite, r.tuples) for r in B.relations]
+
+    def test_df_recovery_fails_on_non_fcf(self):
+        """On a two-kind component union every distinct path has at
+        least two new-element extension classes (one fresh copy per
+        kind), so the shortest-d search correctly reports failure —
+        the algorithm's guarantee is scoped to fcf inputs."""
+        from repro.core import finite_database
+        from repro.errors import NotHighlySymmetricError
+        from repro.symmetric import INFINITE, component_union
+        tri = finite_database(
+            [(2, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])],
+            [0, 1, 2], name="K3")
+        edge = finite_database([(2, [(0, 1), (1, 0)])], [0, 1], name="K2")
+        cu = component_union([(tri, INFINITE), (edge, INFINITE)])
+        with pytest.raises(NotHighlySymmetricError):
+            df_from_hsdb(cu, max_rank=3)
+
+    def test_all_generic_database(self):
+        """A database with empty finite parts: Df = ∅."""
+        B = FcfDatabase([cofinite_value(1, [])], name="full")
+        hs = B.to_hsdb()
+        assert df_from_hsdb(hs) == frozenset()
+
+
+class TestQLfInterpreter:
+    def test_complement_is_indicator_flip(self):
+        it = QLfInterpreter(sample_db())
+        store = it.execute(parse_program("Y1 := !R1"))
+        assert store["Y1"].cofinite
+        assert store["Y1"].tuples == frozenset({(1, 2), (2, 1)})
+
+    def test_intersection_mixed(self):
+        it = QLfInterpreter(sample_db())
+        store = it.execute(parse_program("Y1 := up(R2 & !R2) ; Y2 := R1"))
+        assert store["Y2"].is_finite
+
+    def test_E_is_over_df(self):
+        it = QLfInterpreter(sample_db())
+        store = it.execute(parse_program("Y1 := E"))
+        assert store["Y1"].tuples == frozenset({(1, 1), (2, 2), (3, 3)})
+
+    def test_result_assembly(self):
+        it = QLfInterpreter(sample_db())
+        res = it.result(parse_program(
+            "Y1 := !R2 ; Y2 := down(down(E))"))
+        assert res.cofinite
+        assert res.contains((42,))
+        assert not res.contains((3,))
+
+    def test_while_finite(self):
+        """while |Y| < ∞: grow Y until it is co-finite."""
+        it = QLfInterpreter(sample_db())
+        program = seq(
+            Assign("Y", VarT("Y")),  # empty rank-0, finite -> loop entered
+            WhileFinite("Y", parse_program("Y := R2")),
+        )
+        store = it.execute(program)
+        assert store["Y"].cofinite
+
+    def test_up_of_cofinite_rejected(self):
+        it = QLfInterpreter(sample_db())
+        with pytest.raises(RepresentationError):
+            it.execute(parse_program("Y1 := up(R2)"))
+
+
+class TestFcfPipeline:
+    def test_symmetric_closure_query(self):
+        B = sample_db()
+
+        def machine(size, parts, flags):
+            X1 = parts[0]
+            return ({(i,) for (i, j) in X1}, False)
+
+        out = FcfPipeline(B).execute(machine)
+        assert out.tuples == frozenset({(1,), (2,)})
+        assert out.is_finite
+
+    def test_cofinite_answer(self):
+        B = sample_db()
+
+        def machine(size, parts, flags):
+            # "everything except the R2-complement": return complement
+            # positions with the co-finite indicator set.
+            X2 = parts[1]
+            assert flags[1] is False  # R2 is co-finite
+            return (set(X2), True)
+
+        out = FcfPipeline(B).execute(machine)
+        assert out.cofinite
+        assert membership_matches(out, B, lambda t: t != (3,))
+
+    def test_output_closed_under_automorphisms(self):
+        """A non-closed machine output is closed by the pipeline (and
+        detected as non-generic)."""
+        B = FcfDatabase([finite_value(2, [(1, 2), (2, 1)])], name="sym")
+        pipe = FcfPipeline(B)
+
+        def unfair(size, parts, flags):
+            return ({(0,)}, False)  # mentions element 1 only
+
+        assert not pipe.check_generic_output(unfair)
+        out = pipe.execute(unfair)
+        # 1 and 2 are automorphic (the edge swap), so both appear.
+        assert out.tuples == frozenset({(1,), (2,)})

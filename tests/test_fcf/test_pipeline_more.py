@@ -1,0 +1,93 @@
+"""Additional coverage for the Proposition 4.3 pipeline and helpers."""
+
+import pytest
+
+from repro.errors import RepresentationError
+from repro.fcf import (
+    FcfDatabase,
+    FcfPipeline,
+    cofinite_value,
+    finite_value,
+    membership_matches,
+)
+
+
+def star_db():
+    """R1: a star 1-{2,3,4}; R2: co-finite minus the leaves."""
+    edges = [(1, 2), (2, 1), (1, 3), (3, 1), (1, 4), (4, 1)]
+    return FcfDatabase([
+        finite_value(2, edges),
+        cofinite_value(1, [(2,), (3,), (4,)]),
+    ], name="star")
+
+
+class TestPipelineShapes:
+    def test_center_query(self):
+        """'elements related to at least two others' — only the center."""
+        B = star_db()
+
+        def machine(size, parts, flags):
+            X1 = parts[0]
+            out = set()
+            for i in range(size):
+                if sum(1 for (a, b) in X1 if a == i) >= 2:
+                    out.add((i,))
+            return (out, False)
+
+        result = FcfPipeline(B).execute(machine)
+        assert result.tuples == frozenset({(1,)})
+
+    def test_leaves_are_one_orbit(self):
+        B = star_db()
+        pipe = FcfPipeline(B)
+        # Leaves 2, 3, 4 are automorphic; a machine naming just one leaf
+        # position is closed to all three.
+        df = sorted(B.df)
+
+        def machine(size, parts, flags):
+            return ({(df.index(2),)}, False)
+
+        result = pipe.execute(machine)
+        assert result.tuples == frozenset({(2,), (3,), (4,)})
+        assert not pipe.check_generic_output(machine)
+
+    def test_flags_expose_indicators(self):
+        B = star_db()
+
+        def machine(size, parts, flags):
+            assert flags == [True, False]  # R1 finite, R2 co-finite
+            return (set(), False)
+
+        FcfPipeline(B).execute(machine)
+
+    def test_rank_mixing_rejected(self):
+        B = star_db()
+        with pytest.raises(RepresentationError):
+            FcfPipeline(B).execute(
+                lambda size, parts, flags: ({(0,), (0, 1)}, False))
+
+    def test_empty_cofinite_answer(self):
+        """A rank-0 'co-finite' answer normalizes to the finite {()}
+        (rank-0 values are always stored finitely)."""
+        B = star_db()
+        result = FcfPipeline(B).execute(
+            lambda size, parts, flags: (set(), True))
+        assert result.contains(())
+        assert result.is_finite
+
+
+class TestMembershipMatches:
+    def test_agreement(self):
+        B = star_db()
+        value = finite_value(1, [(1,)])
+        assert membership_matches(value, B, lambda t: t == (1,), window=8)
+
+    def test_disagreement_detected(self):
+        B = star_db()
+        value = finite_value(1, [(1,)])
+        assert not membership_matches(value, B, lambda t: False, window=8)
+
+    def test_cofinite_value(self):
+        B = star_db()
+        value = cofinite_value(1, [(2,)])
+        assert membership_matches(value, B, lambda t: t != (2,), window=8)

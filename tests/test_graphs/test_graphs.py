@@ -1,0 +1,138 @@
+"""Tests for the recursive-graph library and finite builders."""
+
+import pytest
+
+from repro.core import finite_automorphisms, locally_isomorphic
+from repro.graphs import (
+    arrow_db,
+    clique,
+    complete_db,
+    cycle_db,
+    cycles_hsdb,
+    divisibility,
+    edge_db,
+    empty_graph,
+    grid,
+    infinite_line,
+    mixed_components_hsdb,
+    mod_cliques,
+    path_db,
+    rado,
+    star_db,
+    triangles_hsdb,
+    two_way_line,
+)
+
+
+class TestFiniteBuilders:
+    def test_path(self):
+        P = path_db(4)
+        assert P.contains(0, (0, 1)) and P.contains(0, (1, 0))
+        assert not P.contains(0, (0, 2))
+        assert P.domain.finite_size == 4
+
+    def test_cycle(self):
+        C = cycle_db(4)
+        assert C.contains(0, (3, 0))
+        assert not C.contains(0, (0, 2))
+        # Dihedral group: 2n automorphisms.
+        assert len(finite_automorphisms(C)) == 8
+
+    def test_complete(self):
+        K = complete_db(3)
+        assert len(finite_automorphisms(K)) == 6
+
+    def test_star(self):
+        S = star_db(3)
+        assert S.contains(0, (0, 2))
+        assert not S.contains(0, (1, 2))
+        assert len(finite_automorphisms(S)) == 6  # leaves permute
+
+    def test_arrow_asymmetric(self):
+        A = arrow_db()
+        assert A.contains(0, (0, 1))
+        assert not A.contains(0, (1, 0))
+        assert len(finite_automorphisms(A)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            path_db(0)
+        with pytest.raises(ValueError):
+            cycle_db(2)
+        with pytest.raises(ValueError):
+            complete_db(0)
+        with pytest.raises(ValueError):
+            star_db(0)
+
+    def test_edge_db_is_k2(self):
+        assert edge_db().contains(0, (0, 1))
+
+
+class TestRecursiveGraphs:
+    def test_infinite_line(self):
+        L = infinite_line()
+        assert L.contains(0, (3, 4))
+        assert not L.contains(0, (3, 5))
+
+    def test_two_way_line(self):
+        Z = two_way_line()
+        assert Z.contains(0, (-1, 0))
+        assert Z.contains(0, (0, -1))
+        assert -5 in Z.domain
+
+    def test_two_way_line_single_node_class(self):
+        """All nodes of the two-way line are automorphic: any two
+        singletons are locally isomorphic (and genuinely equivalent via
+        translation) — the paper's pre-marking observation."""
+        Z = two_way_line()
+        assert locally_isomorphic(Z.point((0,)), Z.point((17,)))
+
+    def test_grid(self):
+        G = grid()
+        assert G.contains(0, ((0, 0), (0, 1)))
+        assert not G.contains(0, ((0, 0), (1, 1)))
+        assert (2, 3) in G.domain
+        assert G.domain.first(3)  # enumeration works
+
+    def test_clique_and_empty(self):
+        assert clique().contains(0, (1, 99))
+        assert not clique().contains(0, (5, 5))
+        assert not empty_graph().contains(0, (1, 2))
+
+    def test_mod_cliques(self):
+        M = mod_cliques(3)
+        assert M.contains(0, (1, 4))
+        assert not M.contains(0, (1, 2))
+        assert not M.contains(0, (4, 4))
+        with pytest.raises(ValueError):
+            mod_cliques(0)
+
+    def test_divisibility(self):
+        D = divisibility()
+        # Elements are shifted: node x stands for x+1.
+        assert D.contains(0, (0, 1))      # 1 | 2
+        assert D.contains(0, (1, 3))      # 2 | 4
+        assert not D.contains(0, (2, 3))  # 3 does not divide 4
+
+    def test_rado(self):
+        R = rado()
+        assert R.contains(0, (1, 6))
+        assert not R.contains(0, (0, 6))
+
+
+class TestHsConveniences:
+    def test_triangles(self):
+        tri = triangles_hsdb()
+        tri.validate(max_rank=2)
+        assert tri.class_count(1) == 1
+
+    def test_cycles(self):
+        c4 = cycles_hsdb(4)
+        c4.validate(max_rank=2)
+        assert c4.class_count(1) == 1
+        # rank 2: equal, adjacent, opposite (distance 2), different copies.
+        assert c4.class_count(2) == 4
+
+    def test_mixed(self):
+        cu = mixed_components_hsdb()
+        assert cu.class_count(1) == 2

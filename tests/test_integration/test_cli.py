@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "recdb" in out and "Hirst" in out
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "classes" in capsys.readouterr().out
+
+    def test_classes_the_68(self, capsys):
+        assert main(["classes", "2,1", "2"]) == 0
+        assert "68 classes" in capsys.readouterr().out
+
+    def test_classes_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["classes", "2"])
+
+    def test_tree(self, capsys):
+        assert main(["tree", "clique", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "T^2 (2 classes)" in out
+
+    def test_tree_unknown_db(self):
+        with pytest.raises(SystemExit):
+            main(["tree", "nonsense"])
+
+    def test_eval(self, capsys):
+        assert main(["eval", "rado",
+                     "forall x. exists y. R1(x, y)"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_eval_false_sentence(self, capsys):
+        assert main(["eval", "clique", "exists x. R1(x, x)"]) == 0
+        assert "False" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err

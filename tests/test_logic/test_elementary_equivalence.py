@@ -1,0 +1,116 @@
+"""Corollary 3.1: highly symmetric databases are isomorphic iff
+elementarily equivalent — and the contrast with general r-dbs.
+
+The paper's counterexample for general recursive structures: one two-way
+infinite line versus two disjoint two-way infinite lines are
+elementarily equivalent but not isomorphic.  Full elementary equivalence
+is not decidable, but its finite strata are exactly the EF games; the
+tests check the strata behave as the theory predicts:
+
+* one line vs two lines: the duplicator survives r rounds for small r
+  (no first-order sentence of low rank separates them);
+* highly symmetric pairs: sentence-level agreement up to the
+  Proposition 3.6 radius decides isomorphism (via the amalgamated
+  two-anchor database of the Corollary 3.1 proof, realized here by
+  comparing canonical class structure).
+"""
+
+import pytest
+
+from repro.core import RecursiveDatabase, RecursiveRelation, integers_domain, tagged_domain, union_domain
+from repro.graphs import cycles_hsdb, triangles_hsdb
+from repro.logic.ef_games import bounded_window_pool, duplicator_wins
+from repro.logic.evaluator import holds_sentence
+from repro.logic.parser import parse
+
+
+def one_line() -> RecursiveDatabase:
+    return RecursiveDatabase(
+        integers_domain(),
+        [RecursiveRelation(2, lambda u: abs(u[0] - u[1]) == 1, "E")],
+        name="1-line")
+
+
+def two_lines() -> RecursiveDatabase:
+    domain = union_domain([
+        tagged_domain(integers_domain(), "a"),
+        tagged_domain(integers_domain(), "b"),
+    ], name="2Z")
+
+    def edge(u):
+        (ta, xa), (tb, xb) = u
+        return ta == tb and abs(xa - xb) == 1
+
+    return RecursiveDatabase(domain, [RecursiveRelation(2, edge, "E")],
+                             name="2-lines")
+
+
+class TestLinesCounterexample:
+    @pytest.mark.parametrize("rounds", [0, 1, 2])
+    def test_duplicator_survives_small_games(self, rounds):
+        """One line and two lines agree on all FO sentences of low
+        quantifier rank: the duplicator wins the r-game (window pools
+        sized to be duplicator-sufficient for these rounds)."""
+        b1, b2 = one_line(), two_lines()
+        p1, p2 = b1.point(()), b2.point(())
+        window = 17
+        assert duplicator_wins(p1, p2, rounds,
+                               bounded_window_pool(p1, window),
+                               bounded_window_pool(p2, window))
+
+    def test_structures_differ_globally(self):
+        """They are nonetheless non-isomorphic — witnessed by
+        connectivity, a non-first-order property: in one line every two
+        nodes are linked by a finite path; in two lines, tagged 'a' and
+        'b' nodes are not.  (Checked on the concrete carriers.)"""
+        b2 = two_lines()
+        # No finite sequence of edges connects ('a', 0) to ('b', 0):
+        # every edge stays within one tag.
+        def neighbours(x):
+            t, v = x
+            return [(t, v - 1), (t, v + 1)]
+
+        frontier = {("a", 0)}
+        for __ in range(10):
+            frontier |= {y for x in frontier for y in neighbours(x)}
+        assert ("b", 0) not in frontier
+
+
+class TestHighlySymmetricElementaryEquivalence:
+    def test_sentences_separate_non_isomorphic_hs_dbs(self):
+        """Triangles vs 4-cycles: a fixed FO sentence (rank 3) separates
+        them — for hs databases, finite-rank agreement is all there is
+        (Corollary 3.1 via Proposition 3.6)."""
+        tri = triangles_hsdb()
+        c4 = cycles_hsdb(4)
+        triangle_sentence = parse(
+            "exists x. exists y. exists z. (R1(x, y) and R1(y, z) and "
+            "R1(z, x) and x != y and y != z and x != z)")
+        assert holds_sentence(tri, triangle_sentence)
+        assert not holds_sentence(c4, triangle_sentence)
+
+    def test_isomorphic_hs_dbs_agree_on_sentences(self):
+        """Two independently built copies of the triangles database
+        satisfy the same sentences from a probe battery."""
+        a = triangles_hsdb(name="A")
+        b = triangles_hsdb(name="B")
+        probes = [
+            "forall x. exists y. R1(x, y)",
+            "exists x. R1(x, x)",
+            "forall x. forall y. (R1(x, y) -> R1(y, x))",
+            "exists x. exists y. (x != y and not R1(x, y))",
+            "forall x. forall y. (R1(x, y) -> exists z. (R1(x, z) and "
+            "R1(y, z) and z != x and z != y))",
+        ]
+        for text in probes:
+            sentence = parse(text)
+            assert holds_sentence(a, sentence) == holds_sentence(b, sentence)
+
+    def test_class_counts_as_isomorphism_invariant(self):
+        """Non-isomorphic hs dbs differ in some level size — the finite
+        representation exposes the distinction Corollary 3.1 promises."""
+        tri = triangles_hsdb()
+        c4 = cycles_hsdb(4)
+        counts_tri = [tri.class_count(n) for n in range(3)]
+        counts_c4 = [c4.class_count(n) for n in range(3)]
+        assert counts_tri != counts_c4

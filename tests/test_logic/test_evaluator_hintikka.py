@@ -1,0 +1,186 @@
+"""Tests for FO evaluation over hs-r-dbs (Thm 6.3) and Hintikka formulas."""
+
+import pytest
+
+from repro.core import finite_database
+from repro.errors import TypeSignatureError
+from repro.logic.evaluator import (
+    agrees_with_predicate,
+    evaluate,
+    holds_sentence,
+    relation_from_formula,
+)
+from repro.logic.hintikka import (
+    hintikka_disjunction,
+    hintikka_formula,
+    hintikka_table,
+)
+from repro.logic.parser import parse
+from repro.logic.syntax import Var, variables
+from repro.logic.transform import formula_size, quantifier_rank
+from repro.symmetric import (
+    INFINITE,
+    component_union,
+    infinite_clique,
+    rado_hsdb,
+    stable_partition,
+)
+
+
+def k3_k2():
+    tri = finite_database(
+        [(2, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])],
+        [0, 1, 2], name="K3")
+    edge = finite_database([(2, [(0, 1), (1, 0)])], [0, 1], name="K2")
+    return component_union([(tri, INFINITE), (edge, INFINITE)], name="K3+K2")
+
+
+IN_TRIANGLE = parse(
+    "exists y. exists z. (R1(x, y) and R1(y, z) and R1(z, x) "
+    "and x != y and y != z and x != z)")
+X = Var("x")
+
+
+class TestEvaluator:
+    def test_sentences_on_clique(self):
+        hs = infinite_clique()
+        assert holds_sentence(hs, parse("forall x. exists y. R1(x, y)"))
+        assert not holds_sentence(hs, parse("exists x. R1(x, x)"))
+        assert holds_sentence(
+            hs, parse("forall x. forall y. (x != y -> R1(x, y))"))
+
+    def test_triangle_membership_formula(self):
+        cu = k3_k2()
+        assert evaluate(cu, IN_TRIANGLE, {X: (0, 4, 1)})
+        assert not evaluate(cu, IN_TRIANGLE, {X: (1, 4, 1)})
+
+    def test_invariance_under_equivalence(self):
+        """Evaluation is constant on ≅_B classes — any K3 node answers
+        like any other."""
+        cu = k3_k2()
+        answers = {evaluate(cu, IN_TRIANGLE, {X: (0, c, n)})
+                   for c in range(3) for n in range(3)}
+        assert answers == {True}
+
+    def test_relation_from_formula(self):
+        cu = k3_k2()
+        reps = relation_from_formula(cu, IN_TRIANGLE, [X])
+        assert len(reps) == 1
+        (p,) = reps
+        assert evaluate(cu, IN_TRIANGLE, {X: p[0]})
+
+    def test_quantifier_alternation(self):
+        """∀x∃y edge ∧ ¬∃x∀y(x≠y→edge) on K3+K2: every node has a
+        neighbour, no node is adjacent to everything."""
+        cu = k3_k2()
+        assert holds_sentence(cu, parse("forall x. exists y. R1(x, y)"))
+        assert not holds_sentence(
+            cu, parse("exists x. forall y. (x != y -> R1(x, y))"))
+
+    def test_rado_extension_sentence(self):
+        """A 1-extension axiom as a sentence holds on the Rado graph."""
+        r = rado_hsdb()
+        axiom = parse(
+            "forall x. exists y. (y != x and R1(x, y))")
+        assert holds_sentence(r, axiom)
+        axiom2 = parse(
+            "forall x. exists y. (y != x and not R1(x, y))")
+        assert holds_sentence(r, axiom2)
+
+    def test_two_extension_axiom_on_rado(self):
+        r = rado_hsdb()
+        # The paper's displayed 2-extension axiom (symmetric version).
+        axiom = parse(
+            "forall u. forall w. (u != w -> exists y. (y != u and y != w "
+            "and R1(y, u) and not R1(y, w)))")
+        assert holds_sentence(r, axiom)
+
+    def test_missing_assignment_rejected(self):
+        with pytest.raises(TypeSignatureError):
+            evaluate(infinite_clique(), parse("R1(x, y)"), {X: 0})
+
+    def test_bad_order_rejected(self):
+        y = Var("y")
+        with pytest.raises(ValueError):
+            evaluate(infinite_clique(), parse("R1(x, y)"),
+                     {X: 0, y: 1}, order=[X])
+
+    def test_shadowed_variable(self):
+        """exists x inside a formula with free x: inner binding wins."""
+        cu = k3_k2()
+        f = parse("R1(x, x) or exists x. exists w. R1(x, w)")
+        # Outer x is irrelevant to the second disjunct; no loops exist.
+        assert evaluate(cu, f, {X: (0, 0, 0)})
+
+    def test_agrees_with_predicate(self):
+        cu = k3_k2()
+        samples = [((0, 2, 1),), ((1, 3, 0),), ((0, 0, 0),)]
+        assert agrees_with_predicate(
+            cu, IN_TRIANGLE, [X],
+            lambda u: u[0][0] == 0, samples)
+
+
+class TestHintikka:
+    def test_round_zero_is_local_type_formula(self):
+        cu = k3_k2()
+        p = cu.tree.level(1)[0]
+        chi0 = hintikka_formula(cu, p, 0)
+        assert quantifier_rank(chi0) == 0
+
+    def test_quantifier_rank_is_rounds(self):
+        cu = k3_k2()
+        p = cu.tree.level(1)[0]
+        for r in (1, 2):
+            assert quantifier_rank(hintikka_formula(cu, p, r)) == r
+
+    def test_characterizes_class_at_fixed_r(self):
+        """χ^{r*}_p holds exactly on p's class (Prop 3.6 + the classical
+        EF-formula correspondence)."""
+        cu = k3_k2()
+        _, r_star = stable_partition(cu, 1)
+        k3_node = cu.canonical_representative(((0, 0, 0),))
+        k2_node = cu.canonical_representative(((1, 0, 0),))
+        chi = hintikka_formula(cu, k3_node, r_star)
+        assert evaluate(cu, chi, {Var("x1"): (0, 7, 2)})
+        assert not evaluate(cu, chi, {Var("x1"): (1, 7, 0)})
+        chi2 = hintikka_formula(cu, k2_node, r_star)
+        assert not evaluate(cu, chi2, {Var("x1"): (0, 7, 2)})
+        assert evaluate(cu, chi2, {Var("x1"): (1, 7, 0)})
+
+    def test_low_round_formula_conflates(self):
+        """χ⁰ of a K3 node also holds on K2 nodes (same local type) —
+        the stratification is strict."""
+        cu = k3_k2()
+        k3_node = cu.canonical_representative(((0, 0, 0),))
+        chi0 = hintikka_formula(cu, k3_node, 0)
+        assert evaluate(cu, chi0, {Var("x1"): (1, 7, 0)})
+
+    def test_table_partitions_level(self):
+        """At r*, each rank-1 representative satisfies exactly its own χ."""
+        cu = k3_k2()
+        _, r_star = stable_partition(cu, 1)
+        table = hintikka_table(cu, 1, r_star)
+        for p, chi in table.items():
+            for q in table:
+                assert evaluate(cu, chi, {Var("x1"): q[0]}) == (p == q)
+
+    def test_disjunction(self):
+        cu = k3_k2()
+        _, r_star = stable_partition(cu, 1)
+        everything = hintikka_disjunction(
+            cu, cu.tree.level(1), r_star)
+        assert evaluate(cu, everything, {Var("x1"): (0, 5, 1)})
+        assert evaluate(cu, everything, {Var("x1"): (1, 5, 1)})
+
+    def test_variable_count_guard(self):
+        cu = k3_k2()
+        with pytest.raises(ValueError):
+            hintikka_formula(cu, cu.tree.level(2)[0], 1,
+                             variables=variables("x"))
+
+    def test_size_growth_with_rounds(self):
+        cu = k3_k2()
+        p = cu.tree.level(1)[0]
+        sizes = [formula_size(hintikka_formula(cu, p, r)) for r in range(3)]
+        assert sizes == sorted(sizes)
+        assert sizes[2] > sizes[0]

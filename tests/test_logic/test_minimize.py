@@ -1,0 +1,111 @@
+"""Tests for L⁻ formula minimization (Quine–McCluskey over atom slots)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import enumerate_local_types
+from repro.errors import TypeSignatureError
+from repro.logic.minimize import (
+    Implicant,
+    greedy_cover,
+    minimize_classes,
+    minimize_expression,
+    prime_implicants,
+)
+from repro.logic.qf import (
+    QFExpression,
+    classes_of_expression,
+    expression_for_classes,
+)
+from repro.logic.transform import formula_size
+
+GRAPH_UNIVERSE = list(enumerate_local_types((2,), 2))
+MIXED_UNIVERSE = list(enumerate_local_types((2, 1), 1))
+
+
+class TestQuineMcCluskey:
+    def test_single_minterm(self):
+        primes = prime_implicants({0b101}, 3)
+        assert len(primes) == 1
+        assert primes[0].covers(0b101)
+
+    def test_full_cube_collapses(self):
+        minterms = set(range(8))
+        primes = prime_implicants(minterms, 3)
+        cover = greedy_cover(minterms, primes)
+        assert len(cover) == 1
+        assert cover[0].care == 0  # no literal needed
+
+    def test_adjacent_pair_merges(self):
+        primes = prime_implicants({0b00, 0b01}, 2)
+        cover = greedy_cover({0b00, 0b01}, primes)
+        assert len(cover) == 1
+        assert cover[0].care == 0b10
+
+    def test_xor_needs_two_terms(self):
+        minterms = {0b01, 0b10}
+        cover = greedy_cover(minterms, prime_implicants(minterms, 2))
+        assert len(cover) == 2
+
+    def test_cover_is_exact(self):
+        minterms = {0, 1, 3, 7, 6}
+        cover = greedy_cover(minterms, prime_implicants(minterms, 3))
+        for m in range(8):
+            covered = any(p.covers(m) for p in cover)
+            assert covered == (m in minterms)
+
+
+class TestMinimizeClasses:
+    def test_all_edges_collapses_to_one_literal(self):
+        selected = [t for t in GRAPH_UNIVERSE
+                    if t.pattern == (0, 1) and (0, (0, 1)) in t.atoms]
+        m = minimize_classes(selected)
+        assert classes_of_expression(m, (2,)) == frozenset(selected)
+        assert formula_size(m.formula) <= 5
+
+    def test_whole_universe_is_tautology_sized(self):
+        m = minimize_classes(GRAPH_UNIVERSE)
+        assert classes_of_expression(m, (2,)) == frozenset(GRAPH_UNIVERSE)
+        assert formula_size(m.formula) <= 6  # just the two patterns
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.sampled_from(GRAPH_UNIVERSE), min_size=1))
+    def test_always_exact_on_graph_type(self, subset):
+        m = minimize_classes(subset)
+        assert classes_of_expression(m, (2,)) == frozenset(subset)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sets(st.sampled_from(MIXED_UNIVERSE), min_size=1))
+    def test_always_exact_on_mixed_type(self, subset):
+        m = minimize_classes(subset)
+        assert classes_of_expression(m, (2, 1)) == frozenset(subset)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sets(st.sampled_from(GRAPH_UNIVERSE), min_size=1))
+    def test_never_larger_than_verbose(self, subset):
+        verbose = expression_for_classes(sorted(subset, key=repr))
+        m = minimize_classes(subset)
+        assert formula_size(m.formula) <= formula_size(verbose.formula)
+
+    def test_mixed_ranks_rejected(self):
+        t1 = next(iter(enumerate_local_types((2,), 1)))
+        t2 = next(iter(enumerate_local_types((2,), 2)))
+        with pytest.raises(TypeSignatureError):
+            minimize_classes([t1, t2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_classes([])
+
+
+class TestMinimizeExpression:
+    def test_semantics_preserved(self):
+        e = QFExpression.from_text(
+            "x y", "R1(x, y) and x != y or R1(x, y) and x = y")
+        m = minimize_expression(e, (2,))
+        assert classes_of_expression(m, (2,)) == \
+            classes_of_expression(e, (2,))
+
+    def test_unsatisfiable_passthrough(self):
+        e = QFExpression.from_text("x", "x != x")
+        assert minimize_expression(e, (2,)) is e

@@ -1,0 +1,64 @@
+"""Tests for prenex normal form."""
+
+import pytest
+
+from repro.graphs import mixed_components_hsdb
+from repro.logic import evaluate, holds_sentence, parse
+from repro.logic.transform import is_prenex, prenex, quantifier_rank
+
+SENTENCES = [
+    "forall x. exists y. R1(x, y)",
+    "(exists x. R1(x, x)) or (forall y. exists z. R1(y, z))",
+    "not exists x. forall y. R1(x, y)",
+    "(forall x. exists y. R1(x, y)) and (exists w. not R1(w, w))",
+    "exists x. (R1(x, x) -> forall y. R1(x, y))",
+]
+
+
+class TestPrenex:
+    @pytest.mark.parametrize("text", SENTENCES)
+    def test_result_is_prenex(self, text):
+        assert is_prenex(prenex(parse(text)))
+
+    @pytest.mark.parametrize("text", SENTENCES)
+    def test_semantics_preserved(self, text):
+        """Prenexing preserves truth over an hs-r-db (checked with the
+        relativized evaluator)."""
+        cu = mixed_components_hsdb()
+        original = parse(text)
+        assert holds_sentence(cu, prenex(original)) == \
+            holds_sentence(cu, original)
+
+    def test_quantifier_free_unchanged_semantics(self):
+        f = parse("R1(x, y) and not x = y")
+        assert is_prenex(prenex(f))
+        assert quantifier_rank(prenex(f)) == 0
+
+    def test_bound_variables_renamed_apart(self):
+        """Two quantifiers over the same name must not collide."""
+        f = parse("(exists x. R2(x)) and (exists x. not R2(x))")
+        cu_unary = None
+        p = prenex(f)
+        assert is_prenex(p)
+        # The prefix has two distinct variables.
+        from repro.logic.syntax import Exists
+        assert isinstance(p, Exists)
+        assert isinstance(p.body, Exists)
+        assert p.var != p.body.var
+
+    def test_negation_through_quantifier(self):
+        p = prenex(parse("not exists x. R1(x, x)"))
+        from repro.logic.syntax import Forall
+        assert isinstance(p, Forall)
+
+    def test_free_variables_preserved(self):
+        from repro.logic import Var, free_variables
+        f = parse("R1(x, y) and exists z. R1(y, z)")
+        assert free_variables(prenex(f)) == {Var("x"), Var("y")}
+
+    def test_rank_not_decreased_below_original_alternation(self):
+        """Prenexing may raise the quantifier rank (it serializes
+        parallel quantifiers) but never below the original depth of any
+        single branch."""
+        f = parse("(exists x. R1(x, x)) or (forall y. exists z. R1(y, z))")
+        assert quantifier_rank(prenex(f)) >= quantifier_rank(f)

@@ -1,0 +1,208 @@
+"""Tests for L⁻ and Theorem 2.1 — the paper's first completeness result."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.database import database_from_predicates, finite_database
+from repro.core.localtypes import (
+    canonical_pointed,
+    enumerate_local_types,
+    local_type_of,
+)
+from repro.core.query import (
+    UNDEFINED_QUERY,
+    EmptyResultQuery,
+    LocallyGenericQuery,
+    query_from_pointed_examples,
+)
+from repro.errors import UndefinedQueryError
+from repro.logic.qf import (
+    QFExpression,
+    RestrictedExpression,
+    UNDEFINED_EXPRESSION,
+    classes_of_expression,
+    expression_for_classes,
+    expression_for_query,
+    formula_for_local_type,
+    query_of_expression,
+)
+from repro.logic.parser import parse
+from repro.logic.syntax import Var, variables
+
+
+def lt_db():
+    return database_from_predicates([(2, lambda a, b: a < b)], name="lt")
+
+
+class TestQFExpression:
+    def test_evaluation(self):
+        e = QFExpression.from_text("x y", "R1(x, y) and x != y")
+        assert e.holds(lt_db(), (1, 2))
+        assert not e.holds(lt_db(), (2, 1))
+        assert not e.holds(lt_db(), (1, 1))
+
+    def test_rank_guard(self):
+        e = QFExpression.from_text("x", "R1(x, x)")
+        assert not e.holds(lt_db(), (1, 2))
+
+    def test_rejects_quantifiers(self):
+        with pytest.raises(ValueError):
+            QFExpression.from_text("x", "exists w. R1(x, w)")
+
+    def test_rejects_stray_free_variables(self):
+        with pytest.raises(ValueError):
+            QFExpression.from_text("x", "R1(x, y)")
+
+    def test_rejects_duplicate_output_variables(self):
+        with pytest.raises(ValueError):
+            QFExpression((Var("x"), Var("x")), parse("x = x"))
+
+    def test_evaluate_over(self):
+        e = QFExpression.from_text("x y", "R1(x, y)")
+        window = [(a, b) for a in range(3) for b in range(3)]
+        assert e.evaluate_over(lt_db(), window) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_as_rquery(self):
+        e = QFExpression.from_text("x y", "R1(x, y)")
+        Q = e.as_rquery((2,))
+        assert Q.holds(lt_db(), (0, 3))
+        assert Q.output_rank == 2
+
+    def test_nullary_expression(self):
+        e = QFExpression((), parse("true"))
+        assert e.holds(lt_db(), ())
+
+    def test_to_text(self):
+        e = QFExpression.from_text("x", "R1(x, x)")
+        assert e.to_text() == "{(x) | R1(x, x)}"
+
+
+class TestUndefinedExpression:
+    def test_raises(self):
+        with pytest.raises(UndefinedQueryError):
+            UNDEFINED_EXPRESSION.holds(lt_db(), ())
+
+    def test_as_rquery(self):
+        assert UNDEFINED_EXPRESSION.as_rquery((2,)) is UNDEFINED_QUERY
+
+
+class TestFormulaForLocalType:
+    def test_paper_example_formula(self):
+        """The class described in the paper compiles to exactly its φᵢ."""
+        B = finite_database(
+            [(2, [("y", "x"), ("x", "x")]), (1, [("y",)])],
+            ["x", "y"], name="paper")
+        t = local_type_of(B.point(("x", "y")))
+        f = formula_for_local_type(t, variables("x", "y"))
+        expected = parse(
+            "x != y and not R1(x, y) and R1(y, x) and R1(x, x) "
+            "and not R1(y, y) and not R2(x) and R2(y)")
+        # Same set of conjuncts (order may differ).
+        assert set(f.children) == set(expected.children)
+
+    def test_formula_characterizes_class(self):
+        """φᵢ holds on (B,u) iff (B,u) is in the class — exhaustively for
+        graph-type rank-2 classes."""
+        for t in enumerate_local_types((2,), 2):
+            expr = expression_for_classes([t])
+            for s in enumerate_local_types((2,), 2):
+                p = canonical_pointed(s)
+                assert expr.holds(p.database, p.u) == (s == t)
+
+    def test_variable_count_checked(self):
+        B = lt_db()
+        t = local_type_of(B.point((0, 1)))
+        with pytest.raises(ValueError):
+            formula_for_local_type(t, variables("x"))
+
+
+class TestTheorem21Roundtrips:
+    def test_query_to_expression_to_classes(self):
+        """completeness ∘ soundness = identity on class sets."""
+        B = lt_db()
+        Q = query_from_pointed_examples(
+            [B.point((1, 2)), B.point((3, 3))], name="Q")
+        expr = expression_for_query(Q)
+        assert classes_of_expression(expr, (2,)) == Q.classes
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_random_class_sets_roundtrip(self, data):
+        universe = list(enumerate_local_types((2,), 2))
+        subset = data.draw(st.sets(st.sampled_from(universe), min_size=1,
+                                   max_size=5))
+        Q = LocallyGenericQuery(subset, name="rand")
+        expr = expression_for_query(Q)
+        assert classes_of_expression(expr, (2,)) == frozenset(subset)
+
+    def test_expression_to_query_to_expression(self):
+        expr = QFExpression.from_text("x y", "R1(x, y) and x != y")
+        Q = query_of_expression(expr, (2,))
+        expr2 = expression_for_query(Q)
+        assert classes_of_expression(expr2, (2,)) == Q.classes
+        # And the two expressions agree pointwise on samples.
+        B = lt_db()
+        for u in [(0, 1), (1, 0), (2, 2), (5, 9)]:
+            assert expr.holds(B, u) == expr2.holds(B, u)
+
+    def test_unsatisfiable_expression_gives_empty_query(self):
+        expr = QFExpression.from_text("x", "x != x")
+        Q = query_of_expression(expr, (2,))
+        assert isinstance(Q, EmptyResultQuery)
+
+    def test_empty_query_compiles_to_false(self):
+        Q = EmptyResultQuery((2,), 1)
+        expr = expression_for_query(Q)
+        assert not expr.holds(lt_db(), (0,))
+
+    def test_undefined_query_compiles_to_undefined(self):
+        assert expression_for_query(UNDEFINED_QUERY) is UNDEFINED_EXPRESSION
+
+    def test_oracle_procedure_rejected(self):
+        from repro.core.query import OracleQuery
+        Q = OracleQuery((2,), lambda o, u: True)
+        with pytest.raises(TypeError):
+            expression_for_query(Q)
+
+    def test_semantic_equivalence_on_infinite_db(self):
+        """The compiled expression and the class query agree on an r-db
+        with an infinite relation — the compiled formula never needs to
+        see more than the tuple's own elements."""
+        B = database_from_predicates(
+            [(2, lambda a, b: (a + b) % 3 == 0)], name="mod3")
+        Q = query_from_pointed_examples([B.point((1, 2))])
+        expr = expression_for_query(Q)
+        for u in [(1, 2), (2, 1), (0, 0), (4, 5), (3, 3), (2, 2)]:
+            assert expr.holds(B, u) == Q.holds(B, u)
+
+
+class TestRestrictedExpression:
+    def test_window_restriction(self):
+        e = RestrictedExpression(
+            QFExpression.from_text("x y", "R1(x, y)"), n=3)
+        B = lt_db()
+        assert e.holds(B, (1, 2))
+        assert not e.holds(B, (1, 4))   # 4 outside {1,2,3}
+        assert not e.holds(B, (0, 1))   # 0 outside {1,2,3}
+
+    def test_evaluate_is_finite(self):
+        e = RestrictedExpression(
+            QFExpression.from_text("x y", "R1(x, y)"), n=3)
+        assert e.evaluate(lt_db()) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_non_genericity_of_window(self):
+        """The paper's remark: L⁻ₙ queries are not generic — an
+        isomorphic copy shifted out of the window gives a different
+        answer."""
+        e = RestrictedExpression(
+            QFExpression.from_text("x", "R1(x, x)"), n=2)
+        B1 = database_from_predicates([(2, lambda a, b: a == b == 1)])
+        # Shift the interesting element out of the window.
+        B2 = database_from_predicates([(2, lambda a, b: a == b == 10)])
+        assert e.evaluate(B1) == {(1,)}
+        assert e.evaluate(B2) == set()
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            RestrictedExpression(
+                QFExpression.from_text("x", "R1(x, x)"), n=0)

@@ -1,0 +1,261 @@
+"""Tests for the FO AST, parser, printer, and transforms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ArityError, ParseError, TypeSignatureError
+from repro.logic.parser import parse
+from repro.logic.printer import to_text
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Var,
+    atom,
+    conj,
+    disj,
+    eq,
+    exists,
+    exists_all,
+    forall,
+    neg,
+    neq,
+    variables,
+)
+from repro.logic.transform import (
+    dnf,
+    eliminate_implications,
+    formula_size,
+    free_variables,
+    is_quantifier_free,
+    nnf,
+    quantifier_rank,
+    simplify,
+    substitute,
+    validate,
+)
+
+x, y, z = variables("x", "y", "z")
+
+
+class TestSmartConstructors:
+    def test_conj_flattens_and_drops_true(self):
+        f = conj([TRUE, atom(0, x), conj([atom(1, y), TRUE])])
+        assert isinstance(f, And)
+        assert len(f.children) == 2
+
+    def test_conj_collapses_false(self):
+        assert conj([atom(0, x), FALSE]) == FALSE
+
+    def test_empty_conj_is_true(self):
+        assert conj([]) == TRUE
+
+    def test_disj_dual(self):
+        assert disj([]) == FALSE
+        assert disj([atom(0, x), TRUE]) == TRUE
+        f = disj([atom(0, x), disj([atom(0, y)])])
+        assert isinstance(f, Or) and len(f.children) == 2
+
+    def test_singleton_unwrapped(self):
+        assert conj([atom(0, x)]) == atom(0, x)
+        assert disj([atom(0, x)]) == atom(0, x)
+
+    def test_neg_collapses(self):
+        assert neg(neg(atom(0, x))) == atom(0, x)
+        assert neg(TRUE) == FALSE
+        assert neg(FALSE) == TRUE
+
+    def test_operators(self):
+        f = atom(0, x) & atom(0, y)
+        assert isinstance(f, And)
+        g = atom(0, x) | atom(0, y)
+        assert isinstance(g, Or)
+        assert ~atom(0, x) == Not(atom(0, x))
+
+    def test_formulas_hashable(self):
+        assert len({atom(0, x), atom(0, x), atom(0, y)}) == 2
+
+
+class TestParser:
+    def test_atoms(self):
+        assert parse("R1(x, y)") == RelAtom(0, (x, y))
+        assert parse("R2(x)") == RelAtom(1, (x,))
+        assert parse("x = y") == Eq(x, y)
+        assert parse("x != y") == Not(Eq(x, y))
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+
+    def test_nullary_atom(self):
+        assert parse("R1()") == RelAtom(0, ())
+
+    def test_precedence(self):
+        f = parse("R1(x) or R1(y) and R1(z)")
+        assert isinstance(f, Or)
+        assert isinstance(f.children[1], And)
+
+    def test_implication_right_assoc(self):
+        f = parse("R1(x) -> R1(y) -> R1(z)")
+        assert isinstance(f, Implies)
+        assert isinstance(f.right, Implies)
+
+    def test_not_binds_tightly(self):
+        f = parse("not R1(x) and R1(y)")
+        assert isinstance(f, And)
+        assert f.children[0] == Not(RelAtom(0, (x,)))
+
+    def test_quantifier_scope_maximal(self):
+        f = parse("exists yy. R1(x, yy) and x != yy")
+        assert isinstance(f, Exists)
+        assert isinstance(f.body, And)
+
+    def test_nested_quantifiers(self):
+        f = parse("forall a. exists b. R1(a, b)")
+        assert isinstance(f, Forall)
+        assert isinstance(f.body, Exists)
+
+    def test_parens(self):
+        f = parse("(R1(x) or R1(y)) and R1(z)")
+        assert isinstance(f, And)
+
+    def test_paper_example_formula(self):
+        """The φᵢ of the paper's 68-class example parses."""
+        text = ("x != y and not R1(x, y) and R1(y, x) and R1(x, x) "
+                "and not R1(y, y) and not R2(x) and R2(y)")
+        f = parse(text)
+        assert isinstance(f, And)
+        assert len(f.children) == 7
+
+    @pytest.mark.parametrize("bad", [
+        "", "R1(", "x =", "and x = y", "R0(x)", "exists. R1(x)",
+        "x ! y", "R1(x,)", "(R1(x)", "R1(x))", "exists true. R1(x)",
+        "not", "x y",
+    ])
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_reserved_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse("exists and. R1(and)")
+
+    def test_relation_like_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse("R3 = x")
+
+
+FORMULA_TEXTS = [
+    "true",
+    "false",
+    "x = y",
+    "x != y",
+    "R1(x, y)",
+    "R2(x)",
+    "not R1(x, x)",
+    "R1(x, y) and R1(y, x)",
+    "R1(x, y) or x = y or R2(x)",
+    "R1(x, y) -> R2(x)",
+    "exists w. R1(x, w)",
+    "forall w. (R1(x, w) -> exists v. R1(w, v))",
+    "x != y and not R1(x, y) and R1(y, x)",
+    "not (R1(x, y) and R2(x))",
+]
+
+
+class TestPrinterRoundtrip:
+    @pytest.mark.parametrize("text", FORMULA_TEXTS)
+    def test_parse_print_parse(self, text):
+        f = parse(text)
+        assert parse(to_text(f)) == f
+
+
+class TestTransforms:
+    def test_free_variables(self):
+        f = parse("exists w. R1(x, w) and R2(y)")
+        assert free_variables(f) == {x, y}
+
+    def test_free_variables_shadowing(self):
+        f = parse("R2(x) and exists x. R2(x)")
+        assert free_variables(f) == {x}
+
+    def test_substitute(self):
+        f = parse("R1(x, y)")
+        assert substitute(f, {x: z}) == parse("R1(z, y)")
+
+    def test_substitute_respects_binding(self):
+        f = parse("exists x. R1(x, y)")
+        g = substitute(f, {x: z})
+        assert g == f  # x is bound, nothing to do
+
+    def test_substitute_capture_avoidance(self):
+        f = parse("exists x. R1(x, y)")
+        g = substitute(f, {y: x})
+        # The bound x must be renamed so the substituted x stays free.
+        assert isinstance(g, Exists)
+        assert g.var != x
+        assert x in free_variables(g)
+
+    def test_validate_ok(self):
+        validate(parse("R1(x, y) and R2(x)"), (2, 1))
+
+    def test_validate_bad_index(self):
+        with pytest.raises(TypeSignatureError):
+            validate(parse("R3(x)"), (2, 1))
+
+    def test_validate_bad_arity(self):
+        with pytest.raises(ArityError):
+            validate(parse("R1(x)"), (2, 1))
+
+    def test_is_quantifier_free(self):
+        assert is_quantifier_free(parse("R1(x, y) and not x = y"))
+        assert not is_quantifier_free(parse("exists w. R1(x, w)"))
+
+    def test_quantifier_rank(self):
+        assert quantifier_rank(parse("R1(x, y)")) == 0
+        assert quantifier_rank(parse("exists w. R1(x, w)")) == 1
+        assert quantifier_rank(
+            parse("forall a. exists b. R1(a, b)")) == 2
+        assert quantifier_rank(
+            parse("(exists a. R2(a)) and (exists b. R2(b))")) == 1
+
+    def test_eliminate_implications(self):
+        f = eliminate_implications(parse("R2(x) -> R2(y)"))
+        assert f == parse("not R2(x) or R2(y)")
+
+    def test_nnf_pushes_negation(self):
+        f = nnf(parse("not (R2(x) and not R2(y))"))
+        assert f == parse("not R2(x) or R2(y)")
+
+    def test_nnf_quantifier_duality(self):
+        f = nnf(parse("not exists w. R2(w)"))
+        assert isinstance(f, Forall)
+        assert f.body == Not(RelAtom(1, (Var("w"),)))
+
+    def test_dnf_shape(self):
+        f = dnf(parse("(R2(x) or R2(y)) and R2(z)"))
+        assert f == parse("R2(x) and R2(z) or R2(y) and R2(z)")
+
+    def test_dnf_rejects_quantifiers(self):
+        with pytest.raises(ValueError):
+            dnf(parse("exists w. R2(w)"))
+
+    def test_simplify_drops_duplicates(self):
+        f = simplify(parse("R2(x) and R2(x)"))
+        assert f == parse("R2(x)")
+
+    def test_simplify_detects_contradiction(self):
+        assert simplify(parse("R2(x) and not R2(x)")) == FALSE
+        assert simplify(parse("R2(x) or not R2(x)")) == TRUE
+
+    def test_simplify_trivial_equality(self):
+        assert simplify(parse("x = x")) == TRUE
+
+    def test_formula_size(self):
+        assert formula_size(parse("R2(x)")) == 1
+        assert formula_size(parse("R2(x) and not R2(y)")) == 4

@@ -1,0 +1,103 @@
+"""Tests for the Turing-machine substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError, OutOfFuel
+from repro.machines.turing import (
+    BLANK,
+    TuringMachine,
+    halting_steps_relation,
+    loop_machine,
+    machine_count,
+    machine_from_index,
+    parity_machine,
+    slow_halt_machine,
+    unary_successor_machine,
+)
+
+
+class TestTuringMachine:
+    def test_parity(self):
+        m = parity_machine()
+        assert m.accepts("")
+        assert m.accepts("11")
+        assert m.accepts("1010")
+        assert not m.accepts("1")
+        assert not m.accepts("10")
+
+    @given(st.text(alphabet="01", max_size=12))
+    @settings(max_examples=50)
+    def test_parity_property(self, word):
+        assert parity_machine().accepts(word) == (word.count("1") % 2 == 0)
+
+    def test_successor_writes(self):
+        m = unary_successor_machine()
+        result = m.run("111", max_steps=100)
+        assert result.halted and result.accepted
+        assert result.tape_text() == "1111"
+
+    def test_loop_never_halts(self):
+        assert not loop_machine().run("", max_steps=1000).halted
+
+    def test_accepts_raises_on_timeout(self):
+        with pytest.raises(OutOfFuel):
+            loop_machine().accepts("", max_steps=50)
+
+    def test_halts_within_monotone(self):
+        m = slow_halt_machine()
+        n = 5
+        word = "1" * n
+        full = m.run(word, max_steps=1000).steps
+        assert not m.halts_within(word, full - 1)
+        assert m.halts_within(word, full)
+
+    def test_missing_transition_halts(self):
+        m = TuringMachine({})
+        result = m.run("x", max_steps=10)
+        assert result.halted and not result.accepted
+
+    def test_invalid_move_rejected(self):
+        with pytest.raises(MachineError):
+            TuringMachine({("q0", "1"): ("q0", "1", 5)})
+
+    def test_blank_write_erases(self):
+        m = TuringMachine({("q0", "1"): ("qa", BLANK, 0)})
+        result = m.run("1", max_steps=10)
+        assert result.tape == {}
+
+
+class TestMachineEnumeration:
+    def test_every_index_is_a_machine(self):
+        for i in [0, 1, 17, 12345, machine_count() - 1, machine_count() + 7]:
+            m = machine_from_index(i)
+            m.run("11", max_steps=50)  # must not crash
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(MachineError):
+            machine_from_index(-1)
+
+    def test_enumeration_is_nontrivial(self):
+        """The family contains both quickly-halting and long-running
+        machines on the same input."""
+        behaviours = set()
+        for i in range(200):
+            result = machine_from_index(i).run("111", max_steps=64)
+            behaviours.add((result.halted, result.steps if result.halted else None))
+        assert len(behaviours) >= 3
+
+    def test_halting_steps_relation_is_monotone_in_steps(self):
+        """If y halts on z within x steps, it halts within x' ≥ x steps —
+        the shape Proposition of the intro's R."""
+        for y in range(30):
+            for z in (0, 2):
+                if halting_steps_relation(10, y, z):
+                    assert halting_steps_relation(50, y, z)
+
+    def test_halting_steps_relation_nontrivial(self):
+        """Sampled across the enumeration, R(8, y, 1) is neither
+        constantly true nor constantly false — the projection on (y, z)
+        (the halting predicate) is a genuinely partial view."""
+        values = {halting_steps_relation(8, y, 1)
+                  for y in range(0, 40_000, 193)}
+        assert values == {True, False}

@@ -1,0 +1,70 @@
+"""Tests for the QLhs pretty-printer (parser roundtrips)."""
+
+import pytest
+
+from repro.qlhs import parse_program, parse_term
+from repro.qlhs.ast import Permute, Rel, SelectEq
+from repro.qlhs.printer import is_parseable, program_to_text, term_to_text
+
+TERM_TEXTS = [
+    "E",
+    "R1",
+    "R3",
+    "Y7",
+    "R1 & E",
+    "!R1",
+    "!(R1 & E)",
+    "up(down(R1))",
+    "swap(R1) & !E",
+    "prod(R1, down(E))",
+    "up(E) & (R1 & E)",
+]
+
+PROGRAM_TEXTS = [
+    "Y1 := R1",
+    "Y1 := R1 ;\nY2 := down(Y1)",
+    "while |Y| = 0 do {\n  Y := E\n}",
+    "Y1 := !R1 ;\nwhile |Y1| = 1 do {\n  Y1 := down(Y1) ;\n  Z := E\n}",
+]
+
+
+class TestTermRoundtrip:
+    @pytest.mark.parametrize("text", TERM_TEXTS)
+    def test_parse_print_parse(self, text):
+        term = parse_term(text)
+        assert parse_term(term_to_text(term)) == term
+
+    def test_intersection_nesting_parenthesized(self):
+        term = parse_term("(R1 & E) & Y1")
+        reparsed = parse_term(term_to_text(term))
+        assert reparsed == term
+
+
+class TestProgramRoundtrip:
+    @pytest.mark.parametrize("text", PROGRAM_TEXTS)
+    def test_parse_print_parse(self, text):
+        program = parse_program(text)
+        assert parse_program(program_to_text(program)) == program
+
+    def test_nested_loops(self):
+        program = parse_program(
+            "while |A| = 0 do { while |B| = 1 do { B := down(B) } ; "
+            "A := E }")
+        assert parse_program(program_to_text(program)) == program
+
+
+class TestIntrinsics:
+    def test_permute_renders_but_unparseable(self):
+        term = Permute(Rel(0), (1, 0))
+        text = term_to_text(term)
+        assert "permute" in text
+        assert not is_parseable(term)
+
+    def test_seleq_renders(self):
+        term = SelectEq(Rel(0), 0, 1)
+        assert "seleq" in term_to_text(term)
+        assert not is_parseable(term)
+
+    def test_core_terms_parseable(self):
+        assert is_parseable(parse_term("up(R1) & !E"))
+        assert is_parseable(parse_program("Y := prod(E, E)"))

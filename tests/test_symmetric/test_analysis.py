@@ -1,0 +1,85 @@
+"""Tests for the Corollary 3.1 comparison machinery."""
+
+import pytest
+
+from repro.errors import TypeSignatureError
+from repro.graphs import (
+    cycles_hsdb,
+    mixed_components_hsdb,
+    triangles_hsdb,
+)
+from repro.logic import holds_sentence, quantifier_rank
+from repro.symmetric import (
+    branching_profile,
+    class_growth,
+    distinguishing_sentence,
+    equivalent_to_depth,
+    first_divergence,
+    infinite_clique,
+    node_signature,
+    rado_hsdb,
+)
+
+
+class TestEquivalenceToDepth:
+    def test_independent_copies_agree(self):
+        a, b = triangles_hsdb("A"), triangles_hsdb("B")
+        for d in range(4):
+            assert equivalent_to_depth(a, b, d)
+
+    def test_triangles_vs_squares_diverge(self):
+        tri, c4 = triangles_hsdb(), cycles_hsdb(4)
+        assert equivalent_to_depth(tri, c4, 0)
+        assert equivalent_to_depth(tri, c4, 1)
+        assert first_divergence(tri, c4, 4) == 2
+
+    def test_clique_vs_rado(self):
+        """Both are graphs without loops where every pair class exists…
+        but the clique has no non-edge among distinct pairs: they split
+        at depth 1 (the root's children's children differ)."""
+        d = first_divergence(infinite_clique(), rado_hsdb(), 3)
+        assert d is not None and d <= 2
+
+    def test_different_types_rejected(self):
+        from repro.symmetric import RandomStructure
+        with pytest.raises(TypeSignatureError):
+            equivalent_to_depth(infinite_clique(),
+                                RandomStructure((2, 1)).hsdb(), 1)
+
+    def test_signatures_are_hashable_and_stable(self):
+        tri = triangles_hsdb()
+        s1 = node_signature(tri, (), 2)
+        s2 = node_signature(triangles_hsdb(), (), 2)
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+
+class TestDistinguishingSentence:
+    def test_triangles_vs_squares(self):
+        tri, c4 = triangles_hsdb(), cycles_hsdb(4)
+        s = distinguishing_sentence(tri, c4, max_depth=3)
+        assert s is not None
+        assert holds_sentence(tri, s) != holds_sentence(c4, s)
+        assert quantifier_rank(s) <= 3
+
+    def test_equivalent_pair_gives_none(self):
+        a, b = triangles_hsdb("A"), triangles_hsdb("B")
+        assert distinguishing_sentence(a, b, max_depth=2) is None
+
+    def test_mixed_vs_triangles(self):
+        cu, tri = mixed_components_hsdb(), triangles_hsdb()
+        s = distinguishing_sentence(cu, tri, max_depth=3)
+        assert s is not None
+        assert holds_sentence(cu, s) != holds_sentence(tri, s)
+
+
+class TestProfiles:
+    def test_branching_profile(self):
+        tri = triangles_hsdb()
+        profile = branching_profile(tri, 2)
+        assert profile[0] == [1]  # the root has one node class
+        assert all(isinstance(b, int) for level in profile for b in level)
+
+    def test_class_growth_matches_levels(self):
+        cu = mixed_components_hsdb()
+        assert class_growth(cu, 3) == [cu.class_count(n) for n in range(4)]

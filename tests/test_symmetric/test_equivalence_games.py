@@ -1,0 +1,157 @@
+"""Tests for EF games on hs-r-dbs and the detection heuristics."""
+
+import pytest
+
+from repro.core import database_from_predicates, finite_database
+from repro.logic.ef_games import (
+    bounded_window_pool,
+    distinguishing_rounds,
+    duplicator_wins,
+    ef_equivalent_finite,
+    finite_domain_pool,
+    spoiler_strategy,
+)
+from repro.symmetric import (
+    INFINITE,
+    class_lower_bound,
+    component_union,
+    cross_check_equivalence,
+    game_decides_equivalence,
+    game_equivalent,
+    infinite_clique,
+    stretching_refutation,
+    tree_pool,
+)
+
+
+def k3_k2():
+    tri = finite_database(
+        [(2, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])],
+        [0, 1, 2], name="K3")
+    edge = finite_database([(2, [(0, 1), (1, 0)])], [0, 1], name="K2")
+    return component_union([(tri, INFINITE), (edge, INFINITE)], name="K3+K2")
+
+
+def path_graph(n, name="P"):
+    edges = []
+    for i in range(n - 1):
+        edges += [(i, i + 1), (i + 1, i)]
+    return finite_database([(2, edges)], range(n), name=name)
+
+
+class TestFiniteGames:
+    def test_round_zero_is_local_isomorphism(self):
+        P = path_graph(3)
+        assert ef_equivalent_finite(P.point((0,)), P.point((2,)), 0)
+        assert ef_equivalent_finite(P.point((0,)), P.point((1,)), 0)
+
+    def test_one_round_separates_by_degree(self):
+        P = path_graph(3)
+        # Endpoint (degree 1) vs middle (degree 2): spoiler wins in 1 round.
+        assert not ef_equivalent_finite(P.point((0,)), P.point((1,)), 1)
+        # The two endpoints stay equivalent forever (they are automorphic).
+        assert ef_equivalent_finite(P.point((0,)), P.point((2,)), 3)
+
+    def test_spoiler_strategy_extraction(self):
+        P = path_graph(3)
+        line = spoiler_strategy(P.point((0,)), P.point((1,)), 1,
+                                finite_domain_pool(P.point((0,))),
+                                finite_domain_pool(P.point((1,))))
+        assert line is not None
+        assert len(line) <= 1
+
+    def test_duplicator_strategy_none(self):
+        P = path_graph(3)
+        assert spoiler_strategy(P.point((0,)), P.point((2,)), 2,
+                                finite_domain_pool(P.point((0,))),
+                                finite_domain_pool(P.point((2,)))) is None
+
+    def test_distinguishing_rounds(self):
+        """In P4, endpoint vs inner node needs exactly 2 rounds: one
+        round is answerable (a non-neighbour exists on both sides), two
+        rounds expose the degree difference."""
+        P4 = path_graph(4)
+        p, q = P4.point((0,)), P4.point((1,))
+        pool = finite_domain_pool(p)
+        r = distinguishing_rounds(p, q, pool, pool, max_rounds=3)
+        assert r == 2
+
+    def test_negative_rounds_rejected(self):
+        P = path_graph(2)
+        with pytest.raises(ValueError):
+            duplicator_wins(P.point((0,)), P.point((1,)), -1,
+                            finite_domain_pool(P.point((0,))),
+                            finite_domain_pool(P.point((1,))))
+
+    def test_finite_pool_requires_finite_domain(self):
+        B = database_from_predicates([(1, lambda x: True)])
+        with pytest.raises(ValueError):
+            finite_domain_pool(B.point((0,)))
+
+
+class TestTreeRelativizedGames:
+    def test_game_equivalent_matches_oracle(self):
+        cu = k3_k2()
+        u = ((0, 3, 0), (0, 3, 1))
+        v = ((0, 9, 2), (0, 9, 0))
+        w = ((1, 2, 0), (1, 2, 1))
+        assert game_decides_equivalence(cu, u, v)
+        assert not game_decides_equivalence(cu, u, w)
+
+    def test_low_round_games_may_conflate(self):
+        """K3-node vs K2-node: indistinguishable at round 0 (same local
+        type) but separated at the Proposition 3.6 radius."""
+        cu = k3_k2()
+        u, w = ((0, 0, 0),), ((1, 0, 0),)
+        assert game_equivalent(cu, u, w, 0)
+        assert not game_decides_equivalence(cu, u, w)
+
+    def test_cross_check_all_three_faces(self):
+        cu = k3_k2()
+        cross_check_equivalence(cu, [
+            (((0, 0, 0),), ((0, 5, 2),)),
+            (((0, 0, 0),), ((1, 5, 1),)),
+            (((0, 0, 0), (0, 0, 1)), ((1, 7, 0), (1, 7, 1))),
+        ])
+
+    def test_clique_games_trivial(self):
+        hs = infinite_clique()
+        assert game_decides_equivalence(hs, (3, 7), (10, 2))
+        assert not game_decides_equivalence(hs, (3, 7), (2, 2))
+
+    def test_tree_pool_yields_children(self):
+        cu = k3_k2()
+        pool = tree_pool(cu)
+        root_children = pool(())
+        assert tuple(root_children) == cu.tree.children(())
+
+
+class TestDetection:
+    def test_line_not_highly_symmetric_after_marking(self):
+        """The paper's §3.1 example: the (two-way, here one-way) infinite
+        line has a single rank-1 class, but stretching by one mark
+        separates nodes by distance — the certified class count grows."""
+        line = database_from_predicates(
+            [(2, lambda x, y: abs(x - y) == 1)], name="line")
+        small = stretching_refutation(line, [0], pool_size=4,
+                                      rounds=2, window=6)
+        large = stretching_refutation(line, [0], pool_size=7,
+                                      rounds=2, window=9)
+        assert large > small >= 2
+
+    def test_clique_stays_bounded(self):
+        clique = database_from_predicates(
+            [(2, lambda x, y: x != y)], name="clique")
+        a = class_lower_bound(clique, 1, pool_size=3, rounds=2, window=6)
+        b = class_lower_bound(clique, 1, pool_size=6, rounds=2, window=9)
+        assert a == b == 1
+
+    def test_rank2_line_classes_grow(self):
+        """Unmarked line, rank 2: pairs at different distances are
+        non-equivalent (the paper: (1,2i) ≇ (1,2j)) — certified count
+        grows with the pool."""
+        line = database_from_predicates(
+            [(2, lambda x, y: abs(x - y) == 1)], name="line")
+        small = class_lower_bound(line, 2, pool_size=3, rounds=1, window=5)
+        large = class_lower_bound(line, 2, pool_size=5, rounds=1, window=7)
+        assert large > small

@@ -1,0 +1,123 @@
+"""Tests for the general countable random structure (RandomStructure).
+
+The paper's §3.1 example cites [HH2]: for each type a there is a
+recursive countable random structure that is an hs-r-db.  Our concrete
+witness (digit-encoded facts) must: decide membership, compute extension
+witnesses, realize *every* local type (so class counts equal the E1
+closed form — including the 68 for type (2,1)), and package into a valid
+Definition 3.7 representation with ≅ = ≅ₗ.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import count_local_types, local_type_of, locally_isomorphic
+from repro.symmetric import RandomStructure
+
+
+class TestMembership:
+    def test_facts_are_independent_bits(self):
+        rs = RandomStructure((2, 1))
+        # Small elements: all-zero facts.
+        assert not rs.contains(0, (0, 0))
+        assert not rs.contains(1, (0,))
+
+    def test_unary_low_bits(self):
+        rs = RandomStructure((1, 1))
+        assert rs.contains(0, (1,))       # bit 0
+        assert not rs.contains(1, (1,))
+        assert rs.contains(1, (2,))       # bit 1
+        assert rs.contains(0, (3,)) and rs.contains(1, (3,))
+
+    def test_pair_facts_read_from_larger(self):
+        rs = RandomStructure((2,))
+        # Layout for (2,): loops at bit 0; pair bits for lo=x at
+        # 1 + 2x (forward) and 2 + 2x (backward).
+        y = 1 << 1  # forward edge (0, y)
+        assert rs.contains(0, (0, y))
+        assert not rs.contains(0, (y, 0))
+        z = 1 << 2  # backward edge (z, 0)
+        assert rs.contains(0, (z, 0))
+        assert not rs.contains(0, (0, z))
+
+    def test_arity_guard(self):
+        rs = RandomStructure((2,))
+        assert not rs.contains(0, (1, 2, 3))
+
+    def test_rejects_higher_arities(self):
+        with pytest.raises(ValueError):
+            RandomStructure((3,))
+        with pytest.raises(ValueError):
+            RandomStructure(())
+
+
+class TestWitness:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 12), min_size=1, max_size=3), st.data())
+    def test_witness_realizes_spec_type_2(self, support, data):
+        rs = RandomStructure((2,))
+        support = sorted(support)
+        out = data.draw(st.sets(st.sampled_from(support)))
+        inc = data.draw(st.sets(st.sampled_from(support)))
+        loop = data.draw(st.booleans())
+        y = rs.witness(support, loops=[0] if loop else [],
+                       edges_from={0: inc}, edges_to={0: out})
+        assert y not in support
+        assert rs.contains(0, (y, y)) == loop
+        for x in support:
+            assert rs.contains(0, (x, y)) == (x in inc)
+            assert rs.contains(0, (y, x)) == (x in out)
+
+    def test_witness_with_unary_and_mixed_type(self):
+        rs = RandomStructure((2, 1))
+        y = rs.witness([2, 7], unary=[1], edges_from={0: [2]})
+        assert rs.contains(1, (y,))
+        assert rs.contains(0, (2, y))
+        assert not rs.contains(0, (7, y))
+        assert not rs.contains(0, (y, 2))
+
+    def test_witness_exceeds_support(self):
+        rs = RandomStructure((1,))
+        y = rs.witness([100])
+        assert y > 100
+
+
+class TestHsdb:
+    def test_class_counts_equal_local_type_counts(self):
+        """Every local type is realized: |Tⁿ| = count_local_types —
+        including the paper's 68 for type (2, 1) at rank 2."""
+        for signature in [(2,), (1,), (1, 1), (2, 1)]:
+            hs = RandomStructure(signature).hsdb()
+            for n in range(3):
+                assert hs.class_count(n) == count_local_types(signature, n)
+
+    def test_the_68(self):
+        hs = RandomStructure((2, 1)).hsdb()
+        assert hs.class_count(2) == 68
+
+    def test_representation_validates(self):
+        RandomStructure((2,)).hsdb().validate(max_rank=2)
+        RandomStructure((2, 1)).hsdb().validate(max_rank=1)
+
+    def test_equivalence_is_local_isomorphism(self):
+        rs = RandomStructure((2,))
+        hs = rs.hsdb()
+        db = rs.database()
+        samples = [((1, 2), (3, 4)), ((2, 2), (5, 5)), ((0, 2), (0, 4))]
+        for u, v in samples:
+            assert hs.equivalent(u, v) == locally_isomorphic(
+                db.point(u), db.point(v))
+
+    def test_membership_reconstruction(self):
+        rs = RandomStructure((2,))
+        hs = rs.hsdb()
+        for x in range(5):
+            for y in range(5):
+                assert hs.contains(0, (x, y)) == rs.contains(0, (x, y))
+
+    def test_fixed_r_is_zero(self):
+        """On a random structure local types already separate classes."""
+        from repro.symmetric import fixed_r
+        hs = RandomStructure((2,)).hsdb()
+        assert fixed_r(hs, 1) == 0
+        assert fixed_r(hs, 2) == 0

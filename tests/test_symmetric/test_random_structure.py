@@ -1,0 +1,126 @@
+"""Tests for extension axioms and the Rado graph (Proposition 3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import database_from_predicates, locally_isomorphic
+from repro.symmetric import (
+    extension_axiom_holds,
+    extension_witness,
+    rado_database,
+    rado_edge,
+    rado_hsdb,
+    random_structure_class_counts,
+)
+
+
+class TestRadoEdge:
+    def test_symmetric_irreflexive(self):
+        for x in range(20):
+            assert not rado_edge(x, x)
+            for y in range(20):
+                assert rado_edge(x, y) == rado_edge(y, x)
+
+    def test_bit_semantics(self):
+        assert rado_edge(1, 6)        # 6 = 0b110, bit 1 set
+        assert not rado_edge(0, 6)    # bit 0 of 6 clear
+        assert rado_edge(0, 1)        # bit 0 of 1 set
+
+
+class TestExtensionWitness:
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(st.integers(0, 12), max_size=5), st.data())
+    def test_witness_realizes_pattern(self, support, data):
+        support = sorted(support)
+        neighbours = data.draw(st.sets(st.sampled_from(support))
+                               if support else st.just(set()))
+        y = extension_witness(support, neighbours)
+        assert y not in support
+        for x in support:
+            assert rado_edge(x, y) == (x in neighbours)
+
+    def test_rejects_foreign_neighbours(self):
+        with pytest.raises(ValueError):
+            extension_witness([1, 2], [3])
+
+    def test_empty_support(self):
+        assert extension_witness([], []) == 1
+
+
+class TestExtensionAxioms:
+    def test_rado_satisfies_axioms(self):
+        """Every adjacency pattern over a small support has a witness —
+        found by search, matching the explicit construction."""
+        db = rado_database()
+        support = [1, 2, 5]
+        for mask in range(8):
+            neighbours = [support[i] for i in range(3) if mask >> i & 1]
+            assert extension_axiom_holds(db, support, neighbours,
+                                         search_bound=300) is not None
+
+    def test_line_fails_axioms(self):
+        """The two-way infinite line (here: |x−y| = 1 on ℕ) has no point
+        adjacent to two distant points — a 2-extension axiom fails."""
+        line = database_from_predicates(
+            [(2, lambda x, y: abs(x - y) == 1)], name="line")
+        assert extension_axiom_holds(line, [0, 10], [0, 10],
+                                     search_bound=200) is None
+
+
+class TestRadoHSDB:
+    def test_class_counts(self):
+        # rank 0..3 of a random graph: 1, 1, 3, 15.
+        assert random_structure_class_counts(3) == [1, 1, 3, 15]
+
+    def test_validates(self):
+        rado_hsdb().validate(max_rank=2)
+
+    def test_membership_matches_bit_predicate(self):
+        hs = rado_hsdb()
+        for x in range(6):
+            for y in range(6):
+                assert hs.contains(0, (x, y)) == rado_edge(x, y)
+
+    def test_proposition_32_equivalence_is_local_isomorphism(self):
+        """≅_A coincides with ≅ₗ on samples — Proposition 3.2 for the
+        recursive random graph."""
+        hs = rado_hsdb()
+        db = rado_database()
+        pairs = [
+            ((1, 6), (2, 5)),    # both edges: 5 = 0b101, bit 2 set -> edge
+            ((1, 6), (0, 6)),    # edge vs non-edge
+            ((3, 3), (7, 7)),
+            ((1, 2, 4), (2, 4, 1)),
+        ]
+        for u, v in pairs:
+            assert hs.equivalent(u, v) == locally_isomorphic(
+                db.point(u), db.point(v))
+
+    def test_tree_branching_formula(self):
+        """A node with m distinct labels has m + 2^m children."""
+        hs = rado_hsdb()
+        root_kids = hs.tree.children(())
+        assert len(root_kids) == 1          # 0 + 2^0
+        p = hs.tree.level(1)[0]
+        assert len(hs.tree.children(p)) == 3  # 1 + 2
+        q = next(path for path in hs.tree.level(2)
+                 if len(set(path)) == 2)
+        assert len(hs.tree.children(q)) == 6  # 2 + 4
+
+    def test_back_and_forth_on_equivalent_tuples(self):
+        """The Proposition 3.2 proof's back-and-forth: locally isomorphic
+        tuples are matched move by move using extension witnesses."""
+        hs = rado_hsdb()
+        u, v = (1, 6), (2, 5)
+        assert hs.equivalent(u, v)
+        # one round of the back-and-forth: any extension of u has a
+        # locally isomorphic counterpart extending v.
+        db = rado_database()
+        for a in [0, 1, 6, 9]:
+            support = list(dict.fromkeys(v))
+            wanted = [v[i] for i, x in enumerate(u) if rado_edge(x, a)]
+            if a in u:
+                b = v[u.index(a)]
+            else:
+                b = extension_witness(support, set(wanted))
+            assert locally_isomorphic(db.point(u + (a,)), db.point(v + (b,)))

@@ -1,0 +1,168 @@
+"""Tests for the Vⁿᵣ refinement machinery (Section 3.2)."""
+
+import pytest
+
+from repro.core import finite_database
+from repro.errors import NotHighlySymmetricError
+from repro.symmetric import (
+    INFINITE,
+    base_partition,
+    component_union,
+    equivalent_via_refinement,
+    find_d,
+    fixed_r,
+    from_finite_database,
+    infinite_clique,
+    partition_nr,
+    project_partition,
+    projection_index,
+    rado_hsdb,
+    refinement_trace,
+    stable_partition,
+)
+
+
+def k3_k2():
+    tri = finite_database(
+        [(2, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])],
+        [0, 1, 2], name="K3")
+    edge = finite_database([(2, [(0, 1), (1, 0)])], [0, 1], name="K2")
+    return component_union([(tri, INFINITE), (edge, INFINITE)], name="K3+K2")
+
+
+class TestBasePartition:
+    def test_rank1_local_types_cannot_distinguish_components(self):
+        """V¹₀ lumps K3 nodes with K2 nodes (all are non-loop points):
+        the local type of a single node carries no component info."""
+        cu = k3_k2()
+        part = base_partition(cu, 1)
+        assert part.block_count() == 1
+        assert len(part.items) == 2  # but T¹ has two classes
+
+    def test_rank2_local_types(self):
+        """V²₀ splits by equality pattern and adjacency."""
+        cu = k3_k2()
+        part = base_partition(cu, 2)
+        # equal-pair, adjacent pairs (two classes lumped), non-adjacent
+        # pairs (several classes lumped) — exactly 3 local types.
+        assert part.block_count() == 3
+
+    def test_clique_base_partition_already_fine(self):
+        hs = infinite_clique()
+        part = base_partition(hs, 2)
+        assert part.all_singletons()
+
+
+class TestProjection:
+    def test_proposition_37(self):
+        """Vⁿ⁺¹ᵣ↓ = Vⁿᵣ₊₁ — computed both ways on K3+K2."""
+        cu = k3_k2()
+        for n in (1, 2):
+            for r in (0, 1):
+                upper = partition_nr(cu, n + 1, r)
+                via_projection = project_partition(cu, upper, n)
+                direct = partition_nr(cu, n, r + 1)
+                assert via_projection.as_frozen() == direct.as_frozen()
+
+    def test_corollary_33(self):
+        """Vⁿᵣ = Vⁿ⁺ʳ₀↓ʳ — partition_nr *is* that computation; check the
+        r = 0 base agrees with base_partition."""
+        cu = k3_k2()
+        assert (partition_nr(cu, 2, 0).as_frozen()
+                == base_partition(cu, 2).as_frozen())
+
+
+class TestStabilization:
+    def test_component_union_stabilizes(self):
+        cu = k3_k2()
+        part, r = stable_partition(cu, 1)
+        assert part.all_singletons()
+        assert r == 2  # nodes split once neighbourhood depth sees triangle
+
+    def test_refinement_trace_monotone(self):
+        cu = k3_k2()
+        trace = refinement_trace(cu, 1)
+        assert trace == sorted(trace)
+        assert trace[-1] == cu.class_count(1)
+
+    def test_fixed_r_values(self):
+        assert fixed_r(infinite_clique(), 2) == 0
+        assert fixed_r(rado_hsdb(), 2) == 0
+        assert fixed_r(k3_k2(), 2) == 2
+
+    def test_blowup_stabilizes(self):
+        arrow = finite_database([(2, [(0, 1)])], [0, 1], name="arrow")
+        hs = from_finite_database(arrow)
+        part, r = stable_partition(hs, 1)
+        assert part.all_singletons()
+
+    def test_invalid_representation_detected(self):
+        """A 'tree' that represents one class twice stalls the refinement
+        and is reported rather than looping."""
+        from repro.core import naturals_domain
+        from repro.symmetric import CharacteristicTree, HSDatabase
+        # Two rank-1 paths, both of the same (empty-relation) class.
+        tree = CharacteristicTree(
+            lambda p: (0, 1) if len(p) == 0 else ((2,) if len(p) < 3 else ()))
+        hs = HSDatabase(naturals_domain(), (1,), tree,
+                        lambda u, v: len(u) == len(v), [frozenset()])
+        with pytest.raises(NotHighlySymmetricError):
+            stable_partition(hs, 1, max_r=6)
+
+
+class TestEquivalenceViaRefinement:
+    def test_agrees_with_oracle(self):
+        cu = k3_k2()
+        samples = [
+            (((0, 0, 0),), ((0, 5, 2),)),      # K3 nodes: equivalent
+            (((0, 0, 0),), ((1, 5, 1),)),      # K3 vs K2 node: not
+            (((0, 0, 0), (0, 0, 1)), ((0, 7, 2), (0, 7, 0))),  # edges
+            (((0, 0, 0), (0, 0, 1)), ((1, 7, 0), (1, 7, 1))),  # across kinds
+            (((0, 0, 0), (0, 1, 0)), ((0, 2, 1), (0, 3, 2))),  # cross-copy
+        ]
+        for u, v in samples:
+            assert (equivalent_via_refinement(cu, u, v)
+                    == cu.equivalent(u, v))
+
+    def test_rank_mismatch(self):
+        cu = k3_k2()
+        assert not equivalent_via_refinement(cu, ((0, 0, 0),),
+                                             ((0, 0, 0), (0, 0, 1)))
+
+
+class TestFindD:
+    def test_clique(self):
+        hs = infinite_clique()
+        d = find_d(hs)
+        assert d == (0, 1)  # the edge representative encodes C1
+
+    def test_rado(self):
+        r = rado_hsdb()
+        d = find_d(r)
+        assert len(set(d)) == len(d)
+        # d's projections must cover the edge representative's class.
+        assert any(r.contains(0, (d[i], d[j]))
+                   for i in range(len(d)) for j in range(len(d)))
+
+    def test_k3_k2_encodes_all_representatives(self):
+        cu = k3_k2()
+        d = find_d(cu)
+        from itertools import product
+        from repro.util.seqs import project
+        for arity, reps in zip(cu.signature, cu.representatives):
+            for c in reps:
+                assert any(
+                    cu.equivalent(project(d, pos), c)
+                    for pos in product(range(len(d)), repeat=arity))
+
+    def test_projection_index_is_a_position_model(self):
+        """Xⱼ relates positions exactly as the relations relate d's
+        components — Step 2 of P_Q."""
+        cu = k3_k2()
+        d = find_d(cu)
+        index = projection_index(cu, d)
+        from itertools import product
+        for i, members in enumerate(index):
+            for pos in product(range(len(d)), repeat=cu.signature[i]):
+                expected = cu.contains(i, tuple(d[p] for p in pos))
+                assert (pos in members) == expected

@@ -1,0 +1,78 @@
+"""Tests for CB snapshot serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import RepresentationError
+from repro.graphs import mixed_components_hsdb, triangles_hsdb
+from repro.symmetric import (
+    from_json,
+    infinite_clique,
+    rado_hsdb,
+    restore,
+    snapshot,
+    to_json,
+)
+
+
+class TestSnapshot:
+    def test_roundtrip_levels_and_reps(self):
+        cu = mixed_components_hsdb()
+        back = from_json(to_json(cu, depth=3))
+        assert [back.class_count(n) for n in range(4)] == \
+            [cu.class_count(n) for n in range(4)]
+        assert back.representatives == cu.representatives
+        assert back.signature == cu.signature
+        assert back.name == cu.name
+
+    def test_membership_on_restored(self):
+        cu = mixed_components_hsdb()
+        back = from_json(to_json(cu, depth=3))
+        edge_rep = next(iter(cu.representatives[0]))
+        assert back.contains(0, edge_rep)
+        non_edge = next(p for p in cu.tree.level(2)
+                        if p not in cu.representatives[0])
+        assert not back.contains(0, non_edge)
+
+    def test_tree_truncated_beyond_depth(self):
+        tri = triangles_hsdb()
+        back = restore(snapshot(tri, depth=2))
+        assert back.tree.level(3) == []
+
+    def test_equivalence_limited_to_stored_paths(self):
+        tri = triangles_hsdb()
+        back = from_json(to_json(tri, depth=2))
+        with pytest.raises(RepresentationError):
+            back.equivalent(((0, 99, 0),), ((0, 99, 1),))
+
+    def test_depth_must_cover_arities(self):
+        with pytest.raises(ValueError):
+            snapshot(infinite_clique(), depth=1)
+
+    def test_json_is_valid_and_deterministic(self):
+        hs = infinite_clique()
+        a = to_json(hs, depth=3)
+        b = to_json(infinite_clique(), depth=3)
+        json.loads(a)
+        assert a == b
+
+    def test_integer_labels(self):
+        hs = rado_hsdb()
+        back = from_json(to_json(hs, depth=2))
+        assert back.class_count(2) == hs.class_count(2)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(RepresentationError):
+            restore({"format": 99})
+
+    def test_unsupported_labels_rejected(self):
+        from repro.symmetric.serialize import _encode_value
+        with pytest.raises(RepresentationError):
+            _encode_value(3.14)
+
+    def test_canonicalization_on_restored_paths(self):
+        cu = mixed_components_hsdb()
+        back = from_json(to_json(cu, depth=2))
+        for p in cu.tree.level(2):
+            assert back.canonical_representative(p) == p

@@ -1,0 +1,75 @@
+"""Tests for stretchings of hs-r-dbs (Proposition 3.1, executable)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graphs import mixed_components_hsdb, triangles_hsdb
+from repro.symmetric import fixed_r, infinite_clique, stretch_hsdb
+
+
+class TestStretchHsdb:
+    def test_signature_extended(self):
+        tri = triangles_hsdb()
+        s = stretch_hsdb(tri, [(0, 0, 0)])
+        assert s.signature == (2, 1)
+
+    def test_constant_relation_is_singleton(self):
+        tri = triangles_hsdb()
+        mark = (0, 0, 0)
+        s = stretch_hsdb(tri, [mark])
+        assert s.contains(1, (mark,))
+        assert not s.contains(1, ((0, 1, 0),))
+        assert not s.contains(1, ((0, 0, 1),))
+
+    def test_marking_splits_classes(self):
+        """One marked triangle node splits the single node class into:
+        the mark, its two copy-mates, and all other copies' nodes."""
+        tri = triangles_hsdb()
+        s = stretch_hsdb(tri, [(0, 0, 0)])
+        assert tri.class_count(1) == 1
+        assert s.class_count(1) == 3
+        assert s.equivalent(((0, 0, 1),), ((0, 0, 2),))
+        assert not s.equivalent(((0, 0, 1),), ((0, 5, 1),))
+        assert not s.equivalent(((0, 0, 0),), ((0, 0, 1),))
+
+    def test_stretching_stays_highly_symmetric(self):
+        """Proposition 3.1's positive face: a stretching of a highly
+        symmetric db has finitely many rank-1 classes (and a valid
+        representation altogether)."""
+        s = stretch_hsdb(triangles_hsdb(), [(0, 0, 0)])
+        s.validate(max_rank=2)
+        __, r = __import__("repro.symmetric",
+                           fromlist=["stable_partition"]).stable_partition(s, 1)
+        assert r >= 0  # stabilizes
+
+    def test_clique_stretch(self):
+        """Marking one clique element: 2 rank-1 classes (it vs rest)."""
+        hs = infinite_clique()
+        s = stretch_hsdb(hs, [5])
+        assert s.class_count(1) == 2
+        assert s.contains(1, (5,))
+        assert s.equivalent((0,), (9,))
+        assert not s.equivalent((5,), (9,))
+
+    def test_two_constants(self):
+        hs = infinite_clique()
+        s = stretch_hsdb(hs, [3, 4])
+        assert s.signature == (2, 1, 1)
+        # classes: {3}, {4}, everything else.
+        assert s.class_count(1) == 3
+
+    def test_original_relations_preserved(self):
+        cu = mixed_components_hsdb()
+        s = stretch_hsdb(cu, [(0, 0, 0)])
+        assert s.contains(0, ((0, 7, 0), (0, 7, 1)))
+        assert not s.contains(0, ((0, 0, 0), (0, 1, 0)))
+
+    def test_bad_constant_rejected(self):
+        with pytest.raises(DomainError):
+            stretch_hsdb(infinite_clique(), ["not-a-natural"])
+
+    def test_refinement_radius_after_stretch(self):
+        """The stretched database's classes still stabilize at a finite
+        radius — the whole §3.2 machinery applies to stretchings."""
+        s = stretch_hsdb(infinite_clique(), [0])
+        assert fixed_r(s, 1) <= 2

@@ -1,0 +1,98 @@
+"""Tests for characteristic trees."""
+
+import pytest
+
+from repro.errors import NotHighlySymmetricError
+from repro.symmetric.tree import CharacteristicTree, tree_from_levels
+
+
+def binary_tree():
+    """Labels 0/1 at every node — not a real characteristic tree, but a
+    convenient shape for structural tests."""
+    return CharacteristicTree(lambda path: (0, 1), name="bin")
+
+
+class TestCharacteristicTree:
+    def test_root_level(self):
+        t = binary_tree()
+        assert t.level(0) == [()]
+
+    def test_levels_grow(self):
+        t = binary_tree()
+        assert len(t.level(1)) == 2
+        assert len(t.level(3)) == 8
+        assert (0, 1, 0) in t.level(3)
+
+    def test_children_memoized(self):
+        calls = []
+
+        def children(path):
+            calls.append(path)
+            return (0,)
+
+        t = CharacteristicTree(children)
+        t.children(())
+        t.children(())
+        assert calls == [()]
+
+    def test_is_path(self):
+        t = binary_tree()
+        assert t.is_path(())
+        assert t.is_path((0, 1, 1))
+        assert not t.is_path((2,))
+        assert not t.is_path((0, 2))
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            binary_tree().level(-1)
+
+    def test_duplicate_children_rejected(self):
+        t = CharacteristicTree(lambda path: (0, 0))
+        with pytest.raises(NotHighlySymmetricError):
+            t.children(())
+
+    def test_branching_bound(self):
+        t = CharacteristicTree(lambda path: tuple(range(10)),
+                               branching_bound=5)
+        with pytest.raises(NotHighlySymmetricError):
+            t.children(())
+
+    def test_iter_paths(self):
+        t = binary_tree()
+        paths = list(t.iter_paths(2))
+        assert paths[0] == ()
+        assert len(paths) == 1 + 2 + 4
+
+    def test_max_branching(self):
+        def children(path):
+            return tuple(range(len(path) + 1))
+
+        t = CharacteristicTree(children)
+        assert t.max_branching(2) == 3
+
+    def test_branching_at(self):
+        assert binary_tree().branching_at(()) == 2
+
+
+class TestTreeFromLevels:
+    def test_explicit_levels(self):
+        t = tree_from_levels([
+            [()],
+            [(1,)],
+            [(1, 1), (1, 3)],
+        ])
+        assert t.level(1) == [(1,)]
+        assert sorted(t.level(2)) == [(1, 1), (1, 3)]
+        assert t.level(3) == []
+
+    def test_paper_figure_shape(self):
+        """The Section 3.1 figure: a tree whose rank-2 paths include the
+        representatives (1,3) and (2,4) of the two edge classes."""
+        t = tree_from_levels([
+            [()],
+            [(1,), (2,)],
+            [(1, 1), (1, 2), (1, 3), (2, 2), (2, 1), (2, 4)],
+        ])
+        assert (1, 3) in t.level(2)
+        assert (2, 4) in t.level(2)
+        assert t.is_path((2, 4))

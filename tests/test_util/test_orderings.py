@@ -1,0 +1,105 @@
+"""Tests for fair enumerations and pairing functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.orderings import (
+    cantor_pair,
+    cantor_unpair,
+    decode_tuple,
+    encode_tuple,
+    fair_tuples,
+    fair_union,
+    naturals,
+    take,
+)
+
+
+class TestCantorPairing:
+    def test_known_values(self):
+        assert cantor_pair(0, 0) == 0
+        assert cantor_pair(1, 0) == 1
+        assert cantor_pair(0, 1) == 2
+        assert cantor_pair(2, 0) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cantor_pair(-1, 0)
+        with pytest.raises(ValueError):
+            cantor_unpair(-1)
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_roundtrip(self, x, y):
+        assert cantor_unpair(cantor_pair(x, y)) == (x, y)
+
+    @given(st.integers(0, 10**6))
+    def test_unpair_then_pair(self, z):
+        x, y = cantor_unpair(z)
+        assert cantor_pair(x, y) == z
+
+    def test_is_bijection_on_prefix(self):
+        seen = {cantor_pair(x, y) for x in range(40) for y in range(40)}
+        # All codes below 40*41/2 = 820 are hit (triangle filled).
+        assert set(range(820)) <= seen
+
+
+class TestTupleEncoding:
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=5))
+    def test_roundtrip(self, values):
+        values = tuple(values)
+        assert decode_tuple(encode_tuple(values), len(values)) == values
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encode_tuple(())
+        with pytest.raises(ValueError):
+            decode_tuple(0, 0)
+
+
+class TestFairTuples:
+    def test_rank_zero(self):
+        assert list(fair_tuples(naturals(), 0)) == [()]
+
+    def test_rank_one_over_naturals(self):
+        assert take(fair_tuples(naturals(), 1), 5) == [
+            (0,), (1,), (2,), (3,), (4,)]
+
+    def test_fairness_rank_two(self):
+        """Every pair appears within a computable prefix."""
+        prefix = take(fair_tuples(naturals(), 2), 10_000)
+        for x in range(8):
+            for y in range(8):
+                assert (x, y) in prefix
+
+    def test_no_duplicates(self):
+        prefix = take(fair_tuples(naturals(), 2), 2000)
+        assert len(prefix) == len(set(prefix))
+
+    def test_finite_input_complete(self):
+        out = list(fair_tuples([0, 1, 2], 2))
+        assert sorted(out) == sorted(
+            (x, y) for x in range(3) for y in range(3))
+
+    def test_finite_input_rank_three(self):
+        out = list(fair_tuples("ab", 3))
+        assert len(out) == 8
+        assert len(set(out)) == 8
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            list(fair_tuples([1], -1))
+
+
+class TestFairUnion:
+    def test_interleaves(self):
+        a = iter([1, 2, 3])
+        b = iter("xy")
+        out = list(fair_union([a, b]))
+        assert sorted(map(str, out)) == ["1", "2", "3", "x", "y"]
+        assert out[0] == 1 and out[1] == "x"
+
+    def test_infinite_parts_fair(self):
+        evens = (2 * n for n in naturals())
+        odds = (2 * n + 1 for n in naturals())
+        prefix = take(fair_union([evens, odds]), 100)
+        assert set(prefix) == set(range(100))

@@ -1,0 +1,155 @@
+"""Tests for set partitions and the refinement engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.partitions import (
+    Partition,
+    block_count,
+    blocks_of,
+    canonical_tuple,
+    equality_pattern,
+    is_restricted_growth,
+    refines,
+    set_partitions,
+)
+
+BELL = [1, 1, 2, 5, 15, 52, 203, 877]
+
+
+class TestEqualityPattern:
+    def test_examples(self):
+        assert equality_pattern(("a", "b", "a")) == (0, 1, 0)
+        assert equality_pattern(()) == ()
+        assert equality_pattern((7, 7, 7)) == (0, 0, 0)
+
+    @given(st.lists(st.integers(0, 3), max_size=6))
+    def test_is_restricted_growth(self, values):
+        assert is_restricted_growth(equality_pattern(values))
+
+    @given(st.lists(st.integers(0, 3), max_size=6))
+    def test_pattern_matches_equalities(self, values):
+        p = equality_pattern(values)
+        for i in range(len(values)):
+            for j in range(len(values)):
+                assert (p[i] == p[j]) == (values[i] == values[j])
+
+    @given(st.lists(st.integers(0, 5), max_size=6))
+    def test_canonical_tuple_realizes_pattern(self, values):
+        p = equality_pattern(values)
+        assert equality_pattern(canonical_tuple(p)) == p
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("n", range(8))
+    def test_bell_numbers(self, n):
+        assert sum(1 for _ in set_partitions(n)) == BELL[n]
+
+    def test_all_valid_and_distinct(self):
+        parts = list(set_partitions(5))
+        assert len(set(parts)) == len(parts)
+        assert all(is_restricted_growth(p) for p in parts)
+        assert all(len(p) == 5 for p in parts)
+
+    def test_blocks_of(self):
+        assert blocks_of((0, 1, 0)) == [[0, 2], [1]]
+        assert blocks_of(()) == []
+
+    def test_block_count(self):
+        assert block_count(()) == 0
+        assert block_count((0, 1, 0, 2)) == 3
+
+
+class TestRefines:
+    def test_identity_refines_itself(self):
+        assert refines((0, 1, 0), (0, 1, 0))
+
+    def test_discrete_refines_everything(self):
+        for coarse in set_partitions(3):
+            assert refines((0, 1, 2), coarse)
+
+    def test_everything_refines_trivial(self):
+        for fine in set_partitions(3):
+            assert refines(fine, (0, 0, 0))
+
+    def test_non_refinement(self):
+        assert not refines((0, 0, 1), (0, 1, 1))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            refines((0,), (0, 1))
+
+
+class TestPartition:
+    def test_initial_single_block(self):
+        p = Partition([1, 2, 3])
+        assert p.block_count() == 1
+        assert p.same_block(1, 3)
+
+    def test_initial_key(self):
+        p = Partition(range(6), key=lambda x: x % 2)
+        assert p.block_count() == 2
+        assert p.same_block(0, 4)
+        assert not p.same_block(0, 1)
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ValueError):
+            Partition([1, 1])
+
+    def test_refine_splits(self):
+        p = Partition(range(6))
+        changed = p.refine(lambda x: x % 3)
+        assert changed
+        assert p.block_count() == 3
+        assert p.same_block(0, 3)
+
+    def test_refine_stable_returns_false(self):
+        p = Partition(range(4), key=lambda x: x % 2)
+        assert not p.refine(lambda x: x % 2)
+
+    def test_refine_only_splits_never_merges(self):
+        p = Partition(range(6), key=lambda x: x % 3)
+        p.refine(lambda x: 0)  # constant signature: no merge happens
+        assert p.block_count() == 3
+
+    def test_all_singletons(self):
+        p = Partition([1, 2])
+        assert not p.all_singletons()
+        p.refine(lambda x: x)
+        assert p.all_singletons()
+
+    def test_refine_to_fixpoint_neighbour_signature(self):
+        """Color-refinement style: items linked in a chain separate by
+        distance-to-end, a miniature of the V^n_r computation."""
+        n = 5
+        p = Partition(range(n))
+
+        def signature(part, x):
+            # Unordered neighbour multiset: the path is undirected, so the
+            # signature must not distinguish left from right.
+            left = part.block_index(x - 1) if x > 0 else -1
+            right = part.block_index(x + 1) if x < n - 1 else -1
+            return tuple(sorted((left, right)))
+
+        p.refine_to_fixpoint(signature)
+        # A path of 5 nodes has orbit classes {0,4}, {1,3}, {2}.
+        assert p.same_block(0, 4)
+        assert p.same_block(1, 3)
+        assert not p.same_block(0, 1)
+        assert not p.same_block(1, 2)
+
+    def test_max_rounds_cap(self):
+        p = Partition(range(8))
+        rounds = p.refine_to_fixpoint(lambda part, x: x, max_rounds=0)
+        assert rounds == 0
+        assert p.block_count() == 1
+
+    def test_equality_and_hash(self):
+        p1 = Partition(range(4), key=lambda x: x % 2)
+        p2 = Partition([3, 2, 1, 0], key=lambda x: x % 2)
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_blocks_ordered_by_items(self):
+        p = Partition(["a", "b", "c"], key=lambda x: x == "b")
+        assert p.blocks() == [["a", "c"], ["b"]]

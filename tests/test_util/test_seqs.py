@@ -1,0 +1,98 @@
+"""Tests for tuple utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ArityError
+from repro.util.seqs import (
+    all_position_tuples,
+    distinct,
+    drop_first,
+    drop_last,
+    extend,
+    is_over,
+    project,
+    rank,
+    substitute,
+    support,
+    swap_last_two,
+)
+
+
+class TestProjection:
+    def test_basic(self):
+        assert project(("a", "b", "c"), (2, 0, 0)) == ("c", "a", "a")
+
+    def test_empty_positions(self):
+        assert project(("a",), ()) == ()
+
+    def test_out_of_range(self):
+        with pytest.raises(ArityError):
+            project(("a",), (1,))
+
+    @given(st.lists(st.integers(), min_size=1, max_size=5))
+    def test_identity_projection(self, u):
+        assert project(u, range(len(u))) == tuple(u)
+
+
+class TestDropExtendSwap:
+    def test_drop_first(self):
+        assert drop_first((1, 2, 3)) == (2, 3)
+
+    def test_drop_last(self):
+        assert drop_last((1, 2, 3)) == (1, 2)
+
+    def test_drop_empty_raises(self):
+        with pytest.raises(ArityError):
+            drop_first(())
+        with pytest.raises(ArityError):
+            drop_last(())
+
+    def test_extend(self):
+        assert extend((1,), 2, 3) == (1, 2, 3)
+        assert extend((), "a") == ("a",)
+
+    def test_swap_last_two(self):
+        assert swap_last_two((1, 2, 3)) == (1, 3, 2)
+        assert swap_last_two((1, 2)) == (2, 1)
+
+    def test_swap_requires_rank_two(self):
+        with pytest.raises(ArityError):
+            swap_last_two((1,))
+
+    @given(st.lists(st.integers(), min_size=2, max_size=6))
+    def test_swap_involution(self, u):
+        assert swap_last_two(swap_last_two(u)) == tuple(u)
+
+
+class TestPositionTuples:
+    def test_counts(self):
+        assert sum(1 for _ in all_position_tuples(3, 2)) == 9
+        assert list(all_position_tuples(2, 0)) == [()]
+        assert sum(1 for _ in all_position_tuples(0, 2)) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(all_position_tuples(-1, 2))
+
+
+class TestSupportAndMisc:
+    def test_rank(self):
+        assert rank(()) == 0
+        assert rank((1, 2)) == 2
+
+    def test_distinct(self):
+        assert distinct((1, 2, 3))
+        assert not distinct((1, 2, 1))
+        assert distinct(())
+
+    def test_support_order(self):
+        assert support((3, 1, 3, 2)) == (3, 1, 2)
+
+    def test_substitute(self):
+        assert substitute((1, 2, 3), {2: 9}) == (1, 9, 3)
+
+    def test_is_over(self):
+        assert is_over((1, 2), {1, 2, 3})
+        assert not is_over((1, 4), {1, 2, 3})
+        assert is_over((), set())
