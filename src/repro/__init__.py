@@ -36,11 +36,28 @@ Subpackages
 ``repro.graphs``
     A library of recursive graphs (lines, grids, cliques, component
     unions, the Rado graph) used throughout examples and benchmarks.
+``repro.engine``
+    The unified query-evaluation engine: a plan IR all four frontends
+    (L⁻/FO, QLhs, QLf+, GMhs) lower into, fingerprint-keyed two-level
+    caching, batched/parallel membership execution, and
+    ``EngineStats`` metering.
 """
 
 __version__ = "1.0.0"
 
-from . import bp, core, fcf, finite, graphs, logic, machines, qlhs, symmetric, util  # noqa: F401
+from . import (  # noqa: F401
+    bp,
+    core,
+    engine,
+    fcf,
+    finite,
+    graphs,
+    logic,
+    machines,
+    qlhs,
+    symmetric,
+    util,
+)
 
 from .core import (  # noqa: F401
     LocalType,
@@ -65,5 +82,6 @@ from .logic import (  # noqa: F401
     expression_for_query,
     parse,
 )
+from .engine import Engine, EngineStats  # noqa: F401
 from .qlhs import PQPipeline, QLhsInterpreter, parse_program  # noqa: F401
 from .symmetric import HSDatabase, infinite_clique, rado_hsdb  # noqa: F401

@@ -14,6 +14,12 @@ Commands
 ``eval NAME FORMULA``
     Evaluate a first-order sentence over a built-in hs-r-db, e.g.
     ``python -m repro eval rado "forall x. exists y. R1(x, y)"``.
+``engine NAME FORMULA [--repeat N] [--stats]``
+    Evaluate through the unified engine (``repro.engine``): the sentence
+    is lowered to a plan, cached by database fingerprint, and re-run
+    ``N`` times (warm runs are cache probes).  ``--stats`` prints the
+    :class:`~repro.engine.stats.EngineStats` snapshot — cache
+    hits/misses, oracle question count, per-node timings, wall time.
 """
 
 from __future__ import annotations
@@ -45,7 +51,7 @@ def cmd_info(args: list[str]) -> int:
     print("Reproduction of: Hirst & Harel, 'Completeness Results for "
           "Recursive Data Bases', PODS 1993 / JCSS 52 (1996).")
     print("\nSubpackages: core, logic, symmetric, qlhs, finite, fcf, "
-          "machines, bp, graphs")
+          "machines, bp, graphs, engine")
     print("Docs: README.md, DESIGN.md, EXPERIMENTS.md; runnable demos "
           "in examples/")
     return 0
@@ -91,11 +97,51 @@ def cmd_eval(args: list[str]) -> int:
     return 0
 
 
+def cmd_engine(args: list[str]) -> int:
+    from .engine import Engine, plan_from_sentence
+    from .logic import parse
+
+    flags = [a for a in args if a.startswith("--")]
+    positional = [a for a in args if not a.startswith("--")]
+    repeat = 1
+    show_stats = False
+    for flag in flags:
+        if flag == "--stats":
+            show_stats = True
+        elif flag.startswith("--repeat="):
+            repeat = int(flag.split("=", 1)[1])
+        else:
+            raise SystemExit(f"unknown flag {flag!r}")
+    if "--repeat" in positional:
+        # Allow the space-separated form ``--repeat N`` too.
+        raise SystemExit("write --repeat=N (e.g. --repeat=100)")
+    if len(positional) != 2:
+        raise SystemExit(
+            'usage: python -m repro engine NAME "SENTENCE" '
+            "[--repeat=N] [--stats]")
+    if repeat < 1:
+        raise SystemExit("--repeat must be >= 1")
+
+    hsdb = _builtin_hsdb(positional[0])
+    sentence = parse(positional[1])
+    engine = Engine(hsdb)
+    plan = plan_from_sentence(sentence, hsdb.signature)
+    answer = engine.holds(plan)
+    for __ in range(repeat - 1):
+        answer = engine.holds(plan)
+    print(f"{hsdb.name} |= {positional[1]}  ->  {answer}")
+    print(f"fingerprint: {engine.fingerprint}")
+    if show_stats:
+        print(engine.stats().format())
+    return 0
+
+
 COMMANDS = {
     "info": cmd_info,
     "classes": cmd_classes,
     "tree": cmd_tree,
     "eval": cmd_eval,
+    "engine": cmd_engine,
 }
 
 

@@ -1,0 +1,115 @@
+"""``repro.engine`` — the unified query-evaluation engine.
+
+One evaluation surface for all four query frontends (L⁻/FO, QLhs, QLf+,
+GMhs), built from:
+
+* :mod:`repro.engine.plan` — the plan IR
+  (scan/filter/project/quantify/join/fixpoint + boolean combinators)
+  and its normalizer;
+* :mod:`repro.engine.frontends` — thin adapters lowering each source
+  language into the IR, reusing the existing compilers;
+* :mod:`repro.engine.fingerprint` — structural database fingerprints,
+  the key that makes cached results safely reusable across database
+  copies (genericity, Definition 2.4, is the soundness argument);
+* :mod:`repro.engine.cache` — the two-level (plan, result) cache;
+* :mod:`repro.engine.executor` — :class:`Engine`: cached evaluation,
+  batched membership with an optional parallel path, metered end to
+  end;
+* :mod:`repro.engine.stats` — :class:`EngineStats` snapshots
+  (oracle questions, cache traffic, per-node timings, wall time).
+
+Quick use::
+
+    from repro.engine import Engine, plan_from_sentence
+    from repro.logic import parse
+    from repro.symmetric import rado_hsdb
+
+    db = rado_hsdb()
+    engine = Engine(db)
+    plan = plan_from_sentence(parse("forall x. exists y. R1(x, y)"),
+                              db.signature)
+    engine.holds(plan)        # cold: evaluates; warm: a cache probe
+    print(engine.stats().format())
+"""
+
+from .cache import EngineCache, PlanCache, ResultCache
+from .executor import Engine
+from .fingerprint import (
+    fingerprint,
+    fingerprint_fcf,
+    fingerprint_hsdb,
+    fingerprint_rdb,
+)
+from .frontends import (
+    plan_from_formula,
+    plan_from_gmhs,
+    plan_from_qlf,
+    plan_from_qlhs,
+    plan_from_sentence,
+    plan_from_term,
+    term_rank,
+)
+from .plan import (
+    EXISTS,
+    FORALL,
+    Complement,
+    Extend,
+    FcfFixpoint,
+    FilterAtom,
+    FilterEq,
+    Fixpoint,
+    FullScan,
+    Intersect,
+    Join,
+    MachineFixpoint,
+    Plan,
+    Project,
+    Quantify,
+    Scan,
+    Union,
+    normalize,
+    plan_rank,
+    plan_size,
+)
+from .stats import CacheStats, EngineStats, MutableEngineStats
+
+__all__ = [
+    "EXISTS",
+    "FORALL",
+    "CacheStats",
+    "Complement",
+    "Engine",
+    "EngineCache",
+    "EngineStats",
+    "Extend",
+    "FcfFixpoint",
+    "FilterAtom",
+    "FilterEq",
+    "Fixpoint",
+    "FullScan",
+    "Intersect",
+    "Join",
+    "MachineFixpoint",
+    "MutableEngineStats",
+    "Plan",
+    "PlanCache",
+    "Project",
+    "Quantify",
+    "ResultCache",
+    "Scan",
+    "Union",
+    "fingerprint",
+    "fingerprint_fcf",
+    "fingerprint_hsdb",
+    "fingerprint_rdb",
+    "normalize",
+    "plan_from_formula",
+    "plan_from_gmhs",
+    "plan_from_qlf",
+    "plan_from_qlhs",
+    "plan_from_sentence",
+    "plan_from_term",
+    "plan_rank",
+    "plan_size",
+    "term_rank",
+]

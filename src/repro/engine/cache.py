@@ -1,0 +1,121 @@
+"""The engine's two-level cache.
+
+Level 1 — the **plan cache**: normalization (:func:`repro.engine.plan.
+normalize`) is pure but walks the whole plan tree; it is memoized with
+the kwargs-capable :func:`repro.util.memo.lru_cached`, so syntactically
+repeated plans (every warm request) skip the rewrite entirely and two
+differently written but ACI-equal plans converge on one key.
+
+Level 2 — the **result cache**: finished answers keyed by
+``(database fingerprint, normalized plan, args)``.  The fingerprint
+(:mod:`repro.engine.fingerprint`) is what makes the entry safely
+shareable across database *objects*: any two databases with the same
+fingerprint agree on every generic query the engine computes, so a hit
+is a correct answer regardless of which copy asked.  ``args`` carries
+per-request parameters (e.g. the tuple of a membership test).
+
+Both levels expose :class:`~repro.engine.stats.CacheStats` snapshots.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+from typing import Any
+
+from ..util.memo import lru_cached
+from .plan import Plan, normalize
+from .stats import CacheStats
+
+
+class PlanCache:
+    """Memoized plan normalization (level 1)."""
+
+    def __init__(self, maxsize: int = 4096):
+        self._normalize = lru_cached(maxsize=maxsize)(
+            lambda plan, signature=None: normalize(plan, signature))
+
+    def normalized(self, plan: Plan,
+                   signature: tuple[int, ...] | None = None) -> Plan:
+        return self._normalize(plan, signature=signature)
+
+    def stats(self) -> CacheStats:
+        fn = self._normalize
+        return CacheStats(hits=fn.hits, misses=fn.misses,
+                          evictions=fn.evictions, size=len(fn.cache))
+
+    def clear(self) -> None:
+        self._normalize.cache_clear()
+
+
+class ResultCache:
+    """Bounded LRU of finished answers (level 2).
+
+    Keys are ``(fingerprint, plan, args)`` triples; values are whatever
+    the executor produced (path frozensets, booleans, ``FcfValue``\\ s —
+    all immutable, so sharing is safe).
+    """
+
+    def __init__(self, maxsize: int = 65536):
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(fingerprint: str, plan: Plan,
+            args: Hashable = ()) -> Hashable:
+        return (fingerprint, plan, args)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def __contains__(self, key: Hashable) -> bool:
+        # Pure containment check — does not touch the counters; use
+        # ``get`` for the counted access path.
+        return key in self._data
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          evictions=self.evictions, size=len(self._data))
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class EngineCache:
+    """The two levels, bundled (one per engine; shareable across them).
+
+    Sharing one :class:`EngineCache` between several engines over
+    fingerprint-equal databases is the intended deployment shape for a
+    serving tier: the fingerprint in every result key keeps tenants
+    with different databases from ever reading each other's entries.
+    """
+
+    def __init__(self, plan_maxsize: int = 4096,
+                 result_maxsize: int = 65536):
+        self.plans = PlanCache(maxsize=plan_maxsize)
+        self.results = ResultCache(maxsize=result_maxsize)
+
+    def clear(self) -> None:
+        self.plans.clear()
+        self.results.clear()

@@ -1,0 +1,387 @@
+"""The engine executor: cached, batched, optionally parallel evaluation.
+
+:class:`Engine` wraps one database (an hs-r-db or an fcf-r-db) and
+evaluates plan-IR trees against it:
+
+* every ``evaluate`` first normalizes the plan through the plan cache,
+  then consults the result cache under
+  ``(database fingerprint, plan, args)`` — so a warm re-evaluation is
+  two dictionary probes, however expensive the cold run was;
+* sub-plans are cached too: two different queries sharing a subtree
+  (the *Complete Approximations* motivation — many related queries, one
+  database) pay for the shared work once;
+* ``batch_contains`` answers many membership questions in one pass over
+  one evaluated plan, with an optional :class:`~concurrent.futures.
+  ThreadPoolExecutor` path for the embarrassingly parallel per-tuple
+  tests and a deterministic sequential fallback producing bit-for-bit
+  identical answers (the parallel path preserves request order via
+  ``Executor.map``);
+* all work is metered in :class:`~repro.engine.stats.EngineStats`:
+  oracle (``≅_B``) questions, cache traffic, per-node timings, wall
+  time.
+
+Results are immutable (:class:`~repro.qlhs.interpreter.Value` for path
+sets, :class:`~repro.fcf.relation.FcfValue` for fcf plans, ``bool`` for
+tests), so cache sharing never aliases mutable state.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import RankMismatchError, RepresentationError, TypeSignatureError
+from ..fcf.database import FcfDatabase
+from ..fcf.qlf import QLfInterpreter
+from ..fcf.relation import FcfValue
+from ..qlhs.interpreter import QLhsInterpreter, Value
+from ..symmetric.hsdb import HSDatabase
+from .cache import EngineCache, ResultCache
+from .fingerprint import fingerprint
+from .plan import (
+    EXISTS,
+    Complement,
+    Extend,
+    FcfFixpoint,
+    FilterAtom,
+    FilterEq,
+    Fixpoint,
+    FullScan,
+    Intersect,
+    Join,
+    MachineFixpoint,
+    Plan,
+    Project,
+    Quantify,
+    Scan,
+    Union,
+)
+from .stats import MutableEngineStats, Timer
+
+
+class Engine:
+    """Unified query-evaluation engine over one database.
+
+    Parameters
+    ----------
+    db:
+        An :class:`~repro.symmetric.hsdb.HSDatabase` (executes the full
+        algebraic IR plus QLhs/GMhs fixpoints) or an
+        :class:`~repro.fcf.database.FcfDatabase` (executes
+        :class:`~repro.engine.plan.FcfFixpoint` plans).
+    cache:
+        An :class:`~repro.engine.cache.EngineCache`; pass a shared
+        instance to pool warm results across engines over
+        fingerprint-equal databases.  A private cache is created when
+        omitted.
+    fuel:
+        Step budget handed to the QLhs / QLf+ interpreters for fixpoint
+        nodes.
+    max_workers:
+        Default thread count for the parallel batch path (``None``
+        delegates to :class:`ThreadPoolExecutor`'s default).
+    """
+
+    def __init__(self, db: HSDatabase | FcfDatabase, *,
+                 cache: EngineCache | None = None,
+                 fuel: int = 10_000_000,
+                 max_workers: int | None = None):
+        if not isinstance(db, (HSDatabase, FcfDatabase)):
+            raise TypeSignatureError(
+                f"Engine needs an HSDatabase or FcfDatabase, got "
+                f"{type(db).__name__}")
+        self.db = db
+        self.cache = cache if cache is not None else EngineCache()
+        self.fuel = fuel
+        self.max_workers = max_workers
+        self.fingerprint = fingerprint(db)
+        self._stats = MutableEngineStats()
+        # Exclusive-time bookkeeping for per-node timings.
+        self._child_time: list[float] = []
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def is_hs(self) -> bool:
+        return isinstance(self.db, HSDatabase)
+
+    @property
+    def signature(self) -> tuple[int, ...]:
+        if self.is_hs:
+            return self.db.signature
+        return self.db.type_signature
+
+    # -- the public evaluation surface --------------------------------------
+
+    def prepare(self, plan: Plan) -> Plan:
+        """Normalize through the plan cache (level 1)."""
+        return self.cache.plans.normalized(plan, self.signature)
+
+    def evaluate(self, plan: Plan) -> Value | FcfValue:
+        """Evaluate a plan to its denoted relation (cached)."""
+        with Timer() as t:
+            before = self._oracle_calls()
+            prepared = self.prepare(plan)
+            result = self._arg(prepared)
+            self._stats.oracle_questions += self._oracle_calls() - before
+            self._stats.evaluations += 1
+        self._stats.wall_time += t.seconds
+        return result
+
+    def holds(self, plan: Plan) -> bool:
+        """Truth of a rank-0 plan (nonemptiness in general)."""
+        value = self.evaluate(plan)
+        if isinstance(value, FcfValue):
+            return value.contains(()) if value.rank == 0 else bool(
+                value.tuples or value.cofinite)
+        return not value.is_empty
+
+    def contains(self, plan: Plan, u: Sequence) -> bool:
+        """One membership test: is ``u`` in the plan's relation?"""
+        return self.batch_contains(plan, [tuple(u)])[0]
+
+    def batch_contains(self, plan: Plan, tuples: Iterable[Sequence],
+                       parallel: bool = False,
+                       max_workers: int | None = None) -> list[bool]:
+        """Answer many membership questions against one plan, in order.
+
+        The plan is evaluated once (warm: a cache probe); each tuple
+        then gets an independent test — canonicalize, probe the result —
+        which is embarrassingly parallel.  ``parallel=True`` fans the
+        *uncached* tests out over a thread pool; answers are reassembled
+        in request order, so the two paths agree bit for bit (the E15
+        benchmark asserts it).  Per-tuple answers are result-cached
+        under ``(fingerprint, plan, ("contains", u))``.
+        """
+        requests = [tuple(u) for u in tuples]
+        with Timer() as t:
+            before = self._oracle_calls()
+            prepared = self.prepare(plan)
+            value = self._arg(prepared)
+
+            answers: list[bool | None] = [None] * len(requests)
+            pending: list[int] = []
+            results_cache = self.cache.results
+            missing = object()
+            for pos, u in enumerate(requests):
+                key = ResultCache.key(self.fingerprint, prepared,
+                                      ("contains", u))
+                hit = results_cache.get(key, missing)
+                if hit is missing:
+                    pending.append(pos)
+                else:
+                    answers[pos] = hit
+
+            if parallel and len(pending) > 1:
+                workers = max_workers or self.max_workers
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    computed = list(pool.map(
+                        lambda pos: self._member(value, requests[pos]),
+                        pending))
+            else:
+                computed = [self._member(value, requests[pos])
+                            for pos in pending]
+
+            for pos, answer in zip(pending, computed):
+                key = ResultCache.key(self.fingerprint, prepared,
+                                      ("contains", requests[pos]))
+                results_cache.put(key, answer)
+                answers[pos] = answer
+
+            self._stats.oracle_questions += self._oracle_calls() - before
+            self._stats.batch_requests += len(requests)
+        self._stats.wall_time += t.seconds
+        return answers  # type: ignore[return-value]
+
+    def batch_evaluate(self, plans: Sequence[Plan]) -> list:
+        """Evaluate several plans (shared sub-plans are computed once)."""
+        return [self.evaluate(p) for p in plans]
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self):
+        """An immutable :class:`~repro.engine.stats.EngineStats` snapshot."""
+        return self._stats.snapshot(self.cache.plans.stats(),
+                                    self.cache.results.stats())
+
+    def reset_stats(self) -> None:
+        self._stats.reset()
+
+    # -- internals ----------------------------------------------------------
+
+    def _oracle_calls(self) -> int:
+        return self.db.equiv.calls if self.is_hs else 0
+
+    def _execute(self, plan: Plan) -> Value | FcfValue:
+        """Execute one node (children through the cache), timed."""
+        start = time.perf_counter()
+        self._child_time.append(0.0)
+        try:
+            value = self._execute_node(plan)
+        finally:
+            child_seconds = self._child_time.pop()
+            total = time.perf_counter() - start
+            if self._child_time:
+                self._child_time[-1] += total
+            self._stats.record_node(type(plan).__name__,
+                                    max(total - child_seconds, 0.0))
+        return value
+
+    def _arg(self, plan: Plan) -> Value:
+        """A (sub-)plan's value, via the result cache (level 2).
+
+        Used for the root and every child alike, so any two queries
+        sharing a normalized subtree share its computed value.
+        """
+        key = ResultCache.key(self.fingerprint, plan, ())
+        missing = object()
+        hit = self.cache.results.get(key, missing)
+        if hit is not missing:
+            return hit
+        value = self._execute(plan)
+        self.cache.results.put(key, value)
+        return value
+
+    def _execute_node(self, plan: Plan) -> Value | FcfValue:
+        if isinstance(plan, FcfFixpoint):
+            if self.is_hs:
+                raise TypeSignatureError(
+                    "FcfFixpoint plans need an Engine over an "
+                    "FcfDatabase")
+            interp = QLfInterpreter(self.db, fuel=self.fuel)
+            return interp.result(plan.program)
+        if not self.is_hs:
+            raise TypeSignatureError(
+                f"an Engine over an FcfDatabase executes only "
+                f"FcfFixpoint plans, not {type(plan).__name__}")
+
+        hsdb: HSDatabase = self.db
+        if isinstance(plan, Scan):
+            if not 0 <= plan.index < hsdb.k:
+                raise TypeSignatureError(
+                    f"Scan({plan.index}) out of range for type "
+                    f"{hsdb.signature}")
+            return Value(hsdb.signature[plan.index],
+                         hsdb.representatives[plan.index])
+        if isinstance(plan, FullScan):
+            return Value(plan.rank, frozenset(hsdb.tree.level(plan.rank)))
+        if isinstance(plan, FilterEq):
+            body = self._arg(plan.child)
+            i = plan.i if plan.i >= 0 else body.rank + plan.i
+            j = plan.j if plan.j >= 0 else body.rank + plan.j
+            if not (0 <= i < body.rank and 0 <= j < body.rank):
+                raise RankMismatchError(
+                    f"FilterEq({plan.i}, {plan.j}) out of range for "
+                    f"rank {body.rank}")
+            return Value(body.rank, frozenset(
+                p for p in body.paths if p[i] == p[j]))
+        if isinstance(plan, FilterAtom):
+            body = self._arg(plan.child)
+            if any(not 0 <= c < body.rank for c in plan.positions):
+                raise RankMismatchError(
+                    f"FilterAtom positions {plan.positions} out of "
+                    f"range for rank {body.rank}")
+            out = frozenset(
+                p for p in body.paths
+                if hsdb.contains(
+                    plan.index,
+                    tuple(p[c] for c in plan.positions)) != plan.negate)
+            return Value(body.rank, out)
+        if isinstance(plan, Project):
+            body = self._arg(plan.child)
+            if any(not 0 <= c < body.rank for c in plan.coords):
+                raise RankMismatchError(
+                    f"Project coords {plan.coords} out of range for "
+                    f"rank {body.rank}")
+            out = frozenset(
+                hsdb.canonical_representative(
+                    tuple(p[c] for c in plan.coords))
+                for p in body.paths)
+            return Value(len(plan.coords), out)
+        if isinstance(plan, Extend):
+            body = self._arg(plan.child)
+            out = frozenset(
+                p + (a,) for p in body.paths
+                for a in hsdb.tree.children(p))
+            return Value(body.rank + 1, out)
+        if isinstance(plan, Join):
+            left = self._arg(plan.left)
+            right = self._arg(plan.right)
+            m, n = left.rank, right.rank
+            out = set()
+            for r in hsdb.tree.level(m + n):
+                head = hsdb.canonical_representative(r[:m]) if m else ()
+                tail = hsdb.canonical_representative(r[m:]) if n else ()
+                if head in left.paths and tail in right.paths:
+                    out.add(r)
+            return Value(m + n, frozenset(out))
+        if isinstance(plan, Quantify):
+            body = self._arg(plan.child)
+            if body.rank == 0:
+                raise RankMismatchError("Quantify needs rank >= 1")
+            rank = body.rank - 1
+            if plan.kind == EXISTS:
+                # Paths of T^{n+1} are p+(a,) for p ∈ Tⁿ: dropping the
+                # last label is exactly relativized ∃ (Theorem 6.3).
+                return Value(rank, frozenset(
+                    p[:-1] for p in body.paths))
+            out = frozenset(
+                p for p in hsdb.tree.level(rank)
+                if all(p + (a,) in body.paths
+                       for a in hsdb.tree.children(p)))
+            return Value(rank, out)
+        if isinstance(plan, Union):
+            parts = [self._arg(c) for c in plan.children]
+            rank = self._common_rank(parts, "Union")
+            out = frozenset().union(*(v.paths for v in parts))
+            return Value(rank, out)
+        if isinstance(plan, Intersect):
+            parts = [self._arg(c) for c in plan.children]
+            rank = self._common_rank(parts, "Intersect")
+            paths = set(parts[0].paths)
+            for v in parts[1:]:
+                paths &= v.paths
+            return Value(rank, frozenset(paths))
+        if isinstance(plan, Complement):
+            body = self._arg(plan.child)
+            level = frozenset(hsdb.tree.level(body.rank))
+            return Value(body.rank, level - body.paths)
+        if isinstance(plan, Fixpoint):
+            interp = QLhsInterpreter(hsdb, fuel=self.fuel)
+            return interp.run(plan.program, result_var=plan.result_var)
+        if isinstance(plan, MachineFixpoint):
+            from ..machines.gmhs_pipeline import run_query_gmhs
+            value, __ = run_query_gmhs(
+                hsdb, plan.procedure,
+                search_window=plan.search_window, fuel=plan.fuel)
+            return value
+        raise TypeError(f"unknown plan node {plan!r}")
+
+    @staticmethod
+    def _common_rank(parts: Sequence[Value], what: str) -> int:
+        if not parts:
+            raise RankMismatchError(f"{what} needs at least one child")
+        ranks = {v.rank for v in parts}
+        if len(ranks) != 1:
+            raise RankMismatchError(
+                f"{what} over mixed ranks {sorted(ranks)}")
+        return ranks.pop()
+
+    def _member(self, value: Value | FcfValue, u: tuple) -> bool:
+        """One membership test against an evaluated plan."""
+        if isinstance(value, FcfValue):
+            return value.contains(u)
+        if len(u) != value.rank:
+            return False
+        hsdb: HSDatabase = self.db
+        try:
+            return hsdb.canonical_representative(u) in value.paths
+        except RepresentationError:
+            # Not covered by the tree (foreign elements): not a member.
+            return False
+
+    def __repr__(self) -> str:
+        name = getattr(self.db, "name", "?")
+        return (f"Engine({name}, fingerprint={self.fingerprint[:12]}…, "
+                f"results={len(self.cache.results)})")

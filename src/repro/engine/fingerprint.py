@@ -1,0 +1,127 @@
+"""Stable structural fingerprints for databases — the cache-safety key.
+
+A result cache keyed only on object identity dies with the object; one
+keyed on a *structural* fingerprint lets two independently constructed
+copies of the same database share warm results.  The soundness argument
+is genericity (Definition 2.4): a generic query's answer depends only on
+the database up to isomorphism, and for an hs-r-db the ``CB``
+representation pins the isomorphism type of every bounded neighbourhood
+— so two databases agreeing on (type signature, characteristic-tree
+prefix, representative sets, builder identity) agree on every engine
+answer the cache will serve.
+
+The *builder identity* component (the database's ``name``) is a
+deliberate over-approximation: two same-named databases with different
+deep structure would collide, so the name participates but the tree
+prefix and representatives do the discriminating; conversely two
+structurally identical databases built under different names fingerprint
+apart, which costs a cold cache but never a wrong answer.
+
+Fingerprints are hex digests (SHA-256 over a canonical text rendering),
+so they are compact dict keys and printable in stats output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from ..core.database import RecursiveDatabase
+from ..fcf.database import FcfDatabase
+from ..symmetric.hsdb import HSDatabase
+
+#: How many tree levels the hs fingerprint hashes.  Level 2 already
+#: separates every built-in construction (the hypothesis tests assert
+#: it); deeper prefixes cost tree forcing for no extra discrimination
+#: in practice.
+DEFAULT_TREE_DEPTH = 2
+
+#: How many domain elements the plain-r-db probe fingerprint samples.
+DEFAULT_PROBE_WINDOW = 6
+
+
+def _canon(x: Any) -> str:
+    """A deterministic text rendering of labels / nested tuples."""
+    if isinstance(x, tuple):
+        return "(" + ",".join(_canon(c) for c in x) + ")"
+    return f"{type(x).__name__}:{x!r}"
+
+
+def _digest(parts: list[str]) -> str:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(p.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def fingerprint_hsdb(hsdb: HSDatabase,
+                     depth: int = DEFAULT_TREE_DEPTH) -> str:
+    """Fingerprint an hs-r-db from its finite ``CB`` core.
+
+    Components: kind tag, builder identity (``name``), type signature,
+    the characteristic-tree prefix to ``depth`` (levels in tree order),
+    and the representative sets (sorted canonically).  Everything hashed
+    is part of the Definition 3.7 representation — no equivalence-oracle
+    calls are spent beyond what forcing the tree prefix costs.
+    """
+    parts = ["hs", hsdb.name, _canon(hsdb.signature)]
+    for n in range(depth + 1):
+        level = hsdb.tree.level(n)
+        parts.append(f"T^{n}:" + "|".join(_canon(p) for p in level))
+    for i, reps in enumerate(hsdb.representatives):
+        parts.append(
+            f"C{i + 1}:" + "|".join(sorted(_canon(p) for p in reps)))
+    return _digest(parts)
+
+
+def fingerprint_fcf(db: FcfDatabase) -> str:
+    """Fingerprint an fcf-r-db from its finite parts and indicators.
+
+    The finite parts plus the co-finiteness indicators *are* the
+    Definition 4.1 representation, so the fingerprint is exact: equal
+    fingerprints imply equal databases (not merely isomorphic ones).
+    """
+    parts = ["fcf", db.name, _canon(db.type_signature)]
+    for i, r in enumerate(db.relations):
+        parts.append(
+            f"R{i + 1}:{int(r.cofinite)}:"
+            + "|".join(sorted(_canon(t) for t in r.tuples)))
+    return _digest(parts)
+
+
+def fingerprint_rdb(db: RecursiveDatabase,
+                    window: int = DEFAULT_PROBE_WINDOW) -> str:
+    """Fingerprint a plain r-db by probing a bounded window.
+
+    A general recursive database has no finite complete description, so
+    the fingerprint samples membership over all tuples from the first
+    ``window`` domain elements — the same "ask only membership
+    questions" discipline as Definition 2.4's oracle.  Two different
+    databases agreeing on the window *do* collide; callers holding
+    merely recursive (non-hs) databases should treat cached results as
+    window-conditional, or widen the window.
+    """
+    from itertools import product
+
+    pool = db.domain.first(window)
+    parts = ["rdb", db.name, _canon(db.type_signature),
+             "pool:" + "|".join(_canon(x) for x in pool)]
+    for i, arity in enumerate(db.type_signature):
+        bits = "".join(
+            "1" if db.contains(i, u) else "0"
+            for u in product(pool, repeat=arity))
+        parts.append(f"R{i + 1}:{bits}")
+    return _digest(parts)
+
+
+def fingerprint(db: HSDatabase | FcfDatabase | RecursiveDatabase,
+                **kwargs) -> str:
+    """Dispatch on database kind (hs / fcf / plain recursive)."""
+    if isinstance(db, HSDatabase):
+        return fingerprint_hsdb(db, **kwargs)
+    if isinstance(db, FcfDatabase):
+        return fingerprint_fcf(db, **kwargs)
+    if isinstance(db, RecursiveDatabase):
+        return fingerprint_rdb(db, **kwargs)
+    raise TypeError(f"cannot fingerprint {type(db).__name__}")

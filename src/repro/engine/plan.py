@@ -1,0 +1,411 @@
+"""The engine's plan IR — one algebra all four frontends lower into.
+
+Every query language in this library ultimately denotes a *union of
+``≅_B`` classes* of one rank (that is what genericity, Definition 2.4,
+buys: a generic query cannot split a class).  The plan IR makes that
+explicit: a :class:`Plan` is a finite dataflow tree whose nodes denote
+finite sets of characteristic-tree paths, and the executor evaluates it
+bottom-up against an :class:`~repro.symmetric.hsdb.HSDatabase`.
+
+Node kinds (the ISSUE's scan/filter/quantify/fixpoint/project, plus the
+boolean combinators they need):
+
+* **scan** — :class:`Scan` (the representatives ``Cᵢ`` of a stored
+  relation) and :class:`FullScan` (the whole level ``Tⁿ``);
+* **filter** — :class:`FilterEq` (coordinate equality) and
+  :class:`FilterAtom` (σ over a stored relation);
+* **project** — :class:`Project` (reorder / duplicate / drop
+  coordinates, canonicalized back onto the tree) and :class:`Extend`
+  (the tree-extension ``↑``, its right inverse);
+* **quantify** — :class:`Quantify` binds away the *last* coordinate,
+  existentially or universally;
+* **join** — :class:`Join`, the representative-level cartesian product
+  (QLhs ``Product``);
+* **fixpoint** — :class:`Fixpoint` wraps a full QLhs program (its
+  ``while`` loops are the iteration-to-fixpoint the node is named for)
+  and :class:`MachineFixpoint` wraps a Theorem 5.1 GMhs query
+  procedure; both are opaque to algebraic rewrites but participate in
+  caching through their (hashable) payloads;
+* **combinators** — :class:`Union`, :class:`Intersect`,
+  :class:`Complement` (relative to ``Tⁿ``).
+
+All nodes are frozen dataclasses: hashable, comparable, safe as cache
+keys.  :func:`normalize` computes the canonical form the plan cache
+keys on; :func:`plan_rank` is the static rank checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..errors import RankMismatchError, TypeSignatureError
+from ..qlhs.ast import Program
+
+
+class Plan:
+    """Base class of all plan nodes."""
+
+    def __and__(self, other: "Plan") -> "Plan":
+        return Intersect((self, other))
+
+    def __or__(self, other: "Plan") -> "Plan":
+        return Union((self, other))
+
+    def __invert__(self) -> "Plan":
+        return Complement(self)
+
+
+# ---------------------------------------------------------------------------
+# Scans.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """The stored relation ``Rᵢ`` as its representative set ``Cᵢ``."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class FullScan(Plan):
+    """``Tⁿ`` — every class of rank ``rank``."""
+
+    rank: int
+
+
+# ---------------------------------------------------------------------------
+# Filters.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FilterEq(Plan):
+    """Keep paths whose coordinates ``i`` and ``j`` carry equal labels.
+
+    Sound on representatives because ``≅_B`` refines the equality
+    pattern: two equivalent tuples agree on which coordinates coincide.
+    Negative indices count from the end, as in
+    :class:`~repro.qlhs.ast.SelectEq`.
+    """
+
+    child: Plan
+    i: int
+    j: int
+
+
+@dataclass(frozen=True)
+class FilterAtom(Plan):
+    """``σ_{(p[pos₁],…,p[pos_a]) ∈ R_index}`` (or its negation).
+
+    The projected tuple is canonicalized and tested against the
+    representation's membership reconstruction.
+    """
+
+    child: Plan
+    index: int
+    positions: tuple[int, ...]
+    negate: bool = False
+
+    def __init__(self, child: Plan, index: int,
+                 positions: Sequence[int], negate: bool = False):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "index", index)
+        object.__setattr__(self, "positions", tuple(positions))
+        object.__setattr__(self, "negate", bool(negate))
+
+
+# ---------------------------------------------------------------------------
+# Projections.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """Output ``canon(p[c₁], …, p[c_m])`` for each child path ``p``.
+
+    Subsumes QLhs ``↓`` (drop coordinate 0), ``~`` (swap the last two),
+    and ``Permute``; coordinates may repeat or be dropped.  Projection
+    preserves ``≅_B`` classes (genericity again), so canonicalizing the
+    projected tuple is exact, not approximate.
+    """
+
+    child: Plan
+    coords: tuple[int, ...]
+
+    def __init__(self, child: Plan, coords: Sequence[int]):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "coords", tuple(coords))
+
+
+@dataclass(frozen=True)
+class Extend(Plan):
+    """``↑`` — every one-label tree extension of every child path."""
+
+    child: Plan
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Cartesian product on representatives (QLhs ``Product``).
+
+    ``{r ∈ T^{m+n} : canon(r[:m]) ∈ left ∧ canon(r[m:]) ∈ right}`` —
+    scanning the concatenated level is what makes overlapping-element
+    classes (absent from naive concatenation) appear, exactly as the
+    interpreter's intrinsic computes it.
+    """
+
+    left: Plan
+    right: Plan
+
+
+# ---------------------------------------------------------------------------
+# Quantification.
+# ---------------------------------------------------------------------------
+
+EXISTS = "exists"
+FORALL = "forall"
+
+
+@dataclass(frozen=True)
+class Quantify(Plan):
+    """Bind away the last coordinate of the child.
+
+    ``exists``: a rank-``n`` class survives iff *some* extension of its
+    representative lies in the child — and because quantifiers
+    relativize to the characteristic tree (Theorem 6.3, first
+    direction), "some extension" means "some tree child".  ``forall`` is
+    the De Morgan dual, evaluated directly for exactness.
+    """
+
+    child: Plan
+    kind: str  # EXISTS | FORALL
+
+    def __post_init__(self):
+        if self.kind not in (EXISTS, FORALL):
+            raise ValueError(f"unknown quantifier kind {self.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Combinators.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Union(Plan):
+    children: tuple[Plan, ...]
+
+    def __init__(self, children: Sequence[Plan]):
+        object.__setattr__(self, "children", tuple(children))
+
+
+@dataclass(frozen=True)
+class Intersect(Plan):
+    children: tuple[Plan, ...]
+
+    def __init__(self, children: Sequence[Plan]):
+        object.__setattr__(self, "children", tuple(children))
+
+
+@dataclass(frozen=True)
+class Complement(Plan):
+    """``Tⁿ − child`` — complement within the child's rank."""
+
+    child: Plan
+
+
+# ---------------------------------------------------------------------------
+# Fixpoints (opaque procedural payloads).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fixpoint(Plan):
+    """A full QLhs program, run to completion by the interpreter.
+
+    QLhs ``while`` loops iterate to a stopping condition — the node's
+    namesake.  The program AST is a frozen dataclass tree, so the node
+    hashes structurally and result-caches across calls.
+    """
+
+    program: Program
+    result_var: str = "Y1"
+
+
+@dataclass(frozen=True)
+class MachineFixpoint(Plan):
+    """A Theorem 5.1 GMhs query procedure (run via ``run_query_gmhs``).
+
+    The procedure is a Python callable; it hashes by identity, which
+    bounds cache reuse to the lifetime of the callable — exactly the
+    guarantee a per-process result cache can honour.
+    """
+
+    procedure: object  # QueryProcedure; hashable by identity
+    search_window: int = 512
+    fuel: int = 500_000
+
+
+@dataclass(frozen=True)
+class FcfFixpoint(Plan):
+    """A QLf+ program over an fcf-r-db (Section 4 semantics).
+
+    Evaluates to an :class:`~repro.fcf.relation.FcfValue` rather than a
+    path set; only :class:`~repro.engine.executor.Engine` instances
+    constructed over an :class:`~repro.fcf.database.FcfDatabase` execute
+    it.
+    """
+
+    program: Program
+
+
+# ---------------------------------------------------------------------------
+# Static rank computation.
+# ---------------------------------------------------------------------------
+
+def plan_rank(plan: Plan, signature: Sequence[int]) -> int:
+    """The output rank of a plan, statically (raises on rank errors)."""
+    signature = tuple(signature)
+    if isinstance(plan, Scan):
+        if not 0 <= plan.index < len(signature):
+            raise TypeSignatureError(
+                f"Scan({plan.index}) out of range for type {signature}")
+        return signature[plan.index]
+    if isinstance(plan, FullScan):
+        if plan.rank < 0:
+            raise RankMismatchError("FullScan rank must be >= 0")
+        return plan.rank
+    if isinstance(plan, FilterEq):
+        n = plan_rank(plan.child, signature)
+        i = plan.i if plan.i >= 0 else n + plan.i
+        j = plan.j if plan.j >= 0 else n + plan.j
+        if not (0 <= i < n and 0 <= j < n):
+            raise RankMismatchError(
+                f"FilterEq({plan.i}, {plan.j}) out of range for rank {n}")
+        return n
+    if isinstance(plan, FilterAtom):
+        n = plan_rank(plan.child, signature)
+        if not 0 <= plan.index < len(signature):
+            raise TypeSignatureError(
+                f"FilterAtom relation {plan.index} out of range for "
+                f"type {signature}")
+        if len(plan.positions) != signature[plan.index]:
+            raise RankMismatchError(
+                f"FilterAtom has {len(plan.positions)} positions; "
+                f"R{plan.index + 1} has arity {signature[plan.index]}")
+        if any(not 0 <= c < n for c in plan.positions):
+            raise RankMismatchError(
+                f"FilterAtom positions {plan.positions} out of range "
+                f"for rank {n}")
+        return n
+    if isinstance(plan, Project):
+        n = plan_rank(plan.child, signature)
+        if any(not 0 <= c < n for c in plan.coords):
+            raise RankMismatchError(
+                f"Project coords {plan.coords} out of range for rank {n}")
+        return len(plan.coords)
+    if isinstance(plan, Extend):
+        return plan_rank(plan.child, signature) + 1
+    if isinstance(plan, Join):
+        return (plan_rank(plan.left, signature)
+                + plan_rank(plan.right, signature))
+    if isinstance(plan, Quantify):
+        n = plan_rank(plan.child, signature)
+        if n == 0:
+            raise RankMismatchError("Quantify needs rank >= 1")
+        return n - 1
+    if isinstance(plan, (Union, Intersect)):
+        ranks = {plan_rank(c, signature) for c in plan.children}
+        if not plan.children:
+            raise RankMismatchError(
+                f"{type(plan).__name__} needs at least one child")
+        if len(ranks) != 1:
+            raise RankMismatchError(
+                f"{type(plan).__name__} over mixed ranks {sorted(ranks)}")
+        return ranks.pop()
+    if isinstance(plan, Complement):
+        return plan_rank(plan.child, signature)
+    if isinstance(plan, (Fixpoint, MachineFixpoint, FcfFixpoint)):
+        raise RankMismatchError(
+            f"{type(plan).__name__} rank is dynamic (known only after "
+            "execution)")
+    raise TypeError(f"unknown plan node {plan!r}")
+
+
+# ---------------------------------------------------------------------------
+# Normalization (the plan-cache key).
+# ---------------------------------------------------------------------------
+
+def _node_key(plan: Plan) -> str:
+    """A stable ordering key for commutative children."""
+    return repr(plan)
+
+
+def normalize(plan: Plan, signature: Sequence[int] | None = None) -> Plan:
+    """The canonical form of a plan — the first cache level's key.
+
+    Rewrites applied (all semantics-preserving):
+
+    * ``¬¬e → e`` (complement is an involution within a rank);
+    * nested unions/intersections flatten, deduplicate, and sort their
+      children into a stable order (both are ACI);
+    * singleton unions/intersections collapse to their child;
+    * identity projections (``coords == (0, …, n−1)``) vanish — only
+      when a ``signature`` is supplied, since the child's rank must be
+      derivable to recognize them.
+
+    Two plans that normalize identically share a plan-cache entry and —
+    combined with a database fingerprint — a result-cache entry.
+    """
+    if isinstance(plan, Complement):
+        child = normalize(plan.child, signature)
+        if isinstance(child, Complement):
+            return child.child
+        return Complement(child)
+    if isinstance(plan, (Union, Intersect)):
+        cls = type(plan)
+        flat: list[Plan] = []
+        for c in plan.children:
+            c = normalize(c, signature)
+            if isinstance(c, cls):
+                flat.extend(c.children)
+            else:
+                flat.append(c)
+        unique = sorted(set(flat), key=_node_key)
+        if len(unique) == 1:
+            return unique[0]
+        return cls(tuple(unique))
+    if isinstance(plan, FilterEq):
+        i, j = sorted((plan.i, plan.j)) if (
+            (plan.i >= 0) == (plan.j >= 0)) else (plan.i, plan.j)
+        return FilterEq(normalize(plan.child, signature), i, j)
+    if isinstance(plan, FilterAtom):
+        return FilterAtom(normalize(plan.child, signature), plan.index,
+                          plan.positions, plan.negate)
+    if isinstance(plan, Project):
+        child = normalize(plan.child, signature)
+        if signature is not None:
+            try:
+                n_child = plan_rank(child, signature)
+            except (RankMismatchError, TypeSignatureError, TypeError):
+                n_child = None
+            if n_child is not None and plan.coords == tuple(range(n_child)):
+                return child
+        return Project(child, plan.coords)
+    if isinstance(plan, Extend):
+        return Extend(normalize(plan.child, signature))
+    if isinstance(plan, Join):
+        return Join(normalize(plan.left, signature),
+                    normalize(plan.right, signature))
+    if isinstance(plan, Quantify):
+        return Quantify(normalize(plan.child, signature), plan.kind)
+    # Leaves and opaque fixpoints are already canonical.
+    return plan
+
+
+def plan_size(plan: Plan) -> int:
+    """Number of nodes — for stats and tests."""
+    if isinstance(plan, (Scan, FullScan, Fixpoint, MachineFixpoint,
+                         FcfFixpoint)):
+        return 1
+    if isinstance(plan, (Union, Intersect)):
+        return 1 + sum(plan_size(c) for c in plan.children)
+    if isinstance(plan, Join):
+        return 1 + plan_size(plan.left) + plan_size(plan.right)
+    return 1 + plan_size(plan.child)  # type: ignore[attr-defined]

@@ -1,0 +1,140 @@
+"""Engine observability: counters, timings, and printable snapshots.
+
+The paper's own cost model for query evaluation is *oracle questions* —
+Definition 2.4 queries a database only through "is u ∈ Rᵢ?" questions,
+and every experiment reports how many an algorithm asked.  The engine
+adopts that model and extends it with the operational counters a serving
+layer needs: cache hits/misses/evictions at both levels, per-node-kind
+execution timings, and wall time.
+
+:class:`EngineStats` is an immutable snapshot; the live engine holds a
+:class:`MutableEngineStats` and snapshots it on demand (CLI ``--stats``,
+benchmarks, tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/eviction counters of one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """One immutable engine snapshot.
+
+    ``oracle_questions`` counts ``≅_B`` oracle invocations (the
+    :class:`~repro.util.memo.CallCounter` wrapped around the database's
+    equivalence predicate) — the paper's currency.  ``node_timings``
+    maps plan-node kind to ``(executions, total_seconds)``.
+    """
+
+    plan_cache: CacheStats = CacheStats()
+    result_cache: CacheStats = CacheStats()
+    oracle_questions: int = 0
+    evaluations: int = 0
+    batch_requests: int = 0
+    wall_time: float = 0.0
+    node_timings: tuple[tuple[str, int, float], ...] = ()
+
+    def format(self) -> str:
+        """A human-readable block (the CLI's ``--stats`` output)."""
+        lines = [
+            "EngineStats",
+            f"  evaluations:      {self.evaluations} "
+            f"({self.batch_requests} batched requests)",
+            f"  wall time:        {self.wall_time * 1e3:.3f} ms",
+            f"  oracle questions: {self.oracle_questions}",
+            f"  plan cache:       {self.plan_cache.hits} hits / "
+            f"{self.plan_cache.misses} misses / "
+            f"{self.plan_cache.evictions} evictions "
+            f"(hit rate {self.plan_cache.hit_rate:.0%}, "
+            f"size {self.plan_cache.size})",
+            f"  result cache:     {self.result_cache.hits} hits / "
+            f"{self.result_cache.misses} misses / "
+            f"{self.result_cache.evictions} evictions "
+            f"(hit rate {self.result_cache.hit_rate:.0%}, "
+            f"size {self.result_cache.size})",
+        ]
+        if self.node_timings:
+            lines.append("  per-node timings:")
+            for kind, count, seconds in self.node_timings:
+                lines.append(
+                    f"    {kind:<16} {count:>6} × "
+                    f"{seconds / count * 1e6:>9.1f} µs "
+                    f"(total {seconds * 1e3:.3f} ms)")
+        return "\n".join(lines)
+
+
+@dataclass
+class MutableEngineStats:
+    """The live counters an :class:`~repro.engine.executor.Engine` keeps."""
+
+    oracle_questions: int = 0
+    evaluations: int = 0
+    batch_requests: int = 0
+    wall_time: float = 0.0
+    node_counts: dict = field(default_factory=dict)
+    node_seconds: dict = field(default_factory=dict)
+
+    def record_node(self, kind: str, seconds: float) -> None:
+        self.node_counts[kind] = self.node_counts.get(kind, 0) + 1
+        self.node_seconds[kind] = self.node_seconds.get(kind, 0.0) + seconds
+
+    def snapshot(self, plan_cache: CacheStats,
+                 result_cache: CacheStats) -> EngineStats:
+        timings = tuple(
+            (kind, self.node_counts[kind], self.node_seconds[kind])
+            for kind in sorted(self.node_counts,
+                               key=lambda k: -self.node_seconds[k]))
+        return EngineStats(
+            plan_cache=plan_cache,
+            result_cache=result_cache,
+            oracle_questions=self.oracle_questions,
+            evaluations=self.evaluations,
+            batch_requests=self.batch_requests,
+            wall_time=self.wall_time,
+            node_timings=timings,
+        )
+
+    def reset(self) -> None:
+        self.oracle_questions = 0
+        self.evaluations = 0
+        self.batch_requests = 0
+        self.wall_time = 0.0
+        self.node_counts.clear()
+        self.node_seconds.clear()
+
+
+class Timer:
+    """A tiny context manager accumulating wall time."""
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self):
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start

@@ -16,31 +16,66 @@ from typing import TypeVar
 R = TypeVar("R")
 
 
+# Sentinel separating positional from keyword arguments in cache keys;
+# an object() cannot collide with user-supplied hashable arguments.
+_KWD_MARK = object()
+
+
+def _make_key(args: tuple, kwargs: dict) -> Hashable:
+    """A stable, hashable key for a call signature.
+
+    Positional-only calls key on the bare ``args`` tuple — preserving the
+    historical key format so callers introspecting ``.cache`` (the
+    benchmarks do) see the same keys as before.  Keyword arguments are
+    appended after a sentinel, sorted by name so that ``f(a, x=1, y=2)``
+    and ``f(a, y=2, x=1)`` share an entry.
+    """
+    if not kwargs:
+        return args
+    return args + (_KWD_MARK,) + tuple(sorted(kwargs.items()))
+
+
 def lru_cached(maxsize: int = 65536) -> Callable[[Callable[..., R]], Callable[..., R]]:
     """An LRU cache decorator with introspection hooks.
 
     Unlike :func:`functools.lru_cache` the wrapper exposes the cache dict
-    (``.cache``) and a ``.misses`` counter, which the benchmarks use to
-    report how many distinct subproblems a construction touched.
+    (``.cache``), a ``.misses`` counter (how many distinct subproblems a
+    construction touched — the benchmarks report it), a ``.hits`` counter
+    (how much re-asking the cache absorbed — the engine's
+    :class:`~repro.engine.stats.EngineStats` reports it), an
+    ``.evictions`` counter, and a ``.cache_clear()`` resetting all of
+    them.  Keyword arguments are supported and keyed order-insensitively.
     """
 
     def decorate(fn: Callable[..., R]) -> Callable[..., R]:
         cache: OrderedDict[Hashable, R] = OrderedDict()
 
         @wraps(fn)
-        def wrapper(*args: Hashable) -> R:
-            if args in cache:
-                cache.move_to_end(args)
-                return cache[args]
-            result = fn(*args)
-            cache[args] = result
+        def wrapper(*args: Hashable, **kwargs: Hashable) -> R:
+            key = _make_key(args, kwargs)
+            if key in cache:
+                cache.move_to_end(key)
+                wrapper.hits += 1  # type: ignore[attr-defined]
+                return cache[key]
+            result = fn(*args, **kwargs)
+            cache[key] = result
             wrapper.misses += 1  # type: ignore[attr-defined]
             if len(cache) > maxsize:
                 cache.popitem(last=False)
+                wrapper.evictions += 1  # type: ignore[attr-defined]
             return result
 
+        def cache_clear() -> None:
+            cache.clear()
+            wrapper.hits = 0  # type: ignore[attr-defined]
+            wrapper.misses = 0  # type: ignore[attr-defined]
+            wrapper.evictions = 0  # type: ignore[attr-defined]
+
         wrapper.cache = cache  # type: ignore[attr-defined]
+        wrapper.hits = 0  # type: ignore[attr-defined]
         wrapper.misses = 0  # type: ignore[attr-defined]
+        wrapper.evictions = 0  # type: ignore[attr-defined]
+        wrapper.cache_clear = cache_clear  # type: ignore[attr-defined]
         return wrapper
 
     return decorate

@@ -1,0 +1,118 @@
+"""End-to-end coverage for every ``python -m repro`` subcommand.
+
+Complements ``tests/test_integration/test_cli.py`` (which pins the
+historical commands' output) with the new ``engine`` subcommand and a
+subprocess smoke test proving the module entry point works outside the
+test process.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def run_module(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, timeout=120)
+
+
+class TestCoreCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "recdb" in out
+        assert "engine" in out  # new subpackage is advertised
+
+    def test_classes(self, capsys):
+        assert main(["classes", "2,1", "2"]) == 0
+        assert "68 classes" in capsys.readouterr().out
+
+    def test_tree(self, capsys):
+        assert main(["tree", "k3k2", "2"]) == 0
+        assert "T^2" in capsys.readouterr().out
+
+    def test_eval(self, capsys):
+        assert main(["eval", "clique",
+                     "forall x. exists y. R1(x, y)"]) == 0
+        assert "True" in capsys.readouterr().out
+
+
+class TestEngineCommand:
+    def test_basic_answer_and_fingerprint(self, capsys):
+        assert main(["engine", "rado",
+                     "forall x. exists y. R1(x, y)"]) == 0
+        out = capsys.readouterr().out
+        assert "rado |= forall x. exists y. R1(x, y)  ->  True" in out
+        assert "fingerprint: " in out
+
+    def test_agrees_with_eval_command(self, capsys):
+        sentence = "exists x. R1(x, x)"
+        main(["eval", "clique", sentence])
+        via_eval = capsys.readouterr().out
+        main(["engine", "clique", sentence])
+        via_engine = capsys.readouterr().out
+        assert ("True" in via_eval) == ("True" in via_engine)
+
+    def test_stats_flag_prints_snapshot(self, capsys):
+        assert main(["engine", "k3k2", "exists x. R1(x, x)",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "EngineStats" in out
+        assert "oracle questions" in out
+        assert "result cache" in out
+
+    def test_repeat_warms_the_cache(self, capsys):
+        assert main(["engine", "k3k2", "exists x. R1(x, x)",
+                     "--repeat=20", "--stats"]) == 0
+        out = capsys.readouterr().out
+        # 19 warm re-evaluations must be cache hits, visible as a
+        # non-trivial hit rate in the printed snapshot.
+        assert "result cache" in out
+        assert "hits" in out
+
+    def test_usage_errors(self):
+        with pytest.raises(SystemExit):
+            main(["engine", "rado"])  # missing sentence
+        with pytest.raises(SystemExit):
+            main(["engine", "rado", "exists x. R1(x, x)",
+                  "--repeat", "3"])  # space-separated form
+        with pytest.raises(SystemExit):
+            main(["engine", "rado", "exists x. R1(x, x)",
+                  "--repeat=0"])
+        with pytest.raises(SystemExit):
+            main(["engine", "rado", "exists x. R1(x, x)",
+                  "--bogus"])
+
+    def test_unknown_database(self):
+        with pytest.raises(SystemExit):
+            main(["engine", "petersen", "exists x. R1(x, x)"])
+
+
+class TestSubprocessSmoke:
+    """One real ``python -m repro`` process per command family."""
+
+    def test_info(self):
+        proc = run_module("info")
+        assert proc.returncode == 0
+        assert "recdb" in proc.stdout
+
+    def test_engine_with_stats(self):
+        proc = run_module("engine", "k3k2",
+                          "forall x. exists y. R1(x, y)",
+                          "--repeat=5", "--stats")
+        assert proc.returncode == 0
+        assert "->  True" in proc.stdout
+        assert "EngineStats" in proc.stdout
+
+    def test_unknown_command_exit_code(self):
+        proc = run_module("frobnicate")
+        assert proc.returncode == 2

@@ -1,0 +1,117 @@
+"""Fingerprint stability and discrimination (the cache-safety key).
+
+Property-based coverage: two *independently constructed* copies of the
+same builder-produced hs-r-db must fingerprint equal (so a shared result
+cache is warm across copies), and the distinct built-ins must all
+fingerprint distinct (so no tenant ever reads another's entries).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    fingerprint,
+    fingerprint_fcf,
+    fingerprint_hsdb,
+    fingerprint_rdb,
+)
+from repro.fcf import FcfDatabase, cofinite_value, finite_value
+from repro.graphs import mixed_components_hsdb, path_db, triangles_hsdb
+from repro.symmetric import infinite_clique, rado_hsdb
+
+BUILDERS = {
+    "clique": infinite_clique,
+    "rado": rado_hsdb,
+    "triangles": triangles_hsdb,
+    "k3k2": mixed_components_hsdb,
+}
+
+
+@settings(max_examples=12, deadline=None)
+@given(name=st.sampled_from(sorted(BUILDERS)),
+       depth=st.integers(min_value=0, max_value=3))
+def test_independent_copies_fingerprint_equal(name, depth):
+    """Same builder, two fresh objects, any prefix depth → same digest."""
+    builder = BUILDERS[name]
+    first = fingerprint_hsdb(builder(), depth=depth)
+    second = fingerprint_hsdb(builder(), depth=depth)
+    assert first == second
+
+
+@settings(max_examples=8, deadline=None)
+@given(pair=st.tuples(st.sampled_from(sorted(BUILDERS)),
+                      st.sampled_from(sorted(BUILDERS))).filter(
+                          lambda p: p[0] != p[1]))
+def test_distinct_builtins_fingerprint_distinct(pair):
+    a, b = (fingerprint_hsdb(BUILDERS[n]()) for n in pair)
+    assert a != b
+
+
+def test_all_builtins_pairwise_distinct_exhaustively():
+    digests = {name: fingerprint_hsdb(BUILDERS[name]())
+               for name in BUILDERS}
+    assert len(set(digests.values())) == len(digests)
+
+
+def test_fingerprint_is_deterministic_per_object():
+    db = infinite_clique()
+    assert fingerprint_hsdb(db) == fingerprint_hsdb(db)
+
+
+def test_name_participates_in_identity():
+    """Builder identity: same structure, different name → cold cache,
+    never a wrong answer."""
+    a = fingerprint_hsdb(infinite_clique())
+    b = fingerprint_hsdb(infinite_clique(name="clique-2"))
+    assert a != b
+
+
+def test_depth_changes_digest_but_not_identity():
+    one = fingerprint_hsdb(rado_hsdb(), depth=1)
+    two = fingerprint_hsdb(rado_hsdb(), depth=2)
+    assert one != two  # different prefix hashed
+    assert two == fingerprint_hsdb(rado_hsdb(), depth=2)
+
+
+finite_relations = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=4),
+              st.integers(min_value=0, max_value=4)),
+    max_size=5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(tuples=finite_relations, cofinite=st.booleans())
+def test_fcf_fingerprint_is_structural(tuples, cofinite):
+    def build():
+        rel = (cofinite_value(2, tuples) if cofinite
+               else finite_value(2, tuples))
+        return FcfDatabase([rel], name="prop")
+
+    assert fingerprint_fcf(build()) == fingerprint_fcf(build())
+
+
+def test_fcf_indicator_distinguishes():
+    """Same finite part, different indicator → different database,
+    different fingerprint (the Definition 4.1 indicator is hashed)."""
+    fin = FcfDatabase([finite_value(1, [(0,)])], name="d")
+    cof = FcfDatabase([cofinite_value(1, [(0,)])], name="d")
+    assert fingerprint_fcf(fin) != fingerprint_fcf(cof)
+
+
+def test_rdb_probe_fingerprint():
+    a = fingerprint_rdb(path_db(4))
+    b = fingerprint_rdb(path_db(4))
+    c = fingerprint_rdb(path_db(5))
+    assert a == b
+    assert a != c
+
+
+def test_dispatcher_covers_all_kinds():
+    assert fingerprint(infinite_clique()) == fingerprint_hsdb(
+        infinite_clique())
+    db = FcfDatabase([finite_value(1, [(1,)])], name="x")
+    assert fingerprint(db) == fingerprint_fcf(db)
+    assert fingerprint(path_db(3)) == fingerprint_rdb(path_db(3))
+    with pytest.raises(TypeError):
+        fingerprint(object())
