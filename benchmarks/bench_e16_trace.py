@@ -1,0 +1,122 @@
+"""E16 — tracing overhead: observability must not distort the system.
+
+Claim: the hierarchical span layer (`repro.trace`) is cheap enough to
+leave its call sites compiled in everywhere.  When no recorder is
+installed, ``span(...)`` returns a shared no-op context manager — the
+disabled path must be indistinguishable from the pre-trace baseline
+(within measurement noise).  With a ``TraceRecorder`` installed, the
+full E15 engine workload must stay within 10% of its untraced time.
+
+Measured series: untraced / no-op / recording wall-times on the Rado
+sentence workload (median of repeats), recorded-span counts, and the
+verdict distribution confirming the traced run computed the same
+answers.
+"""
+
+import time
+
+from repro.engine import Engine, plan_from_sentence
+from repro.logic import parse
+from repro.symmetric import rado_hsdb
+from repro.trace import TraceRecorder, active_recorder, recording
+
+from conftest import report
+
+WORKLOAD = [
+    "forall x. exists y. R1(x, y)",
+    "exists x. R1(x, x)",
+    "forall x. forall y. (R1(x, y) -> R1(y, x))",
+    "exists x. exists y. (R1(x, y) and x != y)",
+    "forall x. exists y. (R1(x, y) and x != y)",
+    "exists x. forall y. R1(x, y)",
+]
+ROUNDS = 5      # cold passes per timing sample
+REPEATS = 9     # interleaved samples per mode; best-of wins
+
+DB = rado_hsdb()
+
+
+def _run_cold():
+    """One cold pass: fresh engine + per-engine cache, real evaluation.
+
+    Cold evaluation is the honest denominator — warm passes are pure
+    cache probes whose microsecond scale would measure the span
+    bookkeeping against almost no work at all.
+    """
+    engine = Engine(DB)
+    plans = [plan_from_sentence(parse(s), engine.signature)
+             for s in WORKLOAD]
+    return [engine.eval(p).status for p in plans]
+
+
+def _sample():
+    """Wall-time of ``ROUNDS`` cold passes (one timing sample)."""
+    t0 = time.perf_counter()
+    for __ in range(ROUNDS):
+        answers = _run_cold()
+    return time.perf_counter() - t0, answers
+
+
+def test_e16_trace_overhead():
+    """No-op spans are free; a live recorder costs <10%."""
+    assert active_recorder() is None
+    recorder = TraceRecorder(capacity=1 << 16)
+
+    # Interleave the three modes so scheduler drift, GC pauses, and
+    # cache effects hit all of them alike; best-of-REPEATS is the
+    # standard noise-robust estimator for a deterministic workload.
+    base_times, noop_times, traced_times = [], [], []
+    _sample()                                   # untimed warm-up
+    for __ in range(REPEATS):
+        t, base_answers = _sample()
+        base_times.append(t)
+        # Disabled path, measured again (same process): the only
+        # difference from `baseline` is noise, which is the claim.
+        t, noop_answers = _sample()
+        noop_times.append(t)
+        with recording(recorder):
+            t, traced_answers = _sample()
+        traced_times.append(t)
+
+    baseline = min(base_times)
+    noop = min(noop_times)
+    traced = min(traced_times)
+    spans = len(recorder.trace())
+
+    noop_ratio = noop / max(baseline, 1e-9)
+    traced_ratio = traced / max(baseline, 1e-9)
+    report("E16 tracing overhead (cold Rado workload, best of "
+           f"{REPEATS} interleaved samples of {ROUNDS} passes)", [
+        ("untraced", f"{baseline * 1e3:.2f} ms", ""),
+        ("no-op spans", f"{noop * 1e3:.2f} ms",
+         f"ratio {noop_ratio:.3f} (claim: ~1.0)"),
+        ("recording", f"{traced * 1e3:.2f} ms",
+         f"ratio {traced_ratio:.3f} (acceptance: <1.10)"),
+        ("spans recorded", spans,
+         f"{recorder.trace().dropped} dropped"),
+    ])
+
+    assert noop_answers == base_answers == traced_answers
+    assert spans >= REPEATS * ROUNDS * len(WORKLOAD)  # every eval traced
+    # The no-op path is the same code as the baseline run, so anything
+    # beyond timer noise would indicate a real regression.
+    assert noop_ratio < 1.05
+    assert traced_ratio < 1.10
+
+
+def test_e16_recorder_captures_engine_shape(benchmark):
+    """pytest-benchmark timing of one traced warm workload pass."""
+    engine = Engine(DB)
+    plans = [plan_from_sentence(parse(s), engine.signature)
+             for s in WORKLOAD]
+    expected = [engine.eval(p).status for p in plans]  # warm the cache
+    recorder = TraceRecorder()
+
+    def traced_pass():
+        with recording(recorder):
+            return [engine.eval(p).status for p in plans]
+
+    statuses = benchmark(traced_pass)
+    assert statuses == expected
+    names = {sp.name for sp in recorder.trace().ordered()}
+    assert {"engine.eval", "engine.evaluate"} <= names

@@ -14,12 +14,22 @@ Commands
 ``eval NAME FORMULA``
     Evaluate a first-order sentence over a built-in hs-r-db, e.g.
     ``python -m repro eval rado "forall x. exists y. R1(x, y)"``.
-``engine NAME FORMULA [--repeat N] [--stats]``
+``engine NAME FORMULA [--repeat=N] [--stats]``
     Evaluate through the unified engine (``repro.engine``): the sentence
     is lowered to a plan, cached by database fingerprint, and re-run
     ``N`` times (warm runs are cache probes).  ``--stats`` prints the
     :class:`~repro.engine.stats.EngineStats` snapshot — cache
-    hits/misses, oracle question count, per-node timings, wall time.
+    hits/misses, oracle question count, per-node timings, wall time,
+    verdict counts.
+``trace NAME FORMULA [--jsonl=FILE]``
+    Evaluate through the engine under a
+    :class:`~repro.trace.TraceRecorder` and print the span tree
+    (name, duration, counters, status).  ``--jsonl=FILE`` also writes
+    the trace in the JSONL schema documented in ``docs/tracing.md``.
+
+Any command also accepts a global ``--trace=FILE`` flag: the whole run
+is recorded and the spans are written to ``FILE`` as JSONL on exit,
+e.g. ``python -m repro engine rado "exists x. R1(x, x)" --trace=t.jsonl``.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ def _builtin_hsdb(name: str):
 
 
 def cmd_info(args: list[str]) -> int:
+    """``info`` — library overview and paper reference."""
     print(f"recdb {__version__} — computable queries over recursive "
           "(infinite) relational databases")
     print("Reproduction of: Hirst & Harel, 'Completeness Results for "
@@ -58,6 +69,7 @@ def cmd_info(args: list[str]) -> int:
 
 
 def cmd_classes(args: list[str]) -> int:
+    """``classes TYPE RANK`` — count ≅ₗ equivalence classes."""
     from .core import count_local_types
 
     if len(args) != 2:
@@ -72,6 +84,7 @@ def cmd_classes(args: list[str]) -> int:
 
 
 def cmd_tree(args: list[str]) -> int:
+    """``tree NAME [DEPTH]`` — print a characteristic tree."""
     if not args:
         raise SystemExit("usage: python -m repro tree NAME [DEPTH]")
     hsdb = _builtin_hsdb(args[0])
@@ -86,6 +99,7 @@ def cmd_tree(args: list[str]) -> int:
 
 
 def cmd_eval(args: list[str]) -> int:
+    """``eval NAME FORMULA`` — FO sentence over a built-in hs-r-db."""
     from .logic import holds_sentence, parse
 
     if len(args) != 2:
@@ -98,6 +112,7 @@ def cmd_eval(args: list[str]) -> int:
 
 
 def cmd_engine(args: list[str]) -> int:
+    """``engine NAME FORMULA [--repeat=N] [--stats]`` — engine route."""
     from .engine import Engine, plan_from_sentence
     from .logic import parse
 
@@ -136,17 +151,61 @@ def cmd_engine(args: list[str]) -> int:
     return 0
 
 
+def cmd_trace(args: list[str]) -> int:
+    """``trace NAME FORMULA [--jsonl=FILE]`` — traced engine run."""
+    from .engine import Engine, plan_from_sentence
+    from .logic import parse
+    from .trace import TraceRecorder, recording
+
+    flags = [a for a in args if a.startswith("--")]
+    positional = [a for a in args if not a.startswith("--")]
+    jsonl = None
+    for flag in flags:
+        if flag.startswith("--jsonl="):
+            jsonl = flag.split("=", 1)[1]
+        else:
+            raise SystemExit(f"unknown flag {flag!r}")
+    if len(positional) != 2:
+        raise SystemExit(
+            'usage: python -m repro trace NAME "SENTENCE" [--jsonl=FILE]')
+
+    hsdb = _builtin_hsdb(positional[0])
+    sentence = parse(positional[1])
+    engine = Engine(hsdb)
+    plan = plan_from_sentence(sentence, hsdb.signature)
+    recorder = TraceRecorder()
+    with recording(recorder):
+        verdict = engine.eval(plan)
+    print(f"{hsdb.name} |= {positional[1]}  ->  {verdict!r}")
+    trace = recorder.trace()
+    print(trace.format_tree())
+    if jsonl:
+        trace.write_jsonl(jsonl)
+        print(f"wrote {len(trace)} spans to {jsonl}")
+    return 0
+
+
 COMMANDS = {
     "info": cmd_info,
     "classes": cmd_classes,
     "tree": cmd_tree,
     "eval": cmd_eval,
     "engine": cmd_engine,
+    "trace": cmd_trace,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Dispatch to a subcommand (handling the global ``--trace=FILE``)."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    trace_file = None
+    remaining = []
+    for arg in argv:
+        if arg.startswith("--trace="):
+            trace_file = arg.split("=", 1)[1]
+        else:
+            remaining.append(arg)
+    argv = remaining
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
@@ -155,7 +214,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown command {command!r}; choose from "
               f"{sorted(COMMANDS)}", file=sys.stderr)
         return 2
-    return COMMANDS[command](rest)
+    if trace_file is None:
+        return COMMANDS[command](rest)
+
+    from .trace import TraceRecorder, recording
+    recorder = TraceRecorder()
+    with recording(recorder):
+        status = COMMANDS[command](rest)
+    trace = recorder.trace()
+    trace.write_jsonl(trace_file)
+    print(f"trace: {len(trace)} spans -> {trace_file}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

@@ -14,9 +14,14 @@ GMhs), built from:
 * :mod:`repro.engine.cache` — the two-level (plan, result) cache;
 * :mod:`repro.engine.executor` — :class:`Engine`: cached evaluation,
   batched membership with an optional parallel path, metered end to
-  end;
+  end and governed by a :class:`~repro.trace.Budget`;
+* :mod:`repro.engine.verdict` — :class:`Verdict`, the three-valued
+  answer type of :meth:`Engine.eval`: divergence (a tripped budget)
+  becomes ``UNKNOWN`` with a machine-readable reason instead of a
+  leaked :class:`~repro.errors.OutOfFuel`;
 * :mod:`repro.engine.stats` — :class:`EngineStats` snapshots
-  (oracle questions, cache traffic, per-node timings, wall time).
+  (oracle questions, cache traffic, per-node timings, wall time,
+  verdict counts).
 
 Quick use::
 
@@ -72,10 +77,14 @@ from .plan import (
     plan_size,
 )
 from .stats import CacheStats, EngineStats, MutableEngineStats
+from .verdict import FALSE, TRUE, UNKNOWN, Verdict
 
 __all__ = [
     "EXISTS",
+    "FALSE",
     "FORALL",
+    "TRUE",
+    "UNKNOWN",
     "CacheStats",
     "Complement",
     "Engine",
@@ -98,6 +107,7 @@ __all__ = [
     "ResultCache",
     "Scan",
     "Union",
+    "Verdict",
     "fingerprint",
     "fingerprint_fcf",
     "fingerprint_hsdb",

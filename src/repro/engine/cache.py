@@ -37,14 +37,17 @@ class PlanCache:
 
     def normalized(self, plan: Plan,
                    signature: tuple[int, ...] | None = None) -> Plan:
+        """The normalized form of ``plan`` (memoized)."""
         return self._normalize(plan, signature=signature)
 
     def stats(self) -> CacheStats:
+        """A :class:`CacheStats` snapshot of the normalization memo."""
         fn = self._normalize
         return CacheStats(hits=fn.hits, misses=fn.misses,
                           evictions=fn.evictions, size=len(fn.cache))
 
     def clear(self) -> None:
+        """Drop every memoized normalization (counters reset too)."""
         self._normalize.cache_clear()
 
 
@@ -66,9 +69,11 @@ class ResultCache:
     @staticmethod
     def key(fingerprint: str, plan: Plan,
             args: Hashable = ()) -> Hashable:
+        """The canonical ``(fingerprint, plan, args)`` cache key."""
         return (fingerprint, plan, args)
 
     def get(self, key: Hashable, default: Any = None) -> Any:
+        """Counted lookup: a hit refreshes LRU order, a miss counts."""
         if key in self._data:
             self._data.move_to_end(key)
             self.hits += 1
@@ -82,6 +87,7 @@ class ResultCache:
         return key in self._data
 
     def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU on overflow."""
         self._data[key] = value
         self._data.move_to_end(key)
         if len(self._data) > self.maxsize:
@@ -89,10 +95,12 @@ class ResultCache:
             self.evictions += 1
 
     def stats(self) -> CacheStats:
+        """A :class:`CacheStats` snapshot of the result cache."""
         return CacheStats(hits=self.hits, misses=self.misses,
                           evictions=self.evictions, size=len(self._data))
 
     def clear(self) -> None:
+        """Drop every entry and zero the hit/miss/eviction counters."""
         self._data.clear()
         self.hits = 0
         self.misses = 0
@@ -117,5 +125,6 @@ class EngineCache:
         self.results = ResultCache(maxsize=result_maxsize)
 
     def clear(self) -> None:
+        """Clear both levels."""
         self.plans.clear()
         self.results.clear()

@@ -18,7 +18,17 @@ evaluates plan-IR trees against it:
   ``Executor.map``);
 * all work is metered in :class:`~repro.engine.stats.EngineStats`:
   oracle (``≅_B``) questions, cache traffic, per-node timings, wall
-  time.
+  time, and three-valued verdict counts;
+* every evaluation runs under a :class:`~repro.trace.Budget` (steps,
+  oracle questions, wall-clock deadline, cooperative cancellation) and
+  inside a hierarchical :func:`~repro.trace.span`, so ``--trace``
+  output shows where time, steps, and oracle questions went;
+* :meth:`Engine.eval` / :meth:`Engine.eval_batch` implement the
+  documented divergence contract: a tripped budget never leaks
+  :class:`~repro.errors.OutOfFuel` but returns a
+  :class:`~repro.engine.verdict.Verdict` with status ``UNKNOWN`` and a
+  machine-readable reason (``out_of_fuel`` / ``deadline`` /
+  ``cancelled``).
 
 Results are immutable (:class:`~repro.qlhs.interpreter.Value` for path
 sets, :class:`~repro.fcf.relation.FcfValue` for fcf plans, ``bool`` for
@@ -31,12 +41,19 @@ import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
-from ..errors import RankMismatchError, RepresentationError, TypeSignatureError
+from ..errors import (
+    OutOfFuel,
+    RankMismatchError,
+    RepresentationError,
+    TypeSignatureError,
+)
 from ..fcf.database import FcfDatabase
 from ..fcf.qlf import QLfInterpreter
 from ..fcf.relation import FcfValue
 from ..qlhs.interpreter import QLhsInterpreter, Value
 from ..symmetric.hsdb import HSDatabase
+from ..trace import Budget, limits, span
+from ..trace.budget import as_budget
 from .cache import EngineCache, ResultCache
 from .fingerprint import fingerprint
 from .plan import (
@@ -58,6 +75,7 @@ from .plan import (
     Union,
 )
 from .stats import MutableEngineStats, Timer
+from .verdict import Verdict
 
 
 class Engine:
@@ -75,9 +93,15 @@ class Engine:
         instance to pool warm results across engines over
         fingerprint-equal databases.  A private cache is created when
         omitted.
+    budget:
+        The engine's :class:`~repro.trace.Budget` template (or an int
+        shorthand for ``Budget(max_steps=...)``).  Every evaluation
+        :meth:`forks <repro.trace.Budget.fork>` it, so each call gets
+        the full per-evaluation step allowance while sharing the
+        deadline and the cancellation flag.  Default:
+        :data:`repro.trace.limits.ENGINE` steps, no deadline.
     fuel:
-        Step budget handed to the QLhs / QLf+ interpreters for fixpoint
-        nodes.
+        Deprecated alias: ``fuel=N`` means ``budget=Budget(max_steps=N)``.
     max_workers:
         Default thread count for the parallel batch path (``None``
         delegates to :class:`ThreadPoolExecutor`'s default).
@@ -85,7 +109,8 @@ class Engine:
 
     def __init__(self, db: HSDatabase | FcfDatabase, *,
                  cache: EngineCache | None = None,
-                 fuel: int = 10_000_000,
+                 budget: Budget | int | None = None,
+                 fuel: int | None = None,
                  max_workers: int | None = None):
         if not isinstance(db, (HSDatabase, FcfDatabase)):
             raise TypeSignatureError(
@@ -93,21 +118,30 @@ class Engine:
                 f"{type(db).__name__}")
         self.db = db
         self.cache = cache if cache is not None else EngineCache()
-        self.fuel = fuel
+        self.budget = as_budget(budget, fuel, default_steps=limits.ENGINE)
         self.max_workers = max_workers
         self.fingerprint = fingerprint(db)
         self._stats = MutableEngineStats()
         # Exclusive-time bookkeeping for per-node timings.
         self._child_time: list[float] = []
+        # The budget governing the evaluation currently in flight.
+        self._active_budget: Budget | None = None
 
     # -- properties ---------------------------------------------------------
 
     @property
+    def fuel(self) -> int | None:
+        """Deprecated alias for ``budget.max_steps``."""
+        return self.budget.max_steps
+
+    @property
     def is_hs(self) -> bool:
+        """Whether the engine wraps an hs-r-db (vs. an fcf-r-db)."""
         return isinstance(self.db, HSDatabase)
 
     @property
     def signature(self) -> tuple[int, ...]:
+        """The database's type signature (relation ranks)."""
         if self.is_hs:
             return self.db.signature
         return self.db.type_signature
@@ -118,24 +152,102 @@ class Engine:
         """Normalize through the plan cache (level 1)."""
         return self.cache.plans.normalized(plan, self.signature)
 
-    def evaluate(self, plan: Plan) -> Value | FcfValue:
-        """Evaluate a plan to its denoted relation (cached)."""
-        with Timer() as t:
-            before = self._oracle_calls()
-            prepared = self.prepare(plan)
-            result = self._arg(prepared)
-            self._stats.oracle_questions += self._oracle_calls() - before
-            self._stats.evaluations += 1
-        self._stats.wall_time += t.seconds
-        return result
+    def evaluate(self, plan: Plan, *,
+                 budget: Budget | None = None) -> Value | FcfValue:
+        """Evaluate a plan to its denoted relation (cached).
+
+        Runs under ``budget`` (default: a fresh
+        :meth:`~repro.trace.Budget.fork` of the engine budget).  A
+        tripped budget raises :class:`~repro.errors.OutOfFuel` — use
+        :meth:`eval` for the three-valued surface that never raises.
+        """
+        run = budget if budget is not None else self.budget.fork()
+        previous = self._active_budget
+        self._active_budget = run
+        timer = Timer()
+        try:
+            with span("engine.evaluate") as sp, timer:
+                before = self._oracle_calls()
+                try:
+                    prepared = self.prepare(plan)
+                    result = self._arg(prepared)
+                finally:
+                    asked = self._oracle_calls() - before
+                    self._stats.oracle_questions += asked
+                    self._stats.evaluations += 1
+                    sp.count("oracle_questions", asked)
+                    sp.count("steps", run.steps)
+            return result
+        finally:
+            self._active_budget = previous
+            self._stats.wall_time += timer.seconds
 
     def holds(self, plan: Plan) -> bool:
         """Truth of a rank-0 plan (nonemptiness in general)."""
-        value = self.evaluate(plan)
-        if isinstance(value, FcfValue):
-            return value.contains(()) if value.rank == 0 else bool(
-                value.tuples or value.cofinite)
-        return not value.is_empty
+        return self._truth(self.evaluate(plan))
+
+    def eval(self, plan: Plan, *,
+             budget: Budget | int | None = None) -> Verdict:
+        """Evaluate under the three-valued divergence contract.
+
+        Unlike :meth:`evaluate`, a tripped :class:`~repro.trace.Budget`
+        never escapes: the answer is always a
+        :class:`~repro.engine.verdict.Verdict` —
+
+        * ``TRUE`` / ``FALSE`` with :attr:`~repro.engine.verdict.
+          Verdict.value` holding the evaluated relation (truth is
+          nonemptiness, i.e. :meth:`holds`), or
+        * ``UNKNOWN`` with the machine-readable reason
+          (``out_of_fuel`` / ``deadline`` / ``cancelled``) and the step
+          count reached.
+
+        ``budget`` overrides the per-evaluation budget (an int is
+        shorthand for ``Budget(max_steps=...)``); by default the engine
+        budget is forked, so every ``eval`` gets the full step
+        allowance while sharing the deadline and cancellation flag.
+        """
+        if budget is None:
+            run = self.budget.fork()
+        else:
+            run = as_budget(budget)
+        with span("engine.eval") as sp:
+            try:
+                value = self.evaluate(plan, budget=run)
+            except OutOfFuel as exc:
+                verdict = Verdict.unknown(
+                    exc.reason,
+                    steps=exc.steps if exc.steps is not None
+                    else run.steps)
+                self._stats.record_verdict(verdict.status, verdict.reason)
+                sp.set(verdict=verdict.status, reason=verdict.reason)
+                return verdict
+            verdict = Verdict.of(self._truth(value), value=value)
+            self._stats.record_verdict(verdict.status)
+            sp.set(verdict=verdict.status)
+            return verdict
+
+    def eval_batch(self, plans: Sequence[Plan]) -> list[Verdict]:
+        """:meth:`eval` several plans; one diverging member cannot
+        starve the rest.
+
+        Each member runs under its own :meth:`~repro.trace.Budget.fork`
+        of the engine budget (fresh step counter, shared deadline and
+        cancellation flag), so a member that trips its step budget
+        yields ``UNKNOWN`` while the others still complete.
+        """
+        with span("engine.eval_batch", size=len(plans)):
+            return [self.eval(p) for p in plans]
+
+    def cancel(self) -> None:
+        """Cooperatively cancel evaluations governed by this engine.
+
+        Sets the engine budget's shared cancellation flag: every
+        in-flight (and future) forked budget trips on its next charge
+        with reason ``cancelled``, which :meth:`eval` reports as an
+        ``UNKNOWN`` verdict.  Construct a fresh engine (or a fresh
+        :class:`~repro.trace.Budget`) to evaluate again.
+        """
+        self.budget.cancel()
 
     def contains(self, plan: Plan, u: Sequence) -> bool:
         """One membership test: is ``u`` in the plan's relation?"""
@@ -155,7 +267,21 @@ class Engine:
         under ``(fingerprint, plan, ("contains", u))``.
         """
         requests = [tuple(u) for u in tuples]
-        with Timer() as t:
+        run = self.budget.fork()
+        previous = self._active_budget
+        self._active_budget = run
+        try:
+            return self._batch_contains(plan, requests, parallel,
+                                        max_workers)
+        finally:
+            self._active_budget = previous
+
+    def _batch_contains(self, plan: Plan, requests: list[tuple],
+                        parallel: bool,
+                        max_workers: int | None) -> list[bool]:
+        """The :meth:`batch_contains` body (active budget installed)."""
+        with span("engine.batch_contains",
+                  requests=len(requests)) as sp, Timer() as t:
             before = self._oracle_calls()
             prepared = self.prepare(plan)
             value = self._arg(prepared)
@@ -189,8 +315,10 @@ class Engine:
                 results_cache.put(key, answer)
                 answers[pos] = answer
 
-            self._stats.oracle_questions += self._oracle_calls() - before
+            asked = self._oracle_calls() - before
+            self._stats.oracle_questions += asked
             self._stats.batch_requests += len(requests)
+            sp.count("oracle_questions", asked)
         self._stats.wall_time += t.seconds
         return answers  # type: ignore[return-value]
 
@@ -206,12 +334,38 @@ class Engine:
                                     self.cache.results.stats())
 
     def reset_stats(self) -> None:
+        """Zero the engine's live counters (caches keep their contents)."""
         self._stats.reset()
 
     # -- internals ----------------------------------------------------------
 
     def _oracle_calls(self) -> int:
+        """Cumulative ``≅_B`` oracle questions the database has answered."""
         return self.db.equiv.calls if self.is_hs else 0
+
+    def _node_budget(self, max_steps: int | None = None) -> Budget:
+        """The budget a fixpoint node runs under.
+
+        The evaluation's active budget governs directly; a plan-level
+        ``max_steps`` knob (:class:`~repro.engine.plan.MachineFixpoint`)
+        forks it so the node-local step cap applies while the deadline
+        and cancellation flag stay shared.
+        """
+        base = self._active_budget
+        if base is None:  # direct _execute_node use (tests, debugging)
+            base = self.budget.fork()
+        if max_steps is not None:
+            return base.fork(max_steps=max_steps)
+        return base
+
+    @staticmethod
+    def _truth(value: Value | FcfValue) -> bool:
+        """Truth of an evaluated relation: nonemptiness (rank-0 fcf
+        values test ``()``-membership, honouring co-finiteness)."""
+        if isinstance(value, FcfValue):
+            return value.contains(()) if value.rank == 0 else bool(
+                value.tuples or value.cofinite)
+        return not value.is_empty
 
     def _execute(self, plan: Plan) -> Value | FcfValue:
         """Execute one node (children through the cache), timed."""
@@ -244,12 +398,13 @@ class Engine:
         return value
 
     def _execute_node(self, plan: Plan) -> Value | FcfValue:
+        """Semantics of one plan node (dispatch on the node kind)."""
         if isinstance(plan, FcfFixpoint):
             if self.is_hs:
                 raise TypeSignatureError(
                     "FcfFixpoint plans need an Engine over an "
                     "FcfDatabase")
-            interp = QLfInterpreter(self.db, fuel=self.fuel)
+            interp = QLfInterpreter(self.db, budget=self._node_budget())
             return interp.result(plan.program)
         if not self.is_hs:
             raise TypeSignatureError(
@@ -348,18 +503,20 @@ class Engine:
             level = frozenset(hsdb.tree.level(body.rank))
             return Value(body.rank, level - body.paths)
         if isinstance(plan, Fixpoint):
-            interp = QLhsInterpreter(hsdb, fuel=self.fuel)
+            interp = QLhsInterpreter(hsdb, budget=self._node_budget())
             return interp.run(plan.program, result_var=plan.result_var)
         if isinstance(plan, MachineFixpoint):
             from ..machines.gmhs_pipeline import run_query_gmhs
             value, __ = run_query_gmhs(
                 hsdb, plan.procedure,
-                search_window=plan.search_window, fuel=plan.fuel)
+                search_window=plan.search_window,
+                budget=self._node_budget(max_steps=plan.max_steps))
             return value
         raise TypeError(f"unknown plan node {plan!r}")
 
     @staticmethod
     def _common_rank(parts: Sequence[Value], what: str) -> int:
+        """The single rank shared by ``parts`` (raise on a mix)."""
         if not parts:
             raise RankMismatchError(f"{what} needs at least one child")
         ranks = {v.rank for v in parts}
@@ -382,6 +539,7 @@ class Engine:
             return False
 
     def __repr__(self) -> str:
+        """Short description with fingerprint prefix and cache size."""
         name = getattr(self.db, "name", "?")
         return (f"Engine({name}, fingerprint={self.fingerprint[:12]}…, "
                 f"results={len(self.cache.results)})")

@@ -34,6 +34,7 @@ from ..errors import RankMismatchError, TypeSignatureError
 from ..logic.syntax import Formula, Var
 from ..qlhs import ast as q
 from ..qlhs.from_logic import compile_formula
+from ..trace import limits
 from .plan import (
     Complement,
     Extend,
@@ -212,11 +213,17 @@ def plan_from_qlf(program: q.Program) -> Plan:
 # ---------------------------------------------------------------------------
 
 def plan_from_gmhs(procedure, search_window: int = 512,
-                   fuel: int = 500_000) -> Plan:
+                   fuel: int | None = None, *,
+                   max_steps: int | None = None) -> Plan:
     """Lower a Theorem 5.1 query procedure into the IR.
 
     The procedure is the same :data:`~repro.qlhs.completeness.
     QueryProcedure` convention both completeness pipelines consume.
+    ``max_steps`` caps the GMhs loading stage (default
+    :data:`repro.trace.limits.MACHINE_FIXPOINT`); ``fuel`` is its
+    deprecated alias.
     """
+    if max_steps is None:
+        max_steps = fuel if fuel is not None else limits.MACHINE_FIXPOINT
     return MachineFixpoint(procedure, search_window=search_window,
-                           fuel=fuel)
+                           max_steps=max_steps)

@@ -41,6 +41,7 @@ from collections.abc import Sequence
 
 from ..errors import RankMismatchError, TypeSignatureError
 from ..qlhs.ast import Program
+from ..trace import limits
 
 
 class Plan:
@@ -190,6 +191,8 @@ class Quantify(Plan):
 
 @dataclass(frozen=True)
 class Union(Plan):
+    """n-ary union of same-rank children (flattened by ``normalize``)."""
+
     children: tuple[Plan, ...]
 
     def __init__(self, children: Sequence[Plan]):
@@ -198,6 +201,8 @@ class Union(Plan):
 
 @dataclass(frozen=True)
 class Intersect(Plan):
+    """n-ary intersection of same-rank children (QLhs ``∩``)."""
+
     children: tuple[Plan, ...]
 
     def __init__(self, children: Sequence[Plan]):
@@ -235,11 +240,17 @@ class MachineFixpoint(Plan):
     The procedure is a Python callable; it hashes by identity, which
     bounds cache reuse to the lifetime of the callable — exactly the
     guarantee a per-process result cache can honour.
+
+    ``max_steps`` caps the loading stage's synchronous GMhs steps; the
+    executor combines it with the engine budget's deadline and
+    cancellation flag (see ``docs/limits.md``).  Plans stay hashable,
+    so the knob is a plain integer, not a live
+    :class:`~repro.trace.Budget`.
     """
 
     procedure: object  # QueryProcedure; hashable by identity
     search_window: int = 512
-    fuel: int = 500_000
+    max_steps: int = limits.MACHINE_FIXPOINT
 
 
 @dataclass(frozen=True)

@@ -29,10 +29,12 @@ class CacheStats:
 
     @property
     def requests(self) -> int:
+        """Total counted lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Hits per request (0.0 when the cache was never consulted)."""
         return self.hits / self.requests if self.requests else 0.0
 
 
@@ -53,6 +55,10 @@ class EngineStats:
     batch_requests: int = 0
     wall_time: float = 0.0
     node_timings: tuple[tuple[str, int, float], ...] = ()
+    verdicts_true: int = 0
+    verdicts_false: int = 0
+    verdicts_unknown: int = 0
+    unknown_reasons: tuple[tuple[str, int], ...] = ()
 
     def format(self) -> str:
         """A human-readable block (the CLI's ``--stats`` output)."""
@@ -73,6 +79,13 @@ class EngineStats:
             f"(hit rate {self.result_cache.hit_rate:.0%}, "
             f"size {self.result_cache.size})",
         ]
+        if self.verdicts_true or self.verdicts_false or self.verdicts_unknown:
+            reasons = ", ".join(f"{r}={n}" for r, n in self.unknown_reasons)
+            lines.append(
+                f"  verdicts:         {self.verdicts_true} true / "
+                f"{self.verdicts_false} false / "
+                f"{self.verdicts_unknown} unknown"
+                + (f" ({reasons})" if reasons else ""))
         if self.node_timings:
             lines.append("  per-node timings:")
             for kind, count, seconds in self.node_timings:
@@ -93,13 +106,25 @@ class MutableEngineStats:
     wall_time: float = 0.0
     node_counts: dict = field(default_factory=dict)
     node_seconds: dict = field(default_factory=dict)
+    verdict_counts: dict = field(default_factory=dict)
+    unknown_reasons: dict = field(default_factory=dict)
 
     def record_node(self, kind: str, seconds: float) -> None:
+        """Accumulate one plan-node execution into the timing tables."""
         self.node_counts[kind] = self.node_counts.get(kind, 0) + 1
         self.node_seconds[kind] = self.node_seconds.get(kind, 0.0) + seconds
 
+    def record_verdict(self, status: str, reason: str | None = None) -> None:
+        """Count one :class:`~repro.engine.verdict.Verdict` by status
+        (and, for UNKNOWN, by machine-readable reason)."""
+        self.verdict_counts[status] = self.verdict_counts.get(status, 0) + 1
+        if reason is not None:
+            self.unknown_reasons[reason] = (
+                self.unknown_reasons.get(reason, 0) + 1)
+
     def snapshot(self, plan_cache: CacheStats,
                  result_cache: CacheStats) -> EngineStats:
+        """Freeze the live counters into an :class:`EngineStats`."""
         timings = tuple(
             (kind, self.node_counts[kind], self.node_seconds[kind])
             for kind in sorted(self.node_counts,
@@ -112,15 +137,22 @@ class MutableEngineStats:
             batch_requests=self.batch_requests,
             wall_time=self.wall_time,
             node_timings=timings,
+            verdicts_true=self.verdict_counts.get("true", 0),
+            verdicts_false=self.verdict_counts.get("false", 0),
+            verdicts_unknown=self.verdict_counts.get("unknown", 0),
+            unknown_reasons=tuple(sorted(self.unknown_reasons.items())),
         )
 
     def reset(self) -> None:
+        """Zero every live counter."""
         self.oracle_questions = 0
         self.evaluations = 0
         self.batch_requests = 0
         self.wall_time = 0.0
         self.node_counts.clear()
         self.node_seconds.clear()
+        self.verdict_counts.clear()
+        self.unknown_reasons.clear()
 
 
 class Timer:

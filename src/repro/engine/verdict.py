@@ -1,0 +1,99 @@
+"""Three-valued verdicts: the engine's divergence-handling contract.
+
+Queries over recursive databases are partial — a QLhs loop, a GMhs
+run, or a counter search may diverge, and Section 4 of the paper forces
+step bounds everywhere.  Following the *complete approximations*
+reading (Corman–Nutt–Savković, PAPERS.md): when evaluation cannot
+complete within its :class:`~repro.trace.Budget`, the engine reports a
+sound partial answer instead of raising.  :meth:`Engine.eval
+<repro.engine.executor.Engine.eval>` therefore returns a
+:class:`Verdict`:
+
+* ``TRUE`` / ``FALSE`` — evaluation completed; :attr:`Verdict.value`
+  carries the evaluated relation;
+* ``UNKNOWN`` — the budget tripped; :attr:`Verdict.reason` is the
+  machine-readable dimension (``out_of_fuel`` / ``deadline`` /
+  ``cancelled``) and :attr:`Verdict.steps` how far the run got.
+
+``bool(verdict)`` is deliberately strict: it raises on ``UNKNOWN`` so
+three-valued answers cannot silently collapse into two.
+
+Doctest::
+
+    >>> from repro.engine.verdict import Verdict
+    >>> Verdict.unknown("deadline").is_unknown
+    True
+    >>> bool(Verdict.of(True))
+    True
+    >>> bool(Verdict.unknown("out_of_fuel"))
+    Traceback (most recent call last):
+        ...
+    ValueError: Verdict is UNKNOWN (out_of_fuel); test .is_unknown first
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+TRUE = "true"
+FALSE = "false"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One engine answer under the three-valued contract."""
+
+    status: str
+    reason: str | None = None
+    value: object = None
+    steps: int | None = None
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def of(truth: bool, value: object = None) -> "Verdict":
+        """A known verdict from a boolean (keeping the evaluated value)."""
+        return Verdict(TRUE if truth else FALSE, value=value)
+
+    @staticmethod
+    def unknown(reason: str, steps: int | None = None) -> "Verdict":
+        """A sound don't-know answer with its machine-readable reason."""
+        return Verdict(UNKNOWN, reason=reason, steps=steps)
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def known(self) -> bool:
+        """Whether evaluation completed (``TRUE`` or ``FALSE``)."""
+        return self.status != UNKNOWN
+
+    @property
+    def is_true(self) -> bool:
+        """Whether the verdict is ``TRUE``."""
+        return self.status == TRUE
+
+    @property
+    def is_false(self) -> bool:
+        """Whether the verdict is ``FALSE``."""
+        return self.status == FALSE
+
+    @property
+    def is_unknown(self) -> bool:
+        """Whether the budget tripped before an answer was reached."""
+        return self.status == UNKNOWN
+
+    def __bool__(self) -> bool:
+        if self.status == UNKNOWN:
+            raise ValueError(
+                f"Verdict is UNKNOWN ({self.reason}); test .is_unknown "
+                "first")
+        return self.status == TRUE
+
+    def __repr__(self) -> str:
+        if self.status == UNKNOWN:
+            extra = f", reason={self.reason!r}"
+            if self.steps is not None:
+                extra += f", steps={self.steps}"
+            return f"Verdict(UNKNOWN{extra})"
+        return f"Verdict({self.status.upper()})"

@@ -36,17 +36,23 @@ class UndefinedQueryError(RecdbError):
 
 
 class OutOfFuel(RecdbError):
-    """A step-budgeted interpreter exhausted its fuel before halting.
+    """An interpreter exhausted its :class:`~repro.trace.budget.Budget`.
 
     Query languages over recursive databases express *partial* functions;
-    all interpreters in this library take an explicit fuel bound and raise
-    this error instead of diverging.
+    all interpreters in this library run under an explicit budget and
+    raise this error instead of diverging.  ``reason`` is the
+    machine-readable dimension that tripped — ``"out_of_fuel"`` (step or
+    oracle allowance), ``"deadline"`` (wall clock), or ``"cancelled"``
+    (cooperative cancellation) — and is what
+    :meth:`repro.engine.executor.Engine.eval` surfaces on
+    ``Verdict.UNKNOWN`` instead of letting this exception escape.
     """
 
-    def __init__(self, message: str = "computation exceeded its fuel budget",
-                 steps: int | None = None):
+    def __init__(self, message: str = "computation exceeded its step budget",
+                 steps: int | None = None, reason: str = "out_of_fuel"):
         super().__init__(message)
         self.steps = steps
+        self.reason = reason
 
 
 class RankMismatchError(RecdbError):

@@ -27,7 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Mapping
 
-from ..errors import OutOfFuel, RankMismatchError, TypeSignatureError
+from ..errors import RankMismatchError, TypeSignatureError
+from ..trace import Budget, limits, span
+from ..trace.budget import as_budget
 from ..qlhs.ast import (
     Assign,
     Comp,
@@ -60,16 +62,25 @@ class WhileFinite(Program):
 class QLfInterpreter:
     """Execute QLf+ programs against an fcf-r-db."""
 
-    def __init__(self, database: FcfDatabase, fuel: int = 1_000_000):
+    def __init__(self, database: FcfDatabase, fuel: int | None = None, *,
+                 budget: Budget | int | None = None):
         self.database = database
         self.df = sorted(database.df, key=repr)
-        self.fuel = fuel
-        self.steps = 0
+        self.budget = as_budget(budget, fuel,
+                                default_steps=limits.QLF_INTERPRETER)
+
+    @property
+    def fuel(self) -> int | None:
+        """Deprecated alias for ``budget.max_steps``."""
+        return self.budget.max_steps
+
+    @property
+    def steps(self) -> int:
+        """Steps charged to the budget so far."""
+        return self.budget.steps
 
     def _tick(self, cost: int = 1) -> None:
-        self.steps += cost
-        if self.steps > self.fuel:
-            raise OutOfFuel(steps=self.steps)
+        self.budget.charge(cost)
 
     def eval_term(self, term: Term,
                   store: Mapping[str, FcfValue]) -> FcfValue:
@@ -100,8 +111,14 @@ class QLfInterpreter:
     def execute(self, program: Program,
                 inputs: Mapping[str, FcfValue] | None = None
                 ) -> dict[str, FcfValue]:
+        """Run a program and return the final store."""
         store: dict[str, FcfValue] = dict(inputs or {})
-        self._exec(program, store)
+        with span("qlf.execute") as sp:
+            before = self.budget.steps
+            try:
+                self._exec(program, store)
+            finally:
+                sp.count("steps", self.budget.steps - before)
         return store
 
     def run(self, program: Program) -> tuple[FcfValue, bool]:

@@ -24,7 +24,9 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from ..core.database import RecursiveDatabase
-from ..errors import OutOfFuel, RankMismatchError, TypeSignatureError
+from ..errors import RankMismatchError, TypeSignatureError
+from ..trace import Budget, limits, span
+from ..trace.budget import as_budget
 from ..qlhs.ast import (
     Assign,
     Comp,
@@ -51,20 +53,29 @@ from .algebra import FiniteValue
 class QLInterpreter:
     """Execute QL programs against a finite-domain database."""
 
-    def __init__(self, database: RecursiveDatabase, fuel: int = 1_000_000):
+    def __init__(self, database: RecursiveDatabase, fuel: int | None = None,
+                 *, budget: Budget | int | None = None):
         if not database.domain.is_finite:
             raise TypeSignatureError(
                 "QL interprets over finite databases; for infinite "
                 "hs-r-dbs use QLhsInterpreter")
         self.database = database
         self.domain = database.domain.first(database.domain.finite_size)
-        self.fuel = fuel
-        self.steps = 0
+        self.budget = as_budget(budget, fuel,
+                                default_steps=limits.QL_INTERPRETER)
+
+    @property
+    def fuel(self) -> int | None:
+        """Deprecated alias for ``budget.max_steps``."""
+        return self.budget.max_steps
+
+    @property
+    def steps(self) -> int:
+        """Steps charged to the budget so far."""
+        return self.budget.steps
 
     def _tick(self, cost: int = 1) -> None:
-        self.steps += cost
-        if self.steps > self.fuel:
-            raise OutOfFuel(steps=self.steps)
+        self.budget.charge(cost)
 
     def eval_term(self, term: Term,
                   store: Mapping[str, FiniteValue]) -> FiniteValue:
@@ -110,8 +121,14 @@ class QLInterpreter:
     def execute(self, program: Program,
                 inputs: Mapping[str, FiniteValue] | None = None
                 ) -> dict[str, FiniteValue]:
+        """Run a program and return the final store."""
         store: dict[str, FiniteValue] = dict(inputs or {})
-        self._exec(program, store)
+        with span("ql.execute") as sp:
+            before = self.budget.steps
+            try:
+                self._exec(program, store)
+            finally:
+                sp.count("steps", self.budget.steps - before)
         return store
 
     def run(self, program: Program,

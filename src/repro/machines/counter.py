@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from ..errors import MachineError, OutOfFuel
+from ..errors import MachineError
+from ..trace import Budget, limits, span
+from ..trace.budget import as_budget
 
 
 @dataclass(frozen=True)
@@ -84,53 +86,60 @@ class CounterMachine:
             if isinstance(ins, Jmp) and not 0 <= ins.target < n:
                 raise MachineError(f"instruction {pc}: jump target out of range")
 
-    def run(self, inputs: Sequence[int], fuel: int = 100_000) -> list[int]:
+    def run(self, inputs: Sequence[int], fuel: int | None = None, *,
+            budget: Budget | int | None = None) -> list[int]:
         """Execute; ``inputs`` seed the first registers; returns all
-        registers at the halt instruction."""
+        registers at the halt instruction.
+
+        One budget step is one executed instruction; ``fuel=N`` is the
+        deprecated alias for ``budget=Budget(max_steps=N)`` (default
+        :data:`repro.trace.limits.COUNTER_RUN`).
+        """
+        budget = as_budget(budget, fuel, default_steps=limits.COUNTER_RUN)
         regs = [0] * self.num_registers
         for i, v in enumerate(inputs):
             if v < 0:
                 raise MachineError("counter registers hold naturals")
             regs[i] = v
         pc = 0
-        steps = 0
-        while True:
-            steps += 1
-            if steps > fuel:
-                raise OutOfFuel(f"{self.name} exceeded {fuel} steps",
-                                steps=steps)
-            ins = self.instructions[pc]
-            if isinstance(ins, Halt):
-                return regs
-            if isinstance(ins, Inc):
-                regs[ins.reg] += 1
-                pc += 1
-            elif isinstance(ins, Dec):
-                if regs[ins.reg] > 0:
-                    regs[ins.reg] -= 1
-                pc += 1
-            elif isinstance(ins, Jz):
-                pc = ins.target if regs[ins.reg] == 0 else pc + 1
-            elif isinstance(ins, Jmp):
-                pc = ins.target
-            else:
-                raise MachineError(f"unknown instruction {ins!r}")
-            if pc >= len(self.instructions):
-                raise MachineError(f"{self.name}: fell off the program")
+        with span("counter.run", machine=self.name) as sp:
+            while True:
+                budget.charge()
+                ins = self.instructions[pc]
+                if isinstance(ins, Halt):
+                    sp.count("steps", budget.steps)
+                    return regs
+                if isinstance(ins, Inc):
+                    regs[ins.reg] += 1
+                    pc += 1
+                elif isinstance(ins, Dec):
+                    if regs[ins.reg] > 0:
+                        regs[ins.reg] -= 1
+                    pc += 1
+                elif isinstance(ins, Jz):
+                    pc = ins.target if regs[ins.reg] == 0 else pc + 1
+                elif isinstance(ins, Jmp):
+                    pc = ins.target
+                else:
+                    raise MachineError(f"unknown instruction {ins!r}")
+                if pc >= len(self.instructions):
+                    raise MachineError(f"{self.name}: fell off the program")
 
-    def trace(self, inputs: Sequence[int],
-              fuel: int = 100_000) -> list[tuple[int, tuple[int, ...]]]:
-        """Execution trace as ``(pc, registers)`` snapshots (for tests)."""
+    def trace(self, inputs: Sequence[int], fuel: int | None = None, *,
+              budget: Budget | int | None = None
+              ) -> list[tuple[int, tuple[int, ...]]]:
+        """Execution trace as ``(pc, registers)`` snapshots (for tests).
+
+        Budgeted like :meth:`run` (``fuel`` is the deprecated alias).
+        """
+        budget = as_budget(budget, fuel, default_steps=limits.COUNTER_RUN)
         regs = [0] * self.num_registers
         for i, v in enumerate(inputs):
             regs[i] = v
         pc = 0
         out = [(pc, tuple(regs))]
-        steps = 0
         while not isinstance(self.instructions[pc], Halt):
-            steps += 1
-            if steps > fuel:
-                raise OutOfFuel(steps=steps)
+            budget.charge()
             ins = self.instructions[pc]
             if isinstance(ins, Inc):
                 regs[ins.reg] += 1

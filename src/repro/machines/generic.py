@@ -30,7 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping
 
-from ..errors import MachineError, OutOfFuel
+from ..errors import MachineError
+from ..trace import Budget, limits, span
+from ..trace.budget import as_budget
 
 Tape = tuple
 Store = dict  # name -> frozenset of tuples
@@ -89,20 +91,26 @@ TransitionFn = Callable[[str, Tape, Mapping[str, bool]], Action]
 
 @dataclass
 class UnitGM:
+    """One live unit of a generic machine (state, tape, store)."""
+
     state: str
     tape: Tape
     store: Store
 
     def key(self) -> tuple[str, Tape]:
+        """The collapse key: units agreeing here are duplicates."""
         return (self.state, self.tape)
 
     @property
     def halted(self) -> bool:
+        """Whether the unit has reached the halt state."""
         return self.state == HALT_STATE
 
 
 @dataclass
 class RunMetrics:
+    """Operational counters of one GM run (steps/spawns/collapses)."""
+
     steps: int = 0
     spawns: int = 0
     collapses: int = 0
@@ -119,33 +127,42 @@ class GenericMachine:
         self.name = name
 
     def run(self, input_store: Mapping[str, frozenset],
-            fuel: int = 100_000) -> tuple[Store, RunMetrics]:
+            fuel: int | None = None, *,
+            budget: Budget | int | None = None) -> tuple[Store, RunMetrics]:
         """Execute from a single unit with the input relations in store.
 
         Returns the final (single) unit's store and the run metrics.
         Raises :class:`MachineError` if the computation does not end
         with exactly one halted unit with an empty tape.
+
+        One budget step is one *synchronous* step of all live units;
+        ``fuel=N`` is the deprecated alias for
+        ``budget=Budget(max_steps=N)`` (default
+        :data:`repro.trace.limits.GM_RUN`).
         """
+        budget = as_budget(budget, fuel, default_steps=limits.GM_RUN)
         units = [UnitGM(self.start_state, (),
                         {k: frozenset(v) for k, v in input_store.items()})]
         metrics = RunMetrics()
-        while not all(u.halted for u in units):
-            metrics.steps += 1
-            if metrics.steps > fuel:
-                raise OutOfFuel(f"{self.name} exceeded {fuel} steps",
-                                steps=metrics.steps)
-            next_units: list[UnitGM] = []
-            for unit in units:
-                if unit.halted:
-                    next_units.append(unit)
-                    continue
-                next_units.extend(self._step(unit, metrics))
-            units = self._collapse(next_units, metrics)
-            metrics.peak_units = max(metrics.peak_units, len(units))
-            if not units:
-                raise MachineError(
-                    f"{self.name}: all units vanished (Load on an empty "
-                    "relation)")
+        with span("gm.run", machine=self.name) as sp:
+            while not all(u.halted for u in units):
+                budget.charge()
+                metrics.steps += 1
+                next_units: list[UnitGM] = []
+                for unit in units:
+                    if unit.halted:
+                        next_units.append(unit)
+                        continue
+                    next_units.extend(self._step(unit, metrics))
+                units = self._collapse(next_units, metrics)
+                metrics.peak_units = max(metrics.peak_units, len(units))
+                if not units:
+                    raise MachineError(
+                        f"{self.name}: all units vanished (Load on an empty "
+                        "relation)")
+            sp.count("steps", metrics.steps)
+            sp.count("spawns", metrics.spawns)
+            sp.count("collapses", metrics.collapses)
         if len(units) != 1:
             raise MachineError(
                 f"{self.name}: computation ended with {len(units)} units; "

@@ -26,8 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Callable, Mapping
 
-from ..errors import MachineError, OutOfFuel
+from ..errors import MachineError
 from ..symmetric.hsdb import HSDatabase
+from ..trace import Budget, limits
+from ..trace.budget import as_budget
 from .generic import (
     Action,
     ClearRelation,
@@ -139,12 +141,21 @@ class GMhsMachine(GenericMachine):
             return [UnitGM(action.state, action.tape, store)]
         raise MachineError(f"unknown action {action!r}")
 
-    def run_on_cb(self, fuel: int = 200_000) -> tuple[Store, RunMetrics]:
+    def run_on_cb(self, fuel: int | None = None, *,
+                  budget: Budget | int | None = None
+                  ) -> tuple[Store, RunMetrics]:
         """Run with the CB representative sets as the input store
-        (relations named ``C1``, ``C2``, …)."""
+        (relations named ``C1``, ``C2``, …).
+
+        ``fuel=N`` is the deprecated alias for
+        ``budget=Budget(max_steps=N)`` (default
+        :data:`repro.trace.limits.GMHS_RUN_ON_CB`).
+        """
+        budget = as_budget(budget, fuel,
+                           default_steps=limits.GMHS_RUN_ON_CB)
         store = {f"C{i + 1}": reps
                  for i, reps in enumerate(self.hsdb.representatives)}
-        return self.run(store, fuel=fuel)
+        return self.run(store, budget=budget)
 
 
 def children_explorer(hsdb: HSDatabase, depth: int,

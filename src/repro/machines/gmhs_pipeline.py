@@ -29,6 +29,8 @@ from ..errors import MachineError
 from ..qlhs.completeness import ModelOracle, QueryProcedure
 from ..qlhs.interpreter import Value
 from ..symmetric.hsdb import HSDatabase
+from ..trace import Budget, limits, span
+from ..trace.budget import as_budget
 from .generic import RunMetrics
 from .gmhs import GMhsMachine, Halt, Load, StoreCanonical
 
@@ -82,48 +84,70 @@ def _loader_machine(hsdb: HSDatabase, depth: int) -> GMhsMachine:
 
 def run_query_gmhs(hsdb: HSDatabase, machine: QueryProcedure,
                    search_window: int = 512,
-                   fuel: int = 500_000) -> tuple[Value, RunMetrics]:
+                   fuel: int | None = None, *,
+                   budget: Budget | int | None = None
+                   ) -> tuple[Value, RunMetrics]:
     """Run a recursive generic query end to end, GMhs-style.
 
     Returns the answer (as class representatives) and the metrics of the
     GMhs loading stage — the spawn/collapse accounting the Theorem 5.1
     narrative is about.
+
+    The whole pipeline runs under one :class:`~repro.trace.Budget`
+    (``fuel=N`` is the deprecated alias, default
+    :data:`repro.trace.limits.GMHS_PIPELINE`): the loading stage
+    charges per synchronous GMhs step, and the budget's deadline /
+    cancellation flag are re-checked between stages so a cancelled run
+    stops at the next stage boundary.
     """
-    # Stage 1: load the C's with genuine spawn/collapse mechanics.
-    loader = _loader_machine(hsdb, depth=0)
-    store, metrics = loader.run_on_cb(fuel=fuel)
-    drawn = store.get("DRAWN", frozenset())
-    expected = set().union(*hsdb.representatives) if any(
-        hsdb.representatives) else set()
-    if drawn != frozenset(expected):
-        raise MachineError(
-            "the loading stage did not reproduce the representative sets")
+    budget = as_budget(budget, fuel, default_steps=limits.GMHS_PIPELINE)
+    with span("gmhs.pipeline", database=getattr(hsdb, "name", "?")):
+        # Stage 1: load the C's with genuine spawn/collapse mechanics.
+        with span("gmhs.load"):
+            loader = _loader_machine(hsdb, depth=0)
+            store, metrics = loader.run_on_cb(budget=budget)
+        drawn = store.get("DRAWN", frozenset())
+        expected = set().union(*hsdb.representatives) if any(
+            hsdb.representatives) else set()
+        if drawn != frozenset(expected):
+            raise MachineError(
+                "the loading stage did not reproduce the representative "
+                "sets")
 
-    # Stage 2: encode by integers — the ModelOracle's positions, seeded
-    # from the drawn elements in deterministic order.
-    elements: list = []
-    for t in sorted(drawn, key=repr):
-        for x in t:
-            if x not in elements:
-                elements.append(x)
-    if not elements:
-        elements = [hsdb.domain.first(1)[0]]
-    oracle = ModelOracle(hsdb, tuple(elements),
-                         search_window=search_window)
+        # Stage 2: encode by integers — the ModelOracle's positions,
+        # seeded from the drawn elements in deterministic order.
+        budget.check()
+        with span("gmhs.encode"):
+            elements: list = []
+            for t in sorted(drawn, key=repr):
+                for x in t:
+                    if x not in elements:
+                        elements.append(x)
+            if not elements:
+                elements = [hsdb.domain.first(1)[0]]
+            oracle = ModelOracle(hsdb, tuple(elements),
+                                 search_window=search_window)
 
-    # Stage 3: the Turing-machine stage (tree/≅ questions through the
-    # oracle, growing the model as the proof's "load more levels" step).
-    output = machine(oracle)
+        # Stage 3: the Turing-machine stage (tree/≅ questions through
+        # the oracle, growing the model as the proof's "load more
+        # levels" step).
+        budget.check()
+        with span("gmhs.machine") as sp:
+            before = hsdb.equiv.calls
+            output = machine(oracle)
+            sp.count("oracle_questions", hsdb.equiv.calls - before)
 
-    # Stage 4: decode and store canonically (the final collapse).
-    if not output:
-        return Value(0, frozenset()), metrics
-    ranks = {len(pos) for pos in output}
-    if len(ranks) != 1:
-        raise MachineError("a generic query yields one output rank")
-    reps = {
-        hsdb.canonical_representative(
-            tuple(oracle.elements[p] for p in pos))
-        for pos in output
-    }
-    return Value(ranks.pop(), frozenset(reps)), metrics
+        # Stage 4: decode and store canonically (the final collapse).
+        budget.check()
+        with span("gmhs.store"):
+            if not output:
+                return Value(0, frozenset()), metrics
+            ranks = {len(pos) for pos in output}
+            if len(ranks) != 1:
+                raise MachineError("a generic query yields one output rank")
+            reps = {
+                hsdb.canonical_representative(
+                    tuple(oracle.elements[p] for p in pos))
+                for pos in output
+            }
+            return Value(ranks.pop(), frozenset(reps)), metrics

@@ -29,22 +29,30 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from ..core.query import DatabaseOracle, OracleQuery
-from ..errors import MachineError, OutOfFuel
+from ..errors import MachineError
+from ..trace import Budget, limits, span
+from ..trace.budget import as_budget
 
 
 @dataclass(frozen=True)
 class Input:
+    """``Rⱼ := uᵢ`` — load an input-tuple component into a register."""
+
     reg: int
     component: int
 
 
 @dataclass(frozen=True)
 class Next:
+    """Advance a register to the next domain element."""
+
     reg: int
 
 
 @dataclass(frozen=True)
 class Ask:
+    """One oracle question: jump if the registers' tuple is in Rᵢ."""
+
     relation: int
     regs: tuple[int, ...]
     target: int
@@ -57,6 +65,8 @@ class Ask:
 
 @dataclass(frozen=True)
 class EqJump:
+    """Jump if two registers hold the same element."""
+
     left: int
     right: int
     target: int
@@ -64,17 +74,19 @@ class EqJump:
 
 @dataclass(frozen=True)
 class Jump:
+    """Unconditional jump."""
+
     target: int
 
 
 @dataclass(frozen=True)
 class Accept:
-    pass
+    """Halt accepting (``u ∈ Q(B)``)."""
 
 
 @dataclass(frozen=True)
 class Reject:
-    pass
+    """Halt rejecting (``u ∉ Q(B)``)."""
 
 
 OracleInstruction = Input | Next | Ask | EqJump | Jump | Accept | Reject
@@ -111,55 +123,74 @@ class OracleProgram:
                         f"instruction {pc}: ASK arity mismatch")
 
     def run(self, oracle: DatabaseOracle, u: tuple,
-            fuel: int = 100_000) -> bool:
-        """Decide ``u ∈ Q(B)`` through the oracle."""
+            fuel: int | None = None, *,
+            budget: Budget | int | None = None) -> bool:
+        """Decide ``u ∈ Q(B)`` through the oracle.
+
+        One budget step is one executed instruction (``ASK`` questions
+        are additionally charged to the budget's oracle allowance);
+        ``fuel=N`` is the deprecated alias for
+        ``budget=Budget(max_steps=N)`` (default
+        :data:`repro.trace.limits.ORACLE_RUN`).
+        """
+        budget = as_budget(budget, fuel, default_steps=limits.ORACLE_RUN)
         registers: list = [None] * self.num_registers
         enumerator = iter(oracle.domain)
         pc = 0
-        steps = 0
-        while True:
-            steps += 1
-            if steps > fuel:
-                raise OutOfFuel(f"{self.name} exceeded {fuel} steps",
-                                steps=steps)
-            ins = self.instructions[pc]
-            if isinstance(ins, Accept):
-                return True
-            if isinstance(ins, Reject):
-                return False
-            if isinstance(ins, Input):
-                if not 0 <= ins.component < len(u):
-                    raise MachineError(
-                        f"{self.name}: input component {ins.component} out "
-                        f"of range for rank-{len(u)} tuple")
-                registers[ins.reg] = u[ins.component]
-                pc += 1
-            elif isinstance(ins, Next):
-                registers[ins.reg] = next(enumerator)
-                pc += 1
-            elif isinstance(ins, Ask):
-                args = tuple(registers[r] for r in ins.regs)
-                if any(a is None for a in args):
-                    raise MachineError(
-                        f"{self.name}: ASK with an uninitialized register")
-                pc = ins.target if oracle.ask(ins.relation, args) else pc + 1
-            elif isinstance(ins, EqJump):
-                pc = (ins.target
-                      if registers[ins.left] == registers[ins.right]
-                      else pc + 1)
-            elif isinstance(ins, Jump):
-                pc = ins.target
-            else:
-                raise MachineError(f"unknown instruction {ins!r}")
-            if pc >= len(self.instructions):
-                raise MachineError(f"{self.name}: fell off the program")
+        with span("oracle.run", machine=self.name) as sp:
+            while True:
+                budget.charge()
+                ins = self.instructions[pc]
+                if isinstance(ins, Accept):
+                    sp.count("steps", budget.steps)
+                    return True
+                if isinstance(ins, Reject):
+                    sp.count("steps", budget.steps)
+                    return False
+                if isinstance(ins, Input):
+                    if not 0 <= ins.component < len(u):
+                        raise MachineError(
+                            f"{self.name}: input component {ins.component} "
+                            f"out of range for rank-{len(u)} tuple")
+                    registers[ins.reg] = u[ins.component]
+                    pc += 1
+                elif isinstance(ins, Next):
+                    registers[ins.reg] = next(enumerator)
+                    pc += 1
+                elif isinstance(ins, Ask):
+                    args = tuple(registers[r] for r in ins.regs)
+                    if any(a is None for a in args):
+                        raise MachineError(
+                            f"{self.name}: ASK with an uninitialized "
+                            "register")
+                    budget.charge_oracle()
+                    sp.count("oracle_questions")
+                    pc = (ins.target if oracle.ask(ins.relation, args)
+                          else pc + 1)
+                elif isinstance(ins, EqJump):
+                    pc = (ins.target
+                          if registers[ins.left] == registers[ins.right]
+                          else pc + 1)
+                elif isinstance(ins, Jump):
+                    pc = ins.target
+                else:
+                    raise MachineError(f"unknown instruction {ins!r}")
+                if pc >= len(self.instructions):
+                    raise MachineError(f"{self.name}: fell off the program")
 
     def as_rquery(self, output_rank: int | None = None,
-                  fuel: int = 100_000) -> OracleQuery:
-        """The r-query this machine computes (Definition 2.4)."""
+                  fuel: int | None = None, *,
+                  budget: Budget | int | None = None) -> OracleQuery:
+        """The r-query this machine computes (Definition 2.4).
+
+        Each membership test runs under a *fork* of the given budget,
+        so every tuple gets the full per-run allowance while deadlines
+        and cancellation still span the whole query.
+        """
+        base = as_budget(budget, fuel, default_steps=limits.ORACLE_RUN)
         return OracleQuery(
             self.type_signature,
-            lambda oracle, u: self.run(oracle, u, fuel=fuel),
+            lambda oracle, u: self.run(oracle, u, budget=base.fork()),
             output_rank=output_rank,
             name=self.name)
 

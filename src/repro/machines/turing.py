@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
 from ..errors import MachineError, OutOfFuel
+from ..trace import Budget, span
 
 LEFT = -1
 RIGHT = 1
@@ -39,6 +40,7 @@ class RunResult:
     state: str
 
     def tape_text(self) -> str:
+        """The written tape segment as a string (blanks filled in)."""
         if not self.tape:
             return ""
         lo, hi = min(self.tape), max(self.tape)
@@ -67,13 +69,28 @@ class TuringMachine:
                     f"invalid move {move!r} in transition ({state}, {symbol})")
 
     def run(self, tape_input: Sequence[str] | str, max_steps: int,
-            raise_on_timeout: bool = False) -> RunResult:
-        """Execute for at most ``max_steps`` steps."""
+            raise_on_timeout: bool = False, *,
+            budget: Budget | None = None) -> RunResult:
+        """Execute for at most ``max_steps`` steps.
+
+        ``max_steps`` is *semantic* — the paper's "halts within k
+        steps" predicate needs an exact step bound, so it is not a
+        divergence guard and stays an integer.  An optional
+        :class:`~repro.trace.Budget` is additionally charged per step,
+        adding deadline and cancellation enforcement on top.
+        """
         tape: dict[int, str] = {
             i: s for i, s in enumerate(tape_input) if s != BLANK}
         state = self.start_state
         head = 0
         steps = 0
+        with span("turing.run", machine=self.name, max_steps=max_steps):
+            return self._run_loop(tape, state, head, steps, max_steps,
+                                  raise_on_timeout, budget)
+
+    def _run_loop(self, tape, state, head, steps, max_steps,
+                  raise_on_timeout, budget) -> RunResult:
+        """The transition loop of :meth:`run` (split out for tracing)."""
         while True:
             # Halting is checked before the budget: a machine that
             # reaches a halting configuration after exactly k transitions
@@ -88,6 +105,8 @@ class TuringMachine:
                                  steps, tape, state)
             if steps >= max_steps:
                 break
+            if budget is not None:
+                budget.charge()
             state, write, move = self.transitions[key]
             if write == BLANK:
                 tape.pop(head, None)
@@ -110,8 +129,12 @@ class TuringMachine:
         return self.run(tape_input, steps).halted
 
     def accepts(self, tape_input: Sequence[str] | str,
-                max_steps: int = 10_000) -> bool:
-        result = self.run(tape_input, max_steps, raise_on_timeout=True)
+                max_steps: int = 10_000, *,
+                budget: Budget | None = None) -> bool:
+        """Whether the machine accepts the input within ``max_steps``
+        (raising :class:`OutOfFuel` if it does not halt in time)."""
+        result = self.run(tape_input, max_steps, raise_on_timeout=True,
+                          budget=budget)
         return result.accepted
 
     def __repr__(self) -> str:

@@ -33,6 +33,8 @@ from itertools import product
 from ..errors import NotHighlySymmetricError
 from ..symmetric.hsdb import HSDatabase
 from ..symmetric.tree import Path
+from ..trace import limits, span
+from ..trace.budget import as_budget
 from ..util.seqs import distinct, project
 from .ast import Down, Term
 from .derived import (
@@ -280,17 +282,34 @@ class PQPipeline:
     ``⋃ d[i₁,…,i_m]``).
     """
 
-    def __init__(self, hsdb: HSDatabase, fuel: int = 10_000_000,
-                 search_window: int = 512):
+    def __init__(self, hsdb: HSDatabase, fuel: int | None = None,
+                 search_window: int = 512, *, budget=None):
         self.hsdb = hsdb
-        self.interpreter = QLhsInterpreter(hsdb, fuel=fuel)
+        self.budget = as_budget(budget, fuel,
+                                default_steps=limits.PQ_PIPELINE)
+        self.interpreter = QLhsInterpreter(hsdb, budget=self.budget)
         self.search_window = search_window
 
     def execute(self, machine: QueryProcedure, max_n: int = 10) -> Value:
-        d = find_d_qlhs(self.interpreter, max_n=max_n)
-        oracle = ModelOracle(self.hsdb, d,
-                             search_window=self.search_window)
-        output = machine(oracle)
+        """Run the four proof steps; see the class docstring."""
+        with span("pq.execute", database=self.hsdb.name):
+            with span("pq.find_d") as sp:
+                d = find_d_qlhs(self.interpreter, max_n=max_n)
+                sp.set(d=repr(d))
+                sp.count("steps", self.interpreter.steps)
+            with span("pq.encode"):
+                oracle = ModelOracle(self.hsdb, d,
+                                     search_window=self.search_window)
+            with span("pq.machine") as sp:
+                before = self.hsdb.equiv.calls
+                output = machine(oracle)
+                sp.count("oracle_questions",
+                         self.hsdb.equiv.calls - before)
+            with span("pq.decode"):
+                return self._decode(oracle, output)
+
+    def _decode(self, oracle: ModelOracle, output) -> Value:
+        """Step 4: fold output positions back into tree representatives."""
         if not output:
             return Value(0, frozenset())
         ranks = {len(pos) for pos in output}

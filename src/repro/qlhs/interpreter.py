@@ -6,8 +6,9 @@ labels along some paths in Tⁿ, for some n".  Every operation consults
 only the tree and the ``≅_B`` oracle, exactly as the completeness proof
 requires; the whole infinite database is never touched.
 
-Programs express *partial* queries, so execution is fuel-bounded and
-raises :class:`~repro.errors.OutOfFuel` instead of diverging.
+Programs express *partial* queries, so execution is governed by a
+:class:`~repro.trace.Budget` and raises :class:`~repro.errors.OutOfFuel`
+(with a machine-readable reason) instead of diverging.
 """
 
 from __future__ import annotations
@@ -15,8 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
 
-from ..errors import OutOfFuel, RankMismatchError, TypeSignatureError
+from ..errors import RankMismatchError, TypeSignatureError
 from ..symmetric.hsdb import HSDatabase
+from ..trace import Budget, limits, span
+from ..trace.budget import as_budget
 from ..symmetric.tree import Path
 from ..util.seqs import swap_last_two
 from .ast import (
@@ -82,22 +85,42 @@ class QLhsInterpreter:
     ----------
     hsdb:
         The database, as a Definition 3.7 representation.
-    fuel:
-        Total budget of executed statements + term operations; exceeding
-        it raises :class:`OutOfFuel` (QLhs expresses partial queries).
+    budget:
+        A :class:`~repro.trace.Budget` governing the run; one step is
+        one executed statement or term operation (bulk operations cost
+        their output size).  Exceeding any dimension raises
+        :class:`~repro.errors.OutOfFuel` (QLhs expresses partial
+        queries).  ``fuel=N`` is the deprecated alias for
+        ``budget=Budget(max_steps=N)`` (default
+        :data:`repro.trace.limits.QLHS_INTERPRETER`).
     """
 
-    def __init__(self, hsdb: HSDatabase, fuel: int = 1_000_000):
+    def __init__(self, hsdb: HSDatabase, fuel: int | None = None, *,
+                 budget: Budget | int | None = None):
         self.hsdb = hsdb
-        self.fuel = fuel
-        self.steps = 0
+        self.budget = as_budget(budget, fuel,
+                                default_steps=limits.QLHS_INTERPRETER)
+        self._oracle_seen = hsdb.equiv.calls
 
     # -- accounting --------------------------------------------------------
 
+    @property
+    def fuel(self) -> int | None:
+        """Deprecated alias for ``budget.max_steps``."""
+        return self.budget.max_steps
+
+    @property
+    def steps(self) -> int:
+        """Steps charged to the budget so far."""
+        return self.budget.steps
+
     def _tick(self, cost: int = 1) -> None:
-        self.steps += cost
-        if self.steps > self.fuel:
-            raise OutOfFuel(steps=self.steps)
+        self.budget.charge(cost)
+        if self.budget.max_oracle_calls is not None:
+            calls = self.hsdb.equiv.calls
+            if calls > self._oracle_seen:
+                self.budget.charge_oracle(calls - self._oracle_seen)
+                self._oracle_seen = calls
 
     # -- fixed values -------------------------------------------------------
 
@@ -214,7 +237,15 @@ class QLhsInterpreter:
                 ) -> dict[str, Value]:
         """Run a program and return the final store."""
         store: dict[str, Value] = dict(inputs or {})
-        self._exec(program, store)
+        with span("qlhs.execute") as sp:
+            steps_before = self.budget.steps
+            oracle_before = self.hsdb.equiv.calls
+            try:
+                self._exec(program, store)
+            finally:
+                sp.count("steps", self.budget.steps - steps_before)
+                sp.count("oracle_questions",
+                         self.hsdb.equiv.calls - oracle_before)
         return store
 
     def _exec(self, program: Program, store: dict[str, Value]) -> None:

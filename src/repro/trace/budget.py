@@ -1,0 +1,206 @@
+"""Unified resource budgets for every interpreter in the library.
+
+Queries over recursive databases express *partial* functions — QLhs
+while-loops, GMhs runs, and counter machines can diverge — so every
+execution is governed by a :class:`Budget`: a step allowance, an
+optional oracle-question allowance, an optional wall-clock deadline,
+and a cooperative cancellation flag.  A budget replaces the scattered
+``fuel`` integers of earlier revisions (those keyword parameters
+survive as deprecated aliases that construct a budget).
+
+Exhausting any dimension raises :class:`~repro.errors.OutOfFuel`
+carrying a machine-readable ``reason`` (:data:`OUT_OF_FUEL`,
+:data:`DEADLINE`, or :data:`CANCELLED`); the engine boundary converts
+that into a ``Verdict.UNKNOWN`` rather than leaking the exception
+(see :mod:`repro.engine.verdict`).
+
+Doctest::
+
+    >>> from repro.trace import Budget
+    >>> b = Budget(max_steps=3)
+    >>> b.charge(); b.charge(2); b.steps
+    3
+    >>> b.charge()
+    Traceback (most recent call last):
+        ...
+    repro.errors.OutOfFuel: step budget of 3 exhausted
+    >>> child = b.fork()          # fresh counters, shared cancellation
+    >>> child.steps, child.max_steps
+    (0, 3)
+    >>> b.cancel(); child.cancelled
+    True
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import OutOfFuel
+
+#: Reasons carried by :class:`~repro.errors.OutOfFuel` (and surfaced on
+#: ``Verdict.UNKNOWN``) — the machine-readable divergence contract.
+OUT_OF_FUEL = "out_of_fuel"
+DEADLINE = "deadline"
+CANCELLED = "cancelled"
+
+REASONS = (OUT_OF_FUEL, DEADLINE, CANCELLED)
+
+
+class Budget:
+    """A cooperative resource budget threaded through an evaluation.
+
+    Parameters
+    ----------
+    max_steps:
+        Maximum interpreter steps (``None`` = unbounded).  What one
+        step means per interpreter is tabulated in ``docs/limits.md``.
+    max_oracle_calls:
+        Maximum ``≅_B`` / relation-membership oracle questions
+        (``None`` = unbounded).
+    deadline:
+        Wall-clock allowance in seconds, measured on the monotonic
+        clock from construction (``None`` = no deadline).  Forked
+        children inherit the *absolute* deadline, so a whole evaluation
+        tree shares one clock.
+    """
+
+    __slots__ = ("max_steps", "max_oracle_calls", "deadline_at",
+                 "steps", "oracle_calls", "_cancel_event")
+
+    def __init__(self, max_steps: int | None = None, *,
+                 max_oracle_calls: int | None = None,
+                 deadline: float | None = None,
+                 _deadline_at: float | None = None,
+                 _cancel_event: threading.Event | None = None):
+        self.max_steps = max_steps
+        self.max_oracle_calls = max_oracle_calls
+        if _deadline_at is not None:
+            self.deadline_at: float | None = _deadline_at
+        elif deadline is not None:
+            self.deadline_at = time.monotonic() + deadline
+        else:
+            self.deadline_at = None
+        self.steps = 0
+        self.oracle_calls = 0
+        self._cancel_event = _cancel_event or threading.Event()
+
+    # -- charging ------------------------------------------------------------
+
+    def charge(self, cost: int = 1) -> None:
+        """Account ``cost`` steps; raise :class:`OutOfFuel` on any trip.
+
+        The cancellation flag and (when set) the deadline are checked
+        on every charge, so cooperative interruption is prompt.
+        """
+        self.steps += cost
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise OutOfFuel(
+                f"step budget of {self.max_steps} exhausted",
+                steps=self.steps, reason=OUT_OF_FUEL)
+        self.check()
+
+    def charge_oracle(self, n: int = 1) -> None:
+        """Account ``n`` oracle questions."""
+        self.oracle_calls += n
+        if (self.max_oracle_calls is not None
+                and self.oracle_calls > self.max_oracle_calls):
+            raise OutOfFuel(
+                f"oracle budget of {self.max_oracle_calls} exhausted",
+                steps=self.steps, reason=OUT_OF_FUEL)
+
+    def check(self) -> None:
+        """Raise if cancelled or past the deadline (no step charged)."""
+        if self._cancel_event.is_set():
+            raise OutOfFuel("evaluation cancelled",
+                            steps=self.steps, reason=CANCELLED)
+        if (self.deadline_at is not None
+                and time.monotonic() > self.deadline_at):
+            raise OutOfFuel("wall-clock deadline expired",
+                            steps=self.steps, reason=DEADLINE)
+
+    # -- cancellation --------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Cooperatively cancel: every sharer (forks included) trips on
+        its next ``charge``/``check`` with reason :data:`CANCELLED`."""
+        self._cancel_event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this budget tree."""
+        return self._cancel_event.is_set()
+
+    # -- derivation ----------------------------------------------------------
+
+    def fork(self, max_steps: int | None = None) -> "Budget":
+        """A child budget: fresh counters, same limits.
+
+        The absolute deadline and the cancellation flag are *shared*
+        (cancelling the parent cancels every fork), while step and
+        oracle counters restart — so each member of a batch gets the
+        full per-evaluation allowance.  ``max_steps`` overrides the
+        step limit (used for plan-level knobs like
+        :class:`~repro.engine.plan.MachineFixpoint.max_steps`).
+        """
+        return Budget(
+            max_steps if max_steps is not None else self.max_steps,
+            max_oracle_calls=self.max_oracle_calls,
+            _deadline_at=self.deadline_at,
+            _cancel_event=self._cancel_event)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def remaining_steps(self) -> int | None:
+        """Steps left before the next charge trips (``None`` if unbounded)."""
+        if self.max_steps is None:
+            return None
+        return max(self.max_steps - self.steps, 0)
+
+    def __repr__(self) -> str:
+        parts = [f"steps={self.steps}"]
+        if self.max_steps is not None:
+            parts.append(f"max_steps={self.max_steps}")
+        if self.max_oracle_calls is not None:
+            parts.append(f"max_oracle_calls={self.max_oracle_calls}")
+        if self.deadline_at is not None:
+            parts.append(
+                f"deadline_in={self.deadline_at - time.monotonic():.3f}s")
+        if self.cancelled:
+            parts.append("cancelled")
+        return f"Budget({', '.join(parts)})"
+
+
+def as_budget(budget: "Budget | int | None" = None,
+              fuel: int | None = None, *,
+              default_steps: int | None = None) -> Budget:
+    """Coerce the ``(budget, fuel)`` parameter pair into a :class:`Budget`.
+
+    This is the deprecated-alias shim every governed entry point uses:
+    ``fuel=N`` (the historical integer knob) constructs
+    ``Budget(max_steps=N)``; an integer ``budget`` does the same; a
+    :class:`Budget` passes through; and with neither, the entry point's
+    registered default from :mod:`repro.trace.limits` applies.
+
+    Doctest::
+
+        >>> from repro.trace.budget import as_budget
+        >>> as_budget(fuel=7).max_steps           # deprecated alias
+        7
+        >>> as_budget(default_steps=99).max_steps
+        99
+        >>> b = Budget(max_steps=5)
+        >>> as_budget(b) is b
+        True
+    """
+    if budget is not None and fuel is not None:
+        raise ValueError("pass either budget= or the deprecated fuel=, "
+                         "not both")
+    if budget is not None:
+        if isinstance(budget, Budget):
+            return budget
+        return Budget(max_steps=int(budget))
+    if fuel is not None:
+        return Budget(max_steps=int(fuel))
+    return Budget(max_steps=default_steps)

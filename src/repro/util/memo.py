@@ -45,6 +45,32 @@ def lru_cached(maxsize: int = 65536) -> Callable[[Callable[..., R]], Callable[..
     :class:`~repro.engine.stats.EngineStats` reports it), an
     ``.evictions`` counter, and a ``.cache_clear()`` resetting all of
     them.  Keyword arguments are supported and keyed order-insensitively.
+
+    Doctest::
+
+        >>> @lru_cached(maxsize=2)
+        ... def square(n):
+        ...     return n * n
+        >>> square(2), square(2), square(3)
+        (4, 4, 9)
+        >>> square.hits, square.misses, square.evictions
+        (1, 2, 0)
+        >>> square(4)          # evicts the LRU entry (2)
+        16
+        >>> square.evictions
+        1
+        >>> square.cache_clear(); square.misses
+        0
+
+    Keyword arguments key order-insensitively::
+
+        >>> @lru_cached()
+        ... def scaled(n, *, a=0, b=0):
+        ...     return n + a + b
+        >>> scaled(1, a=2, b=3), scaled(1, b=3, a=2)
+        (6, 6)
+        >>> scaled.hits, scaled.misses
+        (1, 1)
     """
 
     def decorate(fn: Callable[..., R]) -> Callable[..., R]:
@@ -87,6 +113,16 @@ class CallCounter:
     Used to instrument oracles: Definition 2.4 queries a database only
     through "is u ∈ Rᵢ?" questions, and experiments report how many such
     questions each algorithm asks.
+
+    Doctest::
+
+        >>> counted = CallCounter(abs, name="abs")
+        >>> counted(-3), counted(4)
+        (3, 4)
+        >>> counted.calls
+        2
+        >>> counted.reset(); counted
+        CallCounter(abs, calls=0)
     """
 
     def __init__(self, fn: Callable[..., R], name: str = ""):
@@ -99,6 +135,7 @@ class CallCounter:
         return self._fn(*args, **kwargs)
 
     def reset(self) -> None:
+        """Zero the call counter."""
         self.calls = 0
 
     def __repr__(self) -> str:

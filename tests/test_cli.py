@@ -6,6 +6,7 @@ subprocess smoke test proving the module entry point works outside the
 test process.
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -95,6 +96,44 @@ class TestEngineCommand:
     def test_unknown_database(self):
         with pytest.raises(SystemExit):
             main(["engine", "petersen", "exists x. R1(x, x)"])
+
+
+class TestTraceCommand:
+    def test_prints_verdict_and_tree(self, capsys):
+        assert main(["trace", "rado",
+                     "forall x. exists y. R1(x, y)"]) == 0
+        out = capsys.readouterr().out
+        assert "->  Verdict(TRUE)" in out
+        assert "engine.eval" in out
+        assert "engine.evaluate" in out
+
+    def test_jsonl_flag_writes_parseable_records(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "k3k2", "exists x. R1(x, x)",
+                     f"--jsonl={path}"]) == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records
+        assert {r["name"] for r in records} >= {"engine.eval",
+                                                "engine.evaluate"}
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_usage_errors(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "rado"])
+        with pytest.raises(SystemExit):
+            main(["trace", "rado", "exists x. R1(x, x)", "--bogus"])
+
+    def test_global_trace_flag_on_engine_command(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["engine", "rado", "forall x. exists y. R1(x, y)",
+                     f"--trace={path}"]) == 0
+        captured = capsys.readouterr()
+        assert "->  True" in captured.out
+        assert f"{path}" in captured.err
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert any(r["name"] == "engine.evaluate" for r in records)
 
 
 class TestSubprocessSmoke:

@@ -1,0 +1,1 @@
+"""Tests keeping the documentation honest (limits table, docstrings)."""

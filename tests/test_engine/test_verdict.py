@@ -1,0 +1,142 @@
+"""The engine's divergence contract: ``eval`` returns three-valued
+:class:`~repro.engine.Verdict` answers instead of leaking
+:class:`~repro.errors.OutOfFuel`."""
+
+import doctest
+import json
+
+import pytest
+
+import repro.engine.verdict as verdict_module
+from repro.engine import Engine, Verdict, plan_from_qlhs, plan_from_sentence
+from repro.graphs import mixed_components_hsdb
+from repro.logic import parse
+from repro.qlhs import parse_program
+from repro.trace import Budget, TraceRecorder, recording
+from repro.trace.budget import CANCELLED, DEADLINE, OUT_OF_FUEL
+
+
+def test_module_doctests():
+    # repro/engine is not on the --doctest-modules path; run them here.
+    failures, tested = doctest.testmod(verdict_module)
+    assert failures == 0
+    assert tested > 0
+
+
+@pytest.fixture(scope="module")
+def k3k2():
+    return mixed_components_hsdb()
+
+
+@pytest.fixture()
+def engine(k3k2):
+    return Engine(k3k2)
+
+
+def true_plan(engine):
+    return plan_from_sentence(
+        parse("forall x. exists y. R1(x, y)"), engine.signature)
+
+
+def false_plan(engine):
+    return plan_from_sentence(
+        parse("forall x. forall y. R1(x, y)"), engine.signature)
+
+
+def diverging_plan():
+    # |Y1| = 0 never changes, so the loop body runs until the budget
+    # trips — the canonical diverging QLhs program.
+    return plan_from_qlhs(parse_program("while |Y1| = 0 do { Y2 := !Y2 }"))
+
+
+class TestKnownVerdicts:
+    def test_true_carries_value(self, engine):
+        verdict = engine.eval(true_plan(engine))
+        assert verdict.is_true and verdict.known
+        assert bool(verdict) is True
+        assert verdict.value is not None and not verdict.value.is_empty
+        assert repr(verdict) == "Verdict(TRUE)"
+
+    def test_false(self, engine):
+        verdict = engine.eval(false_plan(engine))
+        assert verdict.is_false and not verdict.is_true
+        assert bool(verdict) is False
+
+    def test_bool_of_unknown_raises(self):
+        with pytest.raises(ValueError):
+            bool(Verdict.unknown(OUT_OF_FUEL))
+
+
+class TestOutOfFuel:
+    def test_diverging_plan_is_unknown_not_raised(self, k3k2):
+        engine = Engine(k3k2, budget=Budget(max_steps=500))
+        verdict = engine.eval(diverging_plan())
+        assert verdict.is_unknown
+        assert verdict.reason == OUT_OF_FUEL
+        assert verdict.steps is not None and verdict.steps >= 500
+
+    def test_batch_with_one_diverging_member(self, k3k2):
+        engine = Engine(k3k2, budget=Budget(max_steps=2000))
+        plans = [true_plan(engine), diverging_plan(), false_plan(engine)]
+        verdicts = engine.eval_batch(plans)
+        assert [v.status for v in verdicts] == ["true", "unknown", "false"]
+        # Each member runs on a fresh fork: the diverging member's
+        # exhaustion does not starve the others.
+        assert verdicts[1].reason == OUT_OF_FUEL
+
+    def test_stats_count_verdicts(self, k3k2):
+        engine = Engine(k3k2, budget=Budget(max_steps=500))
+        engine.eval(true_plan(engine))
+        engine.eval(false_plan(engine))
+        engine.eval(diverging_plan())
+        stats = engine.stats()
+        assert stats.verdicts_true == 1
+        assert stats.verdicts_false == 1
+        assert stats.verdicts_unknown == 1
+        assert dict(stats.unknown_reasons) == {OUT_OF_FUEL: 1}
+        assert "verdicts:" in stats.format()
+        assert OUT_OF_FUEL in stats.format()
+
+    def test_evaluations_counted_even_when_tripped(self, k3k2):
+        engine = Engine(k3k2, budget=Budget(max_steps=500))
+        engine.eval(diverging_plan())
+        assert engine.stats().evaluations == 1
+
+
+class TestDeadline:
+    def test_deadline_mid_loop(self, k3k2):
+        engine = Engine(k3k2, budget=Budget(deadline=0.0))
+        verdict = engine.eval(diverging_plan())
+        assert verdict.is_unknown
+        assert verdict.reason == DEADLINE
+
+
+class TestCancellation:
+    def test_cancel_then_eval(self, k3k2):
+        engine = Engine(k3k2, budget=Budget())
+        engine.cancel()
+        verdict = engine.eval(diverging_plan())
+        assert verdict.is_unknown
+        assert verdict.reason == CANCELLED
+
+    def test_evaluate_still_raises_for_legacy_callers(self, k3k2):
+        from repro.errors import OutOfFuel
+        engine = Engine(k3k2, budget=Budget(max_steps=500))
+        with pytest.raises(OutOfFuel):
+            engine.evaluate(diverging_plan())
+
+
+class TestTraceIntegration:
+    def test_jsonl_shows_tripped_span(self, k3k2):
+        engine = Engine(k3k2, budget=Budget(max_steps=500))
+        rec = TraceRecorder()
+        with recording(rec):
+            verdict = engine.eval(diverging_plan())
+        assert verdict.is_unknown
+        records = [json.loads(line)
+                   for line in rec.trace().to_jsonl().splitlines()]
+        tripped = [r for r in records if r["status"] == OUT_OF_FUEL]
+        assert tripped, "expected at least one out_of_fuel span"
+        [outer] = [r for r in records if r["name"] == "engine.eval"]
+        assert outer["attrs"]["verdict"] == "unknown"
+        assert outer["attrs"]["reason"] == OUT_OF_FUEL

@@ -1,0 +1,1 @@
+"""Tests for ``repro.trace`` — budgets, spans, recorders."""

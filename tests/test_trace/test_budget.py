@@ -1,0 +1,122 @@
+"""Unit tests for :class:`repro.trace.Budget` and the alias shim."""
+
+import time
+
+import pytest
+
+from repro.errors import OutOfFuel
+from repro.trace import Budget
+from repro.trace.budget import (
+    CANCELLED,
+    DEADLINE,
+    OUT_OF_FUEL,
+    REASONS,
+    as_budget,
+)
+
+
+class TestStepBudget:
+    def test_charges_accumulate(self):
+        b = Budget(max_steps=10)
+        b.charge()
+        b.charge(4)
+        assert b.steps == 5
+        assert b.remaining_steps == 5
+
+    def test_trips_with_reason(self):
+        b = Budget(max_steps=3)
+        b.charge(3)
+        with pytest.raises(OutOfFuel) as exc:
+            b.charge()
+        assert exc.value.reason == OUT_OF_FUEL
+        assert exc.value.steps == 4
+
+    def test_unbounded(self):
+        b = Budget()
+        b.charge(10**6)
+        assert b.remaining_steps is None
+
+    def test_oracle_budget(self):
+        b = Budget(max_oracle_calls=2)
+        b.charge_oracle()
+        b.charge_oracle()
+        with pytest.raises(OutOfFuel):
+            b.charge_oracle()
+
+
+class TestDeadline:
+    def test_expired_deadline_trips(self):
+        b = Budget(max_steps=None, deadline=0.0)
+        time.sleep(0.002)
+        with pytest.raises(OutOfFuel) as exc:
+            b.charge()
+        assert exc.value.reason == DEADLINE
+
+    def test_fork_shares_absolute_deadline(self):
+        b = Budget(deadline=0.0)
+        time.sleep(0.002)
+        child = b.fork()
+        with pytest.raises(OutOfFuel) as exc:
+            child.check()
+        assert exc.value.reason == DEADLINE
+
+    def test_generous_deadline_does_not_trip(self):
+        b = Budget(max_steps=100, deadline=60.0)
+        b.charge(50)
+        assert b.steps == 50
+
+
+class TestCancellation:
+    def test_cancel_trips_with_reason(self):
+        b = Budget(max_steps=100)
+        b.cancel()
+        with pytest.raises(OutOfFuel) as exc:
+            b.charge()
+        assert exc.value.reason == CANCELLED
+
+    def test_cancel_reaches_forks_both_ways(self):
+        parent = Budget()
+        child = parent.fork()
+        parent.cancel()
+        assert child.cancelled
+        other = Budget()
+        fork = other.fork()
+        fork.cancel()
+        assert other.cancelled
+
+
+class TestFork:
+    def test_fresh_counters_same_limit(self):
+        b = Budget(max_steps=7)
+        b.charge(5)
+        child = b.fork()
+        assert child.steps == 0
+        assert child.max_steps == 7
+
+    def test_max_steps_override(self):
+        b = Budget(max_steps=1000)
+        child = b.fork(max_steps=3)
+        child.charge(3)
+        with pytest.raises(OutOfFuel):
+            child.charge()
+
+
+class TestAsBudget:
+    def test_passthrough(self):
+        b = Budget(max_steps=5)
+        assert as_budget(b) is b
+
+    def test_int_budget_and_deprecated_alias(self):
+        assert as_budget(17).max_steps == 17
+        assert as_budget(fuel=17).max_steps == 17
+
+    def test_default(self):
+        assert as_budget(default_steps=99).max_steps == 99
+        assert as_budget().max_steps is None
+
+    def test_both_rejected(self):
+        with pytest.raises(ValueError):
+            as_budget(Budget(), fuel=5)
+
+    def test_reason_vocabulary_is_closed(self):
+        assert REASONS == (OUT_OF_FUEL, DEADLINE, CANCELLED)
