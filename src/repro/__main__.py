@@ -21,6 +21,12 @@ Commands
     :class:`~repro.engine.stats.EngineStats` snapshot — cache
     hits/misses, oracle question count, per-node timings, wall time,
     verdict counts.
+``check [--seed=N] [--cases=K] [--budget-s=S] [--out=F] [--emit-dir=D]``
+    Differential & metamorphic fuzzing of the four query frontends
+    (``repro.check``): random databases and queries, every applicable
+    frontend must agree modulo ``UNKNOWN``; failures are shrunk and
+    emitted as standalone reproducer scripts.  Exit status 1 on any
+    genuine disagreement.
 ``trace NAME FORMULA [--jsonl=FILE]``
     Evaluate through the engine under a
     :class:`~repro.trace.TraceRecorder` and print the span tree
@@ -185,6 +191,13 @@ def cmd_trace(args: list[str]) -> int:
     return 0
 
 
+def cmd_check(args: list[str]) -> int:
+    """``check`` — differential & metamorphic frontend fuzzing."""
+    from .check.runner import main as check_main
+
+    return check_main(args)
+
+
 COMMANDS = {
     "info": cmd_info,
     "classes": cmd_classes,
@@ -192,6 +205,7 @@ COMMANDS = {
     "eval": cmd_eval,
     "engine": cmd_engine,
     "trace": cmd_trace,
+    "check": cmd_check,
 }
 
 

@@ -1,0 +1,269 @@
+"""The checking campaign driver and the ``python -m repro check`` CLI.
+
+:func:`run_check` is the loop: generate ``cases`` seeded cases
+(:func:`repro.check.generators.gen_case`), build each into a
+:class:`~repro.check.oracles.CaseContext`, run its applicable oracle
+battery (:func:`~repro.check.oracles.run_oracles`), and on any genuine
+failure — an oracle ``FAIL`` or an unexpected exception — shrink the
+counterexample (:func:`~repro.check.shrink.shrink_case`) and emit a
+standalone reproducer script.  The whole campaign is wrapped in
+``check.run`` / ``check.case`` / ``check.oracle.*`` trace spans, so
+``--trace=FILE`` produces a span tree with per-oracle statuses.
+
+The report (``--out report.json``) is a JSON document::
+
+    {"seed": 7, "cases_run": 500, "elapsed_s": 12.3,
+     "summary": {"differential": {"ok": 498, "unknown": 2}, ...},
+     "kinds": {"term-fcf": 170, ...},
+     "failures": [{"case": "...", "oracle": "differential",
+                   "detail": "...", "reproducer": "repro_007.py"}]}
+
+Exit status: 0 when no oracle failed, 1 otherwise — suitable for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from collections import Counter
+
+from ..trace import span
+from .generators import Case, gen_case
+from .oracles import (
+    DEFAULT_CASE_STEPS,
+    FAIL,
+    ORACLES,
+    ORACLES_BY_KIND,
+    CaseContext,
+    OracleOutcome,
+)
+from .shrink import query_size, shrink_case, write_reproducer
+
+
+def _run_case(case: Case, budget_steps: int) -> list[OracleOutcome]:
+    """Build one case and run its oracle battery (may raise)."""
+    from .oracles import run_oracles
+    ctx = CaseContext(case, budget_steps=budget_steps)
+    return run_oracles(ctx)
+
+
+def _failure_predicate(oracle_name: str | None, crash_type: str | None,
+                       budget_steps: int):
+    """The shrinker's ``failing`` predicate for one observed failure.
+
+    An oracle failure persists when re-running *that* oracle still
+    fails; a crash persists when rebuilding/running raises the same
+    exception type.  Everything else (including differently-broken
+    candidates) counts as not failing, keeping the shrink faithful.
+    """
+    def failing(candidate: Case) -> bool:
+        try:
+            ctx = CaseContext(candidate, budget_steps=budget_steps)
+            if oracle_name is not None:
+                return ORACLES[oracle_name](ctx).status == FAIL
+            for name in ORACLES_BY_KIND[candidate.kind]:
+                ORACLES[name](ctx)
+        except Exception as exc:  # noqa: BLE001 — crash reproduction
+            return (crash_type is not None
+                    and type(exc).__name__ == crash_type)
+        return False
+
+    return failing
+
+
+def _record_failure(case: Case, oracle_name: str | None, detail: str,
+                    crash_type: str | None, budget_steps: int,
+                    emit_dir: str | None, failures: list[dict]) -> None:
+    """Shrink a failing case, emit its reproducer, append to report."""
+    failing = _failure_predicate(oracle_name, crash_type, budget_steps)
+    shrunk = case
+    if failing(case):  # only shrink deterministic failures
+        shrunk = shrink_case(case, failing)
+    entry = {
+        "case": case.describe(),
+        "oracle": oracle_name or "crash",
+        "detail": detail,
+        "shrunk": shrunk.describe(),
+        "shrunk_tuples": (shrunk.fcf.tuple_count
+                          if shrunk.fcf is not None else 0),
+        "shrunk_query_nodes": query_size(shrunk),
+    }
+    if emit_dir is not None:
+        import os
+        os.makedirs(emit_dir, exist_ok=True)
+        path = os.path.join(emit_dir, f"repro_{case.index:04d}.py")
+        entry["reproducer"] = write_reproducer(shrunk, path,
+                                               detail=detail)
+    failures.append(entry)
+
+
+def run_check(seed: int, cases: int = 500, *,
+              budget_s: float | None = None,
+              out: str | None = None,
+              emit_dir: str | None = None,
+              case_steps: int = DEFAULT_CASE_STEPS,
+              gmhs_every: int = 50,
+              verbose: bool = False) -> dict:
+    """Run a differential/metamorphic checking campaign.
+
+    Deterministic given ``seed`` (``budget_s`` only truncates the case
+    sequence).  Returns the report dict; also writes it to ``out`` as
+    JSON when given, and emits shrunk reproducers into ``emit_dir``.
+    """
+    rng = random.Random(seed)
+    started = time.monotonic()
+    deadline = None if budget_s is None else started + budget_s
+    summary: dict[str, Counter] = {name: Counter() for name in ORACLES}
+    kinds: Counter = Counter()
+    failures: list[dict] = []
+    cases_run = 0
+
+    with span("check.run", seed=seed, cases=cases) as run_span:
+        for index in range(cases):
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            case = gen_case(rng, index, gmhs_every=gmhs_every)
+            kinds[case.kind] += 1
+            cases_run += 1
+            with span("check.case", index=index, kind=case.kind) as sp:
+                try:
+                    outcomes = _run_case(case, case_steps)
+                except Exception as exc:  # noqa: BLE001 — report, don't die
+                    sp.set(status="crash")
+                    detail = (f"{type(exc).__name__}: {exc} on "
+                              f"{case.describe()}")
+                    _record_failure(case, None, detail,
+                                    type(exc).__name__, case_steps,
+                                    emit_dir, failures)
+                    continue
+                worst = "ok"
+                for outcome in outcomes:
+                    summary[outcome.oracle][outcome.status] += 1
+                    if outcome.failed:
+                        worst = FAIL
+                        _record_failure(case, outcome.oracle,
+                                        outcome.detail, None, case_steps,
+                                        emit_dir, failures)
+                sp.set(status=worst)
+            if verbose and (index + 1) % 100 == 0:
+                print(f"  ... {index + 1}/{cases} cases, "
+                      f"{len(failures)} failure(s)")
+        run_span.set(cases_run=cases_run, failures=len(failures))
+
+    report = {
+        "seed": seed,
+        "cases_requested": cases,
+        "cases_run": cases_run,
+        "elapsed_s": round(time.monotonic() - started, 3),
+        "summary": {name: dict(counts)
+                    for name, counts in summary.items() if counts},
+        "kinds": dict(kinds),
+        "failures": failures,
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+    return report
+
+
+def replay(case: Case, *,
+           budget_steps: int = DEFAULT_CASE_STEPS) -> int:
+    """Re-run one case's oracle battery, printing every outcome.
+
+    This is the entry point reproducer scripts call; returns the number
+    of failing oracles (so ``raise SystemExit(replay(CASE))`` exits
+    nonzero exactly while the bug persists).
+    """
+    print(case.describe())
+    try:
+        outcomes = _run_case(case, budget_steps)
+    except Exception as exc:  # noqa: BLE001 — a crash is the repro
+        print(f"  CRASH {type(exc).__name__}: {exc}")
+        return 1
+    fails = 0
+    for outcome in outcomes:
+        line = f"  {outcome.oracle}: {outcome.status.upper()}"
+        if outcome.detail:
+            line += f" — {outcome.detail}"
+        print(line)
+        fails += outcome.failed
+    return fails
+
+
+def format_report(report: dict) -> str:
+    """Human-readable campaign summary for the CLI."""
+    lines = [f"check: seed={report['seed']} "
+             f"cases={report['cases_run']}/{report['cases_requested']} "
+             f"elapsed={report['elapsed_s']}s"]
+    lines.append("  kinds: " + ", ".join(
+        f"{k}={n}" for k, n in sorted(report["kinds"].items())))
+    for oracle, counts in sorted(report["summary"].items()):
+        cells = ", ".join(f"{s}={n}" for s, n in sorted(counts.items()))
+        lines.append(f"  {oracle}: {cells}")
+    if report["failures"]:
+        lines.append(f"  FAILURES: {len(report['failures'])}")
+        for entry in report["failures"]:
+            lines.append(f"    [{entry['oracle']}] {entry['detail']}")
+            lines.append(f"      shrunk to: {entry['shrunk']} "
+                         f"({entry['shrunk_tuples']} tuple(s), "
+                         f"{entry['shrunk_query_nodes']} query node(s))")
+            if "reproducer" in entry:
+                lines.append(f"      reproducer: {entry['reproducer']}")
+    else:
+        lines.append("  no failures")
+    return "\n".join(lines)
+
+
+def main(args: list[str]) -> int:
+    """``check [--seed=N] [--cases=K] [--budget-s=S] [--out=F]
+    [--emit-dir=D] [--steps=N] [--quiet]`` — fuzz the frontends.
+
+    Flags accept both ``--flag=value`` and ``--flag value`` forms.
+    Exit status 1 when any oracle failed.
+    """
+    seed = 0
+    cases = 500
+    budget_s: float | None = None
+    out: str | None = None
+    emit_dir: str | None = None
+    steps = DEFAULT_CASE_STEPS
+    verbose = True
+
+    it = iter(args)
+    for arg in it:
+        if "=" in arg:
+            flag, value = arg.split("=", 1)
+        elif arg in ("--quiet",):
+            flag, value = arg, ""
+        else:
+            flag, value = arg, next(it, None)
+            if value is None:
+                raise SystemExit(f"flag {flag!r} needs a value")
+        if flag == "--seed":
+            seed = int(value)
+        elif flag == "--cases":
+            cases = int(value)
+        elif flag == "--budget-s":
+            budget_s = float(value)
+        elif flag == "--out":
+            out = value
+        elif flag == "--emit-dir":
+            emit_dir = value
+        elif flag == "--steps":
+            steps = int(value)
+        elif flag == "--quiet":
+            verbose = False
+        else:
+            raise SystemExit(
+                f"unknown flag {flag!r}; usage: python -m repro check "
+                "[--seed=N] [--cases=K] [--budget-s=S] [--out=F] "
+                "[--emit-dir=D] [--steps=N] [--quiet]")
+
+    report = run_check(seed, cases, budget_s=budget_s, out=out,
+                       emit_dir=emit_dir, case_steps=steps,
+                       verbose=verbose)
+    print(format_report(report))
+    if out is not None:
+        print(f"report -> {out}")
+    return 1 if report["failures"] else 0

@@ -1,0 +1,335 @@
+"""Greedy delta-debugging shrinker for failing (database, query) pairs.
+
+When an oracle fails, the raw counterexample is usually noisy — a
+four-tuple database and a depth-four query where a single tuple and a
+two-node query would do.  :func:`shrink_case` minimizes greedily: it
+repeatedly proposes *strictly smaller* candidate cases (one database
+tuple removed, or one query node simplified), keeps the first candidate
+on which the caller's ``failing`` predicate still holds, and stops at a
+local minimum.  This is the classic ddmin discipline specialized to the
+two-axis (db, query) search space, biased to shrink the database first
+(tuple removals commute, so greedy works well there).
+
+All candidate queries are *well-typed by construction*: formula shrinks
+never introduce free variables (a quantifier is only dropped when its
+variable does not occur in the body), and term shrinks preserve static
+rank (checked via :func:`repro.engine.frontends.term_rank`), so a
+shrunk case is always a valid :class:`~repro.check.generators.Case`.
+
+The endpoint is :func:`write_reproducer`: a shrunk counterexample is
+emitted as a standalone Python file that rebuilds the exact
+:class:`Case` and replays its oracle battery — committable alongside
+the fix as a regression test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from ..engine.frontends import term_rank
+from ..logic import syntax as fo
+from ..logic.printer import to_text
+from ..qlhs import ast as q
+from ..qlhs.printer import program_to_text, term_to_text
+from .generators import Case, canonical_term_of_rank
+
+# ---------------------------------------------------------------------------
+# Size metrics (the shrinker's objective).
+# ---------------------------------------------------------------------------
+
+def formula_nodes(f: fo.Formula) -> int:
+    """Number of AST nodes in a formula."""
+    if isinstance(f, fo.Not):
+        return 1 + formula_nodes(f.body)
+    if isinstance(f, (fo.And, fo.Or)):
+        return 1 + sum(formula_nodes(c) for c in f.children)
+    if isinstance(f, fo.Implies):
+        return 1 + formula_nodes(f.left) + formula_nodes(f.right)
+    if isinstance(f, (fo.Exists, fo.Forall)):
+        return 1 + formula_nodes(f.body)
+    return 1
+
+
+def term_nodes(t: q.Term) -> int:
+    """Number of AST nodes in a core QLhs term."""
+    if isinstance(t, q.Inter):
+        return 1 + term_nodes(t.left) + term_nodes(t.right)
+    if isinstance(t, (q.Comp, q.Up, q.Down, q.Swap)):
+        return 1 + term_nodes(t.body)
+    return 1
+
+
+def program_nodes(p: q.Program) -> int:
+    """Number of AST nodes in a program (statements plus their terms)."""
+    if isinstance(p, q.Seq):
+        return sum(program_nodes(s) for s in p.body)
+    if isinstance(p, q.Assign):
+        return 1 + term_nodes(p.term)
+    if isinstance(p, (q.WhileEmpty, q.WhileSingleton)):
+        return 1 + program_nodes(p.body)
+    return 1
+
+
+def query_size(case: Case) -> int:
+    """Node count of a case's query — the query-axis shrink metric."""
+    query = case.parse_query()
+    if case.query_kind == "formula":
+        return formula_nodes(query)
+    if case.query_kind == "term":
+        return term_nodes(query)
+    return program_nodes(query)
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration (strictly smaller, well-typed by construction).
+# ---------------------------------------------------------------------------
+
+def _free_vars(f: fo.Formula) -> frozenset[str]:
+    """Free variable names of a formula."""
+    if isinstance(f, fo.Eq):
+        return frozenset((f.left.name, f.right.name))
+    if isinstance(f, fo.RelAtom):
+        return frozenset(a.name for a in f.args)
+    if isinstance(f, fo.Not):
+        return _free_vars(f.body)
+    if isinstance(f, (fo.And, fo.Or)):
+        out: frozenset[str] = frozenset()
+        for c in f.children:
+            out |= _free_vars(c)
+        return out
+    if isinstance(f, fo.Implies):
+        return _free_vars(f.left) | _free_vars(f.right)
+    if isinstance(f, (fo.Exists, fo.Forall)):
+        return _free_vars(f.body) - {f.var.name}
+    return frozenset()
+
+
+def shrink_formula(f: fo.Formula) -> Iterator[fo.Formula]:
+    """Strictly smaller formulas with free variables ⊆ free(f)."""
+    if not isinstance(f, (fo.TrueF, fo.FalseF)):
+        yield fo.TRUE
+        yield fo.FALSE
+    if isinstance(f, fo.Not):
+        yield f.body
+        for b in shrink_formula(f.body):
+            yield fo.Not(b)
+    elif isinstance(f, (fo.And, fo.Or)):
+        yield from f.children
+        ctor = fo.And if isinstance(f, fo.And) else fo.Or
+        for i, c in enumerate(f.children):
+            for b in shrink_formula(c):
+                yield ctor(f.children[:i] + (b,) + f.children[i + 1:])
+    elif isinstance(f, fo.Implies):
+        yield f.left
+        yield f.right
+        for b in shrink_formula(f.left):
+            yield fo.Implies(b, f.right)
+        for b in shrink_formula(f.right):
+            yield fo.Implies(f.left, b)
+    elif isinstance(f, (fo.Exists, fo.Forall)):
+        if f.var.name not in _free_vars(f.body):
+            yield f.body
+        ctor = type(f)
+        for b in shrink_formula(f.body):
+            yield ctor(f.var, b)
+
+
+def shrink_term(t: q.Term,
+                signature: tuple[int, ...]) -> Iterator[q.Term]:
+    """Strictly smaller terms of the *same static rank* as ``t``."""
+    rank = term_rank(t, signature)
+    if term_nodes(t) > 1:
+        # Any base relation of the right rank is a 1-node candidate —
+        # including ones whose stored shape (finite vs co-finite)
+        # differs, which often unlocks a smaller trigger.
+        for i, arity in enumerate(signature):
+            if arity == rank:
+                yield q.Rel(i)
+    canonical = canonical_term_of_rank(rank, signature, allow_e=False,
+                                       allow_up=False)
+    if term_nodes(canonical) < term_nodes(t) and canonical != t:
+        yield canonical
+    if isinstance(t, (q.Comp, q.Swap)):
+        yield t.body
+        for b in shrink_term(t.body, signature):
+            yield type(t)(b)
+    elif isinstance(t, q.Inter):
+        yield t.left
+        yield t.right
+        for b in shrink_term(t.left, signature):
+            yield q.Inter(b, t.right)
+        for b in shrink_term(t.right, signature):
+            yield q.Inter(t.left, b)
+    elif isinstance(t, q.Up):
+        if isinstance(t.body, q.Down) and term_rank(t.body.body,
+                                                   signature) >= 1:
+            yield t.body.body
+        for b in shrink_term(t.body, signature):
+            yield q.Up(b)
+    elif isinstance(t, q.Down):
+        if isinstance(t.body, q.Up):
+            yield t.body.body
+        for b in shrink_term(t.body, signature):
+            yield q.Down(b)
+
+
+def shrink_program(p: q.Program,
+                   signature: tuple[int, ...]) -> Iterator[q.Program]:
+    """Strictly smaller programs (dropped statements, shrunk terms)."""
+    if isinstance(p, q.Seq):
+        if len(p.body) > 1:
+            for i in range(len(p.body)):
+                yield q.seq(*(p.body[:i] + p.body[i + 1:]))
+        for i, stmt in enumerate(p.body):
+            for s in shrink_program(stmt, signature):
+                yield q.seq(*(p.body[:i] + (s,) + p.body[i + 1:]))
+    elif isinstance(p, q.Assign):
+        try:
+            candidates = shrink_term(p.term, signature)
+        except Exception:
+            return  # terms reading program variables have no static rank
+        for t in candidates:
+            yield q.Assign(p.var, t)
+    elif isinstance(p, (q.WhileEmpty, q.WhileSingleton)):
+        yield p.body
+        for b in shrink_program(p.body, signature):
+            yield type(p)(p.var, b)
+
+
+def _query_candidates(case: Case) -> Iterator[Case]:
+    """Cases with the same database but a strictly smaller query."""
+    query = case.parse_query()
+    signature = case.signature
+    if case.query_kind == "formula":
+        for f in shrink_formula(query):
+            yield _with_query(case, to_text(f))
+    elif case.query_kind == "term":
+        for t in shrink_term(query, signature):
+            yield _with_query(case, term_to_text(t))
+    else:
+        for p in shrink_program(query, signature):
+            yield _with_query(case, program_to_text(p))
+
+
+def _with_query(case: Case, text: str) -> Case:
+    """A copy of the case with the query text replaced."""
+    return Case(case.index, case.kind, case.db, text, case.query_kind,
+                fcf=case.fcf, variables=case.variables, rank=case.rank,
+                gmhs=case.gmhs, probes=case.probes, salt=case.salt)
+
+
+def _db_candidates(case: Case) -> Iterator[Case]:
+    """Cases with the same query but a simpler database: one tuple
+    removed, or one relation's co-finite flag dropped."""
+    if case.fcf is None:
+        return
+
+    def with_fcf(spec) -> Case:
+        return Case(case.index, case.kind, case.db, case.query,
+                    case.query_kind, fcf=spec,
+                    variables=case.variables, rank=case.rank,
+                    gmhs=case.gmhs, probes=case.probes, salt=case.salt)
+
+    for rel, (__, tuples, cof) in enumerate(case.fcf.relations):
+        if cof:
+            yield with_fcf(case.fcf.as_finite(rel))
+        for t in tuples:
+            yield with_fcf(case.fcf.without_tuple(rel, t))
+
+
+# ---------------------------------------------------------------------------
+# The greedy loop.
+# ---------------------------------------------------------------------------
+
+def shrink_case(case: Case, failing: Callable[[Case], bool],
+                max_rounds: int = 400) -> Case:
+    """Greedily minimize ``case`` while ``failing(case)`` stays true.
+
+    ``failing`` must be a *pure* predicate — it is called on every
+    candidate (including malformed near-misses, which it should treat
+    as non-failing), and the shrinker keeps the first smaller candidate
+    it accepts, restarting the scan (ddmin).  Database tuples are
+    removed before query nodes; the result is a local minimum:
+    removing any single tuple or simplifying any single query node
+    makes the failure disappear.
+    """
+    current = case
+    for __ in range(max_rounds):
+        for candidate in _all_candidates(current):
+            try:
+                still_failing = failing(candidate)
+            except Exception:
+                still_failing = False
+            if still_failing:
+                current = candidate
+                break
+        else:
+            return current
+    return current
+
+
+def _all_candidates(case: Case) -> Iterator[Case]:
+    """Database shrinks first, then query shrinks."""
+    yield from _db_candidates(case)
+    try:
+        yield from _query_candidates(case)
+    except Exception:
+        return
+
+
+# ---------------------------------------------------------------------------
+# Reproducer emission.
+# ---------------------------------------------------------------------------
+
+REPRODUCER_TEMPLATE = '''\
+"""Auto-generated reproducer for a repro.check failure.
+
+{description}
+
+Shrunk to {tuples} database tuple(s) and {nodes} query node(s).
+Run with ``PYTHONPATH=src python {basename}`` — exits nonzero while
+the disagreement persists.
+"""
+
+from repro.check.generators import Case, FcfSpec
+from repro.check.runner import replay
+
+CASE = {case_source}
+
+if __name__ == "__main__":
+    raise SystemExit(replay(CASE))
+'''
+
+
+def case_to_source(case: Case) -> str:
+    """A Python expression reconstructing the case (for reproducers)."""
+    parts = [f"Case({case.index}", f"{case.kind!r}", f"{case.db!r}",
+             f"{case.query!r}", f"{case.query_kind!r}"]
+    if case.fcf is not None:
+        parts.append(f"fcf={case.fcf.to_source()}")
+    if case.variables:
+        parts.append(f"variables={case.variables!r}")
+    if case.rank:
+        parts.append(f"rank={case.rank!r}")
+    if case.gmhs:
+        parts.append("gmhs=True")
+    if case.probes:
+        parts.append(f"probes={case.probes!r}")
+    if case.salt:
+        parts.append(f"salt={case.salt!r}")
+    return ",\n            ".join(parts) + ")"
+
+
+def write_reproducer(case: Case, path: str, detail: str = "") -> str:
+    """Write a standalone reproducer script for the (shrunk) case."""
+    import os
+    description = detail or case.describe()
+    text = REPRODUCER_TEMPLATE.format(
+        description=description,
+        tuples=case.fcf.tuple_count if case.fcf is not None else 0,
+        nodes=query_size(case),
+        basename=os.path.basename(path),
+        case_source=case_to_source(case))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

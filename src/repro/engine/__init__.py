@@ -46,12 +46,16 @@ from .fingerprint import (
     fingerprint_rdb,
 )
 from .frontends import (
+    FCF_ROUTES,
+    HS_ROUTES,
+    lower_all,
     plan_from_formula,
     plan_from_gmhs,
     plan_from_qlf,
     plan_from_qlhs,
     plan_from_sentence,
     plan_from_term,
+    procedure_from_formula,
     term_rank,
 )
 from .plan import (
@@ -77,12 +81,14 @@ from .plan import (
     plan_size,
 )
 from .stats import CacheStats, EngineStats, MutableEngineStats
-from .verdict import FALSE, TRUE, UNKNOWN, Verdict
+from .verdict import FALSE, TRUE, UNKNOWN, Verdict, merge_verdicts
 
 __all__ = [
     "EXISTS",
     "FALSE",
+    "FCF_ROUTES",
     "FORALL",
+    "HS_ROUTES",
     "TRUE",
     "UNKNOWN",
     "CacheStats",
@@ -112,6 +118,8 @@ __all__ = [
     "fingerprint_fcf",
     "fingerprint_hsdb",
     "fingerprint_rdb",
+    "lower_all",
+    "merge_verdicts",
     "normalize",
     "plan_from_formula",
     "plan_from_gmhs",
@@ -121,5 +129,6 @@ __all__ = [
     "plan_from_term",
     "plan_rank",
     "plan_size",
+    "procedure_from_formula",
     "term_rank",
 ]

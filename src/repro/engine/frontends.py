@@ -209,6 +209,79 @@ def plan_from_qlf(program: q.Program) -> Plan:
 
 
 # ---------------------------------------------------------------------------
+# FO formulas as GMhs query procedures (the Theorem 5.1 bridge).
+# ---------------------------------------------------------------------------
+
+def procedure_from_formula(formula: Formula,
+                           variables: Sequence[Var] = ()):
+    """An FO formula as a Theorem 5.1 query procedure.
+
+    The returned procedure speaks only the :class:`~repro.qlhs.
+    completeness.ModelOracle` protocol — ``atom`` / ``equiv`` /
+    ``children`` questions over positions of the encoding tuple ``d`` —
+    so it runs under both completeness pipelines (QLhs and GMhs) and
+    under :class:`~repro.engine.plan.MachineFixpoint` plans.  The
+    semantics is the Theorem 6.3 relativization: quantifiers range over
+    the oracle's ``children`` (one position per extension class), and
+    equality of two positions is decided by the ``≅`` question
+    ``(a, b) ≅ (a, a)`` (equivalent tuples share their equality
+    pattern, so the answer is exactly ``d[a] = d[b]``).
+
+    ``variables`` fixes the free-variable → coordinate order; a
+    sentence (the default) yields ``{()}`` when it holds, ``set()``
+    otherwise.
+    """
+    from ..logic.syntax import (
+        And, Eq, Exists, FalseF, Forall, Implies, Not, Or, RelAtom, TrueF,
+    )
+    variables = tuple(variables)
+
+    def positions_equal(oracle, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        return oracle.equiv((a, b), (a, a))
+
+    def holds(oracle, f: Formula, env: tuple[int, ...], slots) -> bool:
+        if isinstance(f, TrueF):
+            return True
+        if isinstance(f, FalseF):
+            return False
+        if isinstance(f, Eq):
+            return positions_equal(oracle, env[slots[f.left]],
+                                   env[slots[f.right]])
+        if isinstance(f, RelAtom):
+            return oracle.atom(f.index,
+                               tuple(env[slots[a]] for a in f.args))
+        if isinstance(f, Not):
+            return not holds(oracle, f.body, env, slots)
+        if isinstance(f, And):
+            return all(holds(oracle, c, env, slots) for c in f.children)
+        if isinstance(f, Or):
+            return any(holds(oracle, c, env, slots) for c in f.children)
+        if isinstance(f, Implies):
+            return (not holds(oracle, f.left, env, slots)
+                    or holds(oracle, f.right, env, slots))
+        if isinstance(f, (Exists, Forall)):
+            slots = dict(slots)
+            slots[f.var] = len(env)
+            branches = (holds(oracle, f.body, env + (c,), slots)
+                        for c in oracle.children(env))
+            return any(branches) if isinstance(f, Exists) else all(branches)
+        raise TypeError(f"unknown formula {f!r}")
+
+    def procedure(oracle) -> set:
+        slots = {v: i for i, v in enumerate(variables)}
+        frontier: list[tuple[int, ...]] = [()]
+        for __ in variables:
+            frontier = [env + (c,) for env in frontier
+                        for c in oracle.children(env)]
+        return {env for env in frontier
+                if holds(oracle, formula, env, slots)}
+
+    return procedure
+
+
+# ---------------------------------------------------------------------------
 # Frontend 4: GMhs query procedures.
 # ---------------------------------------------------------------------------
 
@@ -227,3 +300,79 @@ def plan_from_gmhs(procedure, search_window: int = 512,
         max_steps = fuel if fuel is not None else limits.MACHINE_FIXPOINT
     return MachineFixpoint(procedure, search_window=search_window,
                            max_steps=max_steps)
+
+
+# ---------------------------------------------------------------------------
+# lower_all: one semantic query through every applicable frontend.
+# ---------------------------------------------------------------------------
+
+#: Route names produced by :func:`lower_all`, in emission order.
+ROUTE_FO = "fo"                # structural algebra plan (Theorem 6.3 route)
+ROUTE_QLHS = "qlhs"            # Fixpoint plan run by the QLhs interpreter
+ROUTE_GMHS = "gmhs"            # MachineFixpoint plan (Theorem 5.1 route)
+ROUTE_QLF = "qlf"              # FcfFixpoint plan (Section 4 route)
+
+#: Routes whose plans execute on an Engine over an ``HSDatabase``.
+HS_ROUTES = (ROUTE_FO, ROUTE_QLHS, ROUTE_GMHS)
+#: Routes whose plans execute on an Engine over an ``FcfDatabase``.
+FCF_ROUTES = (ROUTE_QLF,)
+
+
+def lower_all(query, signature: Sequence[int], *,
+              variables: Sequence[Var] = (),
+              include_gmhs: bool = False,
+              include_qlf: bool = False) -> dict[str, Plan]:
+    """Lower one semantic query through **every applicable frontend**.
+
+    This is the differential-testing hook (:mod:`repro.check`): the
+    paper's completeness theorems are equivalence claims between the
+    frontends, so the same query lowered along every route must yield
+    :meth:`agreeing <repro.engine.verdict.Verdict.agrees>` verdicts.
+
+    ``query`` may be an FO :class:`~repro.logic.syntax.Formula`
+    (``variables`` fixes the free-variable order), a QLhs
+    :class:`~repro.qlhs.ast.Term`, or a QLhs
+    :class:`~repro.qlhs.ast.Program`.  The result maps route name →
+    plan:
+
+    * ``"fo"`` — the structural algebra plan (pure plan-IR execution);
+    * ``"qlhs"`` — a :class:`~repro.engine.plan.Fixpoint` plan whose
+      payload is a one-assignment program, executed by the QLhs
+      *interpreter* (a genuinely different execution path);
+    * ``"gmhs"`` (``include_gmhs=True``, formulas only) — a
+      :class:`~repro.engine.plan.MachineFixpoint` plan wrapping
+      :func:`procedure_from_formula` (the Theorem 5.1 pipeline);
+    * ``"qlf"`` (``include_qlf=True``, intrinsic-free terms/programs
+      only) — an :class:`~repro.engine.plan.FcfFixpoint` plan for an
+      Engine over the corresponding
+      :class:`~repro.fcf.database.FcfDatabase`.
+
+    Plans in :data:`HS_ROUTES` execute on an Engine over an
+    :class:`~repro.symmetric.hsdb.HSDatabase`; plans in
+    :data:`FCF_ROUTES` need an Engine over the fcf view of the *same*
+    database (Proposition 4.1's bridge).
+    """
+    from ..logic.syntax import Formula as _Formula
+    plans: dict[str, Plan] = {}
+    if isinstance(query, _Formula):
+        term = compile_formula(query, list(variables), tuple(signature))
+        plans[ROUTE_FO] = plan_from_term(term, signature)
+        plans[ROUTE_QLHS] = Fixpoint(q.Assign("Y1", term), "Y1")
+        if include_gmhs:
+            plans[ROUTE_GMHS] = plan_from_gmhs(
+                procedure_from_formula(query, variables))
+        return plans
+    if isinstance(query, q.Term):
+        plans[ROUTE_FO] = plan_from_term(query, signature)
+        program: q.Program = q.Assign("Y1", query)
+        plans[ROUTE_QLHS] = Fixpoint(program, "Y1")
+        if include_qlf and not q.term_uses_intrinsics(query):
+            plans[ROUTE_QLF] = FcfFixpoint(program)
+        return plans
+    if isinstance(query, q.Program):
+        plans[ROUTE_QLHS] = Fixpoint(query, "Y1")
+        if include_qlf and not q.program_uses_intrinsics(query):
+            plans[ROUTE_QLF] = FcfFixpoint(query)
+        return plans
+    raise TypeSignatureError(
+        f"lower_all cannot lower {type(query).__name__} queries")

@@ -18,9 +18,20 @@ sound partial answer instead of raising.  :meth:`Engine.eval
 ``bool(verdict)`` is deliberately strict: it raises on ``UNKNOWN`` so
 three-valued answers cannot silently collapse into two.
 
+The comparison surface — :meth:`Verdict.agrees`,
+:meth:`Verdict.conflicts`, and :func:`merge_verdicts` — implements the
+*approximation-soundness* discipline the differential checker
+(:mod:`repro.check`) relies on: two verdicts for the same question
+conflict only when **both** completed and answered differently, so an
+``UNKNOWN`` can never flip a genuine TRUE/FALSE disagreement into
+"agreement", nor invent one.  The comparison is deterministic: it looks
+only at ``status`` — never at the evaluated ``value`` (whose
+representation differs across frontends) nor at ``steps`` (which
+differ across routes).
+
 Doctest::
 
-    >>> from repro.engine.verdict import Verdict
+    >>> from repro.engine.verdict import Verdict, merge_verdicts
     >>> Verdict.unknown("deadline").is_unknown
     True
     >>> bool(Verdict.of(True))
@@ -29,10 +40,18 @@ Doctest::
     Traceback (most recent call last):
         ...
     ValueError: Verdict is UNKNOWN (out_of_fuel); test .is_unknown first
+    >>> Verdict.of(True).agrees(Verdict.unknown("deadline"))
+    True
+    >>> Verdict.of(True).conflicts(Verdict.of(False))
+    True
+    >>> merge_verdicts([Verdict.unknown("deadline"),
+    ...                 Verdict.of(True)]).is_true
+    True
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 TRUE = "true"
@@ -83,6 +102,27 @@ class Verdict:
         """Whether the budget tripped before an answer was reached."""
         return self.status == UNKNOWN
 
+    # -- deterministic comparison (the checker's contract) -------------------
+
+    def agrees(self, other: "Verdict") -> bool:
+        """Agreement modulo ``UNKNOWN``: true unless both completed and
+        answered differently.
+
+        This is the soundness direction the differential oracles need —
+        a tripped budget (``UNKNOWN``) abstains rather than voting, so
+        it can neither mask nor manufacture a TRUE/FALSE disagreement.
+        """
+        return not self.conflicts(other)
+
+    def conflicts(self, other: "Verdict") -> bool:
+        """Whether both verdicts completed with *different* answers.
+
+        Deterministic: compares ``status`` only — the evaluated
+        ``value`` (frontend-specific representation) and ``steps``
+        (route-specific cost) are ignored.
+        """
+        return self.known and other.known and self.status != other.status
+
     def __bool__(self) -> bool:
         if self.status == UNKNOWN:
             raise ValueError(
@@ -97,3 +137,42 @@ class Verdict:
                 extra += f", steps={self.steps}"
             return f"Verdict(UNKNOWN{extra})"
         return f"Verdict({self.status.upper()})"
+
+
+def merge_verdicts(verdicts: "Sequence[Verdict] | Iterable[Verdict]"
+                   ) -> Verdict:
+    """The deterministic consensus of several verdicts for *one* question.
+
+    * every pair must :meth:`~Verdict.agree <Verdict.agrees>` — a
+      TRUE/FALSE conflict raises :class:`ValueError` (the caller, e.g. a
+      differential oracle, wants to see the conflict, not average it);
+    * if any verdict completed, the consensus is that known answer
+      (``UNKNOWN`` members merely abstain);
+    * if all are ``UNKNOWN``, the consensus is ``UNKNOWN`` carrying the
+      lexicographically smallest reason — a deterministic choice that
+      does not depend on route ordering.
+
+    Doctest::
+
+        >>> from repro.engine.verdict import Verdict, merge_verdicts
+        >>> merge_verdicts([Verdict.unknown("out_of_fuel"),
+        ...                 Verdict.unknown("deadline")]).reason
+        'deadline'
+        >>> merge_verdicts([Verdict.of(False), Verdict.of(True)])
+        Traceback (most recent call last):
+            ...
+        ValueError: conflicting verdicts: FALSE vs TRUE
+    """
+    verdicts = list(verdicts)
+    if not verdicts:
+        raise ValueError("merge_verdicts needs at least one verdict")
+    known = [v for v in verdicts if v.known]
+    for v in known[1:]:
+        if v.conflicts(known[0]):
+            raise ValueError(
+                f"conflicting verdicts: {known[0].status.upper()} vs "
+                f"{v.status.upper()}")
+    if known:
+        return known[0]
+    reason = min((v.reason or "") for v in verdicts) or None
+    return Verdict.unknown(reason or "unknown")

@@ -72,8 +72,12 @@ def _render(formula: Formula, outer: int) -> str:
         return _paren(text, _PREC_IMPLIES, outer)
     if isinstance(formula, Exists):
         text = f"exists {formula.var.name}. {_render(formula.body, _PREC_IMPLIES)}"
-        return _paren(text, _PREC_UNARY, outer) if outer > _PREC_IMPLIES else text
+        # A quantifier body extends maximally rightward, so anywhere a
+        # tighter context follows (operand of and/or/->/not) the whole
+        # quantified formula must be parenthesized or it captures the
+        # rest of the line on re-parse.
+        return f"({text})" if outer > _PREC_IMPLIES else text
     if isinstance(formula, Forall):
         text = f"forall {formula.var.name}. {_render(formula.body, _PREC_IMPLIES)}"
-        return _paren(text, _PREC_UNARY, outer) if outer > _PREC_IMPLIES else text
+        return f"({text})" if outer > _PREC_IMPLIES else text
     raise TypeError(f"unknown formula node {formula!r}")

@@ -142,6 +142,13 @@ class Budget:
         full per-evaluation allowance.  ``max_steps`` overrides the
         step limit (used for plan-level knobs like
         :class:`~repro.engine.plan.MachineFixpoint.max_steps`).
+
+        Edge case: forking a budget whose deadline is near (or past)
+        expiry yields a child that is *already expired* — the child
+        inherits the parent's absolute ``deadline_at``, its
+        :attr:`remaining_seconds` is clamped at ``0.0`` rather than
+        going negative, and its first :meth:`check` trips with reason
+        :data:`DEADLINE`.  Forking never grants fresh wall-clock time.
         """
         return Budget(
             max_steps if max_steps is not None else self.max_steps,
@@ -158,6 +165,24 @@ class Budget:
             return None
         return max(self.max_steps - self.steps, 0)
 
+    @property
+    def remaining_seconds(self) -> float | None:
+        """Wall-clock time left before the deadline trips.
+
+        ``None`` when no deadline is set; clamped at ``0.0`` once the
+        deadline has passed (an expired budget — a fork of a
+        near-expired parent, say — never reports a negative remainder).
+        """
+        if self.deadline_at is None:
+            return None
+        return max(self.deadline_at - time.monotonic(), 0.0)
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has already passed (steps not counted)."""
+        return (self.deadline_at is not None
+                and time.monotonic() > self.deadline_at)
+
     def __repr__(self) -> str:
         parts = [f"steps={self.steps}"]
         if self.max_steps is not None:
@@ -165,8 +190,7 @@ class Budget:
         if self.max_oracle_calls is not None:
             parts.append(f"max_oracle_calls={self.max_oracle_calls}")
         if self.deadline_at is not None:
-            parts.append(
-                f"deadline_in={self.deadline_at - time.monotonic():.3f}s")
+            parts.append(f"deadline_in={self.remaining_seconds:.3f}s")
         if self.cancelled:
             parts.append("cancelled")
         return f"Budget({', '.join(parts)})"

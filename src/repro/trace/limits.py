@@ -36,6 +36,7 @@ QL_INTERPRETER = 1_000_000
 QLF_INTERPRETER = 1_000_000
 PQ_PIPELINE = 10_000_000
 ENGINE = 10_000_000
+CHECK_CASE = 200_000
 
 
 @dataclass(frozen=True)
@@ -113,4 +114,9 @@ REGISTRY: tuple[LimitSpec, ...] = (
         "budget", ENGINE,
         "one interpreter operation of any fixpoint node",
         "Engine.eval returns Verdict.UNKNOWN"),
+    LimitSpec(
+        "repro.check.oracles.CaseContext",
+        "budget_steps", CHECK_CASE,
+        "one interpreter operation on any one frontend route of a fuzz case",
+        "the route abstains (UNKNOWN); oracles compare modulo UNKNOWN"),
 )

@@ -1,0 +1,145 @@
+"""Golden and structural tests for the case generators.
+
+The golden block pins the exact seed-7 prefix of the case stream: the
+generators are the checker's *vocabulary*, and a silent drift in what
+they produce (a changed probability, a reordered ``rng`` draw) would
+invalidate every recorded reproducer and campaign report.  If a change
+here is intentional, re-pin the constants — the diff then documents
+the vocabulary change in review.
+
+The structural block checks the generator's well-typedness contract on
+a longer prefix: every case parses, closed formulas are closed, term
+ranks match their static rank, and QLf+-compared cases stay inside the
+Df-independent fragment (no ``E``, no ``↑``, no ``Y2`` writes).
+"""
+
+import random
+
+import pytest
+
+from repro.check.generators import gen_case
+from repro.check.shrink import _free_vars
+from repro.engine.frontends import term_rank
+from repro.qlhs import ast as q
+
+# ---------------------------------------------------------------------------
+# Golden: the seed-7 prefix is pinned exactly.
+# ---------------------------------------------------------------------------
+
+GOLDEN_KINDS_SEED7 = [
+    "term-fcf", "fo-hs", "fo-hs", "fo-hs", "fo-hs", "fo-fcf",
+    "fo-fcf", "term-fcf",
+]
+
+GOLDEN_CASES_SEED7 = {
+    0: ("term-fcf", "down(!(down(R1) & down(R1)))", "term", 4071050724),
+    1: ("fo-hs", "forall x1. exists x2. not not R1(x1, x1)", "formula",
+        369140570),
+    5: ("fo-fcf", "exists x1. not R1(x1, x1) and "
+        "(exists x2. not R1(x2, x1))", "formula", 3299535553),
+    7: ("term-fcf", "!(!down(R1) & down(R1))", "term", 267352360),
+}
+
+
+def seed7_prefix(n):
+    rng = random.Random(7)
+    return [gen_case(rng, i) for i in range(n)]
+
+
+class TestGolden:
+    def test_kind_sequence(self):
+        cases = seed7_prefix(len(GOLDEN_KINDS_SEED7))
+        assert [c.kind for c in cases] == GOLDEN_KINDS_SEED7
+
+    def test_pinned_cases(self):
+        cases = seed7_prefix(8)
+        for index, (kind, query, query_kind, salt) in (
+                GOLDEN_CASES_SEED7.items()):
+            case = cases[index]
+            assert case.kind == kind
+            assert case.query == query
+            assert case.query_kind == query_kind
+            assert case.salt == salt
+
+    def test_databases_pinned(self):
+        cases = seed7_prefix(8)
+        assert cases[1].db == "rado" and cases[1].fcf is None
+        assert cases[0].fcf.signature == (2,)
+        assert cases[5].fcf.signature == (2,)
+        assert cases[5].fcf.tuple_count == 1
+        assert cases[7].fcf.signature == (1,)
+        assert cases[7].fcf.tuple_count == 3
+
+    def test_deterministic_replay(self):
+        """Two identically seeded streams generate identical cases."""
+        assert seed7_prefix(40) == seed7_prefix(40)
+
+    def test_distinct_seeds_diverge(self):
+        rng = random.Random(8)
+        other = [gen_case(rng, i) for i in range(40)]
+        assert other != seed7_prefix(40)
+
+
+# ---------------------------------------------------------------------------
+# Structural: well-typedness over a longer prefix.
+# ---------------------------------------------------------------------------
+
+PREFIX = seed7_prefix(60)
+
+
+class TestWellTyped:
+    @pytest.mark.parametrize("case", PREFIX, ids=lambda c: str(c.index))
+    def test_query_parses(self, case):
+        case.parse_query()  # must not raise
+
+    def test_closed_formulas_are_closed(self):
+        for case in PREFIX:
+            if case.query_kind == "formula":
+                free = _free_vars(case.parse_query())
+                assert free <= set(case.variables), case.describe()
+
+    def test_term_ranks_are_static(self):
+        for case in PREFIX:
+            if case.query_kind == "term":
+                rank = term_rank(case.parse_query(), case.signature)
+                assert rank == case.rank, case.describe()
+
+    def test_qlf_cases_avoid_df_relative_operators(self):
+        """QLf+-compared cases must not touch ``E``, ``↑``, or ``Y2``.
+
+        All three are Df-relative (the equality relation, the cylinder
+        ``e↑ = e × Df``, and the co-finite output register of the
+        Section 4 convention), so their presence would make the
+        qlf-vs-qlhs comparison vacuous or wrong by construction.
+        """
+        banned = (q.E, q.Up)
+        for case in PREFIX:
+            if case.kind not in ("term-fcf", "program-fcf"):
+                continue
+            for node in _walk(case.parse_query()):
+                assert not isinstance(node, banned), case.describe()
+                if isinstance(node, q.Assign):
+                    assert node.var != "Y2", case.describe()
+
+    def test_salts_are_independent_of_index(self):
+        """Salts come from the stream, not the index (no collisions
+        across a small prefix would be astronomically unlikely)."""
+        salts = [c.salt for c in PREFIX]
+        assert len(set(salts)) == len(salts)
+
+
+def _walk(node):
+    """All AST nodes of a term or program."""
+    yield node
+    if isinstance(node, q.Seq):
+        for s in node.body:
+            yield from _walk(s)
+    elif isinstance(node, q.Assign):
+        yield from _walk(node.term)
+    elif isinstance(node, (q.WhileEmpty, q.WhileSingleton)):
+        yield from _walk(node.body)
+    elif isinstance(node, q.Inter):
+        yield from _walk(node.left)
+        yield from _walk(node.right)
+    elif isinstance(node, (q.Comp, q.Up, q.Down, q.Swap)):
+        yield from _walk(node.body)

@@ -1,0 +1,177 @@
+"""Shrinker convergence and reproducer round-trip tests.
+
+The convergence tests drive :func:`repro.check.shrink.shrink_case`
+with *synthetic* failure predicates (structural properties of the
+case), so they pin the ddmin mechanics — candidate enumeration order,
+well-typedness of candidates, termination at a local minimum — without
+depending on any frontend actually being broken.  The final test closes
+the loop: an injected evaluator bug shrinks to the one-node formula
+``true`` and round-trips through :func:`write_reproducer`.
+"""
+
+import random
+import subprocess
+import sys
+
+from repro.check import oracles
+from repro.check.generators import Case, FcfSpec, gen_case
+from repro.check.oracles import CaseContext, differential
+from repro.check.shrink import (
+    case_to_source,
+    formula_nodes,
+    query_size,
+    shrink_case,
+    shrink_formula,
+    shrink_term,
+    term_nodes,
+    write_reproducer,
+)
+from repro.logic import syntax as fo
+
+SPEC = FcfSpec(((2, ((0, 1), (1, 2), (2, 0), (3, 3)), False),))
+
+
+def _has_implies(f):
+    if isinstance(f, fo.Implies):
+        return True
+    if isinstance(f, fo.Not):
+        return _has_implies(f.body)
+    if isinstance(f, (fo.And, fo.Or)):
+        return any(_has_implies(c) for c in f.children)
+    if isinstance(f, (fo.Exists, fo.Forall)):
+        return _has_implies(f.body)
+    return False
+
+
+class TestCandidates:
+    def test_formula_candidates_strictly_smaller(self):
+        f = fo.And((fo.Implies(fo.TRUE, fo.FALSE),
+                    fo.Not(fo.Not(fo.TRUE))))
+        for candidate in shrink_formula(f):
+            assert formula_nodes(candidate) < formula_nodes(f)
+
+    def test_quantifier_dropped_only_when_var_unused(self):
+        x, y = fo.Var("x"), fo.Var("y")
+        used = fo.Exists(x, fo.Eq(x, x))
+        vacuous = fo.Exists(y, fo.Eq(x, x))
+        assert used.body not in list(shrink_formula(used))
+        assert vacuous.body in list(shrink_formula(vacuous))
+
+    def test_term_candidates_preserve_rank(self):
+        from repro.engine.frontends import term_rank
+        from repro.qlhs import ast as q
+        signature = (2, 1)
+        t = q.Inter(q.Comp(q.Rel(0)), q.Swap(q.Rel(0)))
+        for candidate in shrink_term(t, signature):
+            assert term_nodes(candidate) < term_nodes(t)
+            assert term_rank(candidate, signature) == 2
+
+
+class TestConvergence:
+    def test_hand_built_counterexample_converges(self):
+        """A deep noisy formula over a 4-tuple database shrinks to the
+        canonical minimum ``true -> true`` over the empty database."""
+        noisy = ("exists x1. (forall x2. (R1(x1, x2) -> not R1(x2, x1))"
+                 " and (R1(x1, x1) or not R1(x1, x1)))")
+        case = Case(0, "fo-fcf", "fuzz", noisy, "formula", fcf=SPEC)
+
+        def failing(candidate):
+            return _has_implies(candidate.parse_query())
+
+        assert failing(case)
+        shrunk = shrink_case(case, failing)
+        assert shrunk.query == "true -> true"
+        assert query_size(shrunk) == 3
+        assert shrunk.fcf.tuple_count == 0
+
+    def test_db_shrinks_before_query(self):
+        """Tuples are removed before a single query node changes."""
+        case = Case(0, "fo-fcf", "fuzz", "exists x1. R1(x1, x1)",
+                    "formula", fcf=SPEC)
+        seen = []
+
+        def failing(candidate):
+            seen.append((candidate.fcf.tuple_count, candidate.query))
+            return candidate.fcf.tuple_count > 0
+
+        shrink_case(case, failing)
+        first_query_change = next(
+            i for i, (__, text) in enumerate(seen) if text != case.query)
+        assert all(n < SPEC.tuple_count
+                   for n, __ in seen[:first_query_change])
+
+    def test_result_is_local_minimum(self):
+        """No single candidate of the shrunk case still fails."""
+        from repro.check.shrink import _all_candidates
+        case = Case(0, "fo-fcf", "fuzz",
+                    "(exists x1. R1(x1, x1)) and (true -> true)",
+                    "formula", fcf=SPEC)
+
+        def failing(candidate):
+            return _has_implies(candidate.parse_query())
+
+        shrunk = shrink_case(case, failing)
+        for candidate in _all_candidates(shrunk):
+            assert not failing(candidate)
+
+    def test_nonreproducible_failure_returns_input(self):
+        case = Case(0, "fo-fcf", "fuzz", "true", "formula", fcf=SPEC)
+        assert shrink_case(case, lambda c: False) == case
+
+
+class TestMutationLoop:
+    def test_injected_bug_shrinks_to_one_node(self, monkeypatch):
+        """End to end: break the FO evaluator, catch it, shrink it.
+
+        The negated evaluator disagrees on *every* decided closed
+        formula, so the minimum is the one-node formula ``true`` over
+        the empty database — well under the ≤5 tuples / ≤3 nodes
+        acceptance bound for reproducers.
+        """
+        real = oracles.fo_evaluate
+        monkeypatch.setattr(oracles, "fo_evaluate",
+                            lambda db, f: not real(db, f))
+        rng = random.Random(7)
+        case = next(c for c in (gen_case(rng, i) for i in range(20))
+                    if c.kind == "fo-fcf")
+
+        def failing(candidate):
+            try:
+                return differential(CaseContext(candidate)).failed
+            except Exception:
+                return False
+
+        assert failing(case)
+        shrunk = shrink_case(case, failing)
+        assert shrunk.query == "true"
+        assert query_size(shrunk) == 1
+        assert shrunk.fcf.tuple_count == 0
+
+
+class TestReproducer:
+    CASE = Case(3, "term-fcf", "fuzz", "R1 & !R1", "term",
+                fcf=FcfSpec(((1, ((0,), (1,)), False),)),
+                rank=1, probes=((0,), (2,)), salt=12345)
+
+    def test_case_to_source_round_trips(self):
+        source = case_to_source(self.CASE)
+        rebuilt = eval(source, {"Case": Case, "FcfSpec": FcfSpec})
+        assert rebuilt == self.CASE
+
+    def test_write_reproducer_emits_runnable_script(self, tmp_path):
+        path = write_reproducer(self.CASE, str(tmp_path / "repro_0003.py"),
+                                detail="synthetic")
+        text = open(path, encoding="utf-8").read()
+        assert "synthetic" in text
+        assert "replay(CASE)" in text
+        compile(text, path, "exec")  # syntactically valid
+
+    def test_reproducer_replays_clean_on_healthy_tree(self, tmp_path):
+        """The emitted script exits 0 when the bug is absent."""
+        path = write_reproducer(self.CASE, str(tmp_path / "repro_0003.py"))
+        proc = subprocess.run(
+            [sys.executable, path], capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo", timeout=120)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "differential: OK" in proc.stdout

@@ -80,3 +80,12 @@ class TestLiveDefaultsMatchRegistry:
     def test_pq_pipeline_default(self, hsdb):
         pipeline = PQPipeline(hsdb)
         assert pipeline.budget.max_steps == limits.PQ_PIPELINE
+
+    def test_check_case_default(self):
+        import random
+
+        from repro.check.generators import gen_case
+        from repro.check.oracles import CaseContext
+        ctx = CaseContext(gen_case(random.Random(7), 0))
+        assert ctx.budget_steps == limits.CHECK_CASE
+        assert ctx.budget().max_steps == limits.CHECK_CASE

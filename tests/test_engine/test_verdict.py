@@ -126,6 +126,92 @@ class TestCancellation:
             engine.evaluate(diverging_plan())
 
 
+class TestBatchUnknownMerging:
+    """UNKNOWN semantics of ``eval_batch`` + ``merge_verdicts``.
+
+    The checker's budget oracle merges whole batches, so the engine
+    must keep per-member abstention honest: every member gets a fresh
+    budget fork (all-UNKNOWN batches show *each* member exhausting a
+    full allowance, not sharing one pool), and the deterministic merge
+    treats UNKNOWN members as abstainers with a route-order-independent
+    reason choice.
+    """
+
+    def test_all_unknown_batch(self, k3k2):
+        engine = Engine(k3k2, budget=Budget(max_steps=500))
+        verdicts = engine.eval_batch([diverging_plan(),
+                                      diverging_plan(),
+                                      diverging_plan()])
+        assert all(v.is_unknown for v in verdicts)
+        assert {v.reason for v in verdicts} == {OUT_OF_FUEL}
+        # Fresh fork per member: each one burned its own full
+        # allowance rather than draining a shared pool.
+        assert all(v.steps >= 500 for v in verdicts)
+        merged = verdict_module.merge_verdicts(verdicts)
+        assert merged.is_unknown and merged.reason == OUT_OF_FUEL
+
+    def test_all_unknown_batch_cancelled_reason(self, k3k2):
+        engine = Engine(k3k2, budget=Budget())
+        engine.cancel()
+        verdicts = engine.eval_batch([diverging_plan(),
+                                      diverging_plan()])
+        assert [v.reason for v in verdicts] == [CANCELLED, CANCELLED]
+        assert verdict_module.merge_verdicts(verdicts).reason == CANCELLED
+
+    def test_mixed_batch_merges_to_known(self, k3k2):
+        engine = Engine(k3k2, budget=Budget(max_steps=2000))
+        merged = verdict_module.merge_verdicts(
+            engine.eval_batch([diverging_plan(), true_plan(engine),
+                               diverging_plan()]))
+        assert merged.is_true
+
+    def test_mixed_reason_merge_is_order_independent(self):
+        reasons = [OUT_OF_FUEL, DEADLINE, CANCELLED]
+        forward = verdict_module.merge_verdicts(
+            [Verdict.unknown(r) for r in reasons])
+        backward = verdict_module.merge_verdicts(
+            [Verdict.unknown(r) for r in reversed(reasons)])
+        # Deterministic choice: the lexicographically smallest reason,
+        # whatever order the routes reported in.
+        assert forward == backward
+        assert forward.reason == min(reasons)
+
+    def test_merge_raises_on_genuine_conflict(self, k3k2):
+        with pytest.raises(ValueError, match="conflicting"):
+            verdict_module.merge_verdicts(
+                [Verdict.of(True), Verdict.unknown(DEADLINE),
+                 Verdict.of(False)])
+
+    def test_merge_of_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            verdict_module.merge_verdicts([])
+
+
+class TestComparisonSurface:
+    """``agrees``/``conflicts`` — the differential oracle's contract."""
+
+    def test_unknown_abstains_both_ways(self):
+        u = Verdict.unknown(OUT_OF_FUEL)
+        for known in (Verdict.of(True), Verdict.of(False)):
+            assert u.agrees(known) and known.agrees(u)
+            assert not u.conflicts(known)
+        assert u.agrees(Verdict.unknown(DEADLINE))
+
+    def test_known_conflict_is_symmetric(self):
+        t, f = Verdict.of(True), Verdict.of(False)
+        assert t.conflicts(f) and f.conflicts(t)
+        assert not t.agrees(f)
+
+    def test_comparison_ignores_value_and_steps(self):
+        """Determinism: frontend-specific payloads never affect it."""
+        a = Verdict(verdict_module.TRUE, value=object())
+        b = Verdict(verdict_module.TRUE, value=object())
+        assert a.agrees(b) and not a.conflicts(b)
+        x = Verdict.unknown(OUT_OF_FUEL, steps=10)
+        y = Verdict.unknown(OUT_OF_FUEL, steps=99999)
+        assert x.agrees(y)
+
+
 class TestTraceIntegration:
     def test_jsonl_shows_tripped_span(self, k3k2):
         engine = Engine(k3k2, budget=Budget(max_steps=500))

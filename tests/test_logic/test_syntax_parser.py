@@ -174,6 +174,48 @@ class TestPrinterRoundtrip:
         f = parse(text)
         assert parse(to_text(f)) == f
 
+    def test_quantifier_as_nonfinal_operand_is_parenthesized(self):
+        """Regression: a quantified formula used as a *non-final*
+        operand of and/or/->/not must print with parentheses.
+
+        A quantifier body extends maximally rightward, so the unfixed
+        printer's ``exists x. R1(x, x) or R2(y)`` re-parsed as
+        ``exists x. (R1(x, x) or R2(y))`` — a structurally deeper (and
+        semantically different) formula.  Found by the ``repro check``
+        fuzzer: the silent deepening blew the generator's quantifier
+        budget over the rado database.
+        """
+        from repro.logic.syntax import And, Exists, Implies, Or, RelAtom, Var
+        x, y = Var("x"), Var("y")
+        ex = Exists(x, RelAtom(0, (x, x)))
+        atom = RelAtom(1, (y,))
+        for f in (Or((ex, atom)), And((ex, atom)), Implies(ex, atom)):
+            text = to_text(f)
+            assert "(exists" in text
+            assert parse(text) == f
+
+    def test_final_operand_quantifier_needs_no_parens(self):
+        """The dual case: in final position the rightward-maximal body
+        is exactly what the AST says, so no parentheses appear."""
+        from repro.logic.syntax import Exists, Implies, RelAtom, Var
+        x, y = Var("x"), Var("y")
+        f = Implies(RelAtom(1, (y,)), Exists(x, RelAtom(0, (x, x))))
+        text = to_text(f)
+        assert "(exists" not in text
+        assert parse(text) == f
+
+    def test_random_formulas_round_trip(self):
+        """Fuzz regression net: generated formulas survive one
+        print/parse cycle up to smart-constructor normalization."""
+        import random
+        from repro.check.generators import gen_formula
+        rng = random.Random(99)
+        for __ in range(200):
+            f = gen_formula(rng, (2, 1))
+            g = parse(to_text(f))
+            # One more cycle must be a fixed point.
+            assert parse(to_text(g)) == g
+
 
 class TestTransforms:
     def test_free_variables(self):

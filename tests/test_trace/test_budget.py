@@ -100,6 +100,36 @@ class TestFork:
         with pytest.raises(OutOfFuel):
             child.charge()
 
+    def test_fork_near_expired_deadline_yields_expired_child(self):
+        """Forking a budget whose deadline has (all but) run out must
+        produce an *already-expired* child — never a child with a
+        negative remaining allowance or fresh wall-clock time."""
+        parent = Budget(deadline=0.001)
+        time.sleep(0.005)
+        child = parent.fork()
+        assert child.expired
+        assert child.remaining_seconds == 0.0       # clamped, not negative
+        with pytest.raises(OutOfFuel) as exc:
+            child.check()
+        assert exc.value.reason == DEADLINE
+        # The max_steps override does not resurrect the deadline either.
+        grandchild = child.fork(max_steps=10)
+        assert grandchild.expired
+        assert grandchild.remaining_seconds == 0.0
+        with pytest.raises(OutOfFuel):
+            grandchild.charge()
+
+    def test_remaining_seconds(self):
+        assert Budget().remaining_seconds is None
+        b = Budget(deadline=60.0)
+        remaining = b.remaining_seconds
+        assert remaining is not None and 0.0 < remaining <= 60.0
+        assert not b.expired
+        expired = Budget(deadline=0.0)
+        time.sleep(0.002)
+        assert expired.remaining_seconds == 0.0
+        assert "deadline_in=0.000s" in repr(expired)
+
 
 class TestAsBudget:
     def test_passthrough(self):

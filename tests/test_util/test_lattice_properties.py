@@ -1,0 +1,137 @@
+"""Property tests: the refinement lattice and enumeration totality.
+
+The checker (``repro.check``) leans on two algebraic facts that the
+example-based tests only spot-check:
+
+* partition refinement (:func:`repro.util.partitions.refines`) is a
+  partial order whose meet (coarsest common refinement) is computed by
+  pointwise pairing — the ``Vⁿᵣ`` computations of Section 3 iterate
+  exactly this lattice downwards; and
+* the fair enumerations of :mod:`repro.util.orderings` are *total*:
+  every tuple over the enumerated set appears within a computable
+  prefix — which is what makes "search the domain" loops in the
+  back-and-forth constructions terminate on positive instances.
+
+Both are stated here as hypothesis properties over random inputs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.orderings import fair_tuples, fair_union, naturals, take
+from repro.util.partitions import (
+    Partition,
+    block_count,
+    equality_pattern,
+    is_restricted_growth,
+    refines,
+)
+
+# Random restricted growth strings, canonicalized via equality_pattern.
+patterns = st.lists(st.integers(0, 4), min_size=0, max_size=6).map(
+    lambda xs: equality_pattern(xs))
+
+
+def coarsen(pattern, mapping):
+    """Apply a block-merging function — always a coarsening."""
+    return equality_pattern([mapping[b % len(mapping)] for b in pattern]
+                            if mapping else list(pattern))
+
+
+class TestRefinementLattice:
+    @given(patterns)
+    def test_reflexive(self, p):
+        assert refines(p, p)
+
+    @given(patterns, st.lists(st.integers(0, 2), min_size=1, max_size=5))
+    def test_functional_image_coarsens(self, p, mapping):
+        """Merging blocks by any function yields a coarser partition."""
+        q = coarsen(p, mapping)
+        assert refines(p, q)
+        assert block_count(q) <= block_count(p)
+
+    @given(patterns, st.lists(st.integers(0, 2), min_size=1, max_size=5),
+           st.lists(st.integers(0, 2), min_size=1, max_size=5))
+    def test_transitive(self, p, m1, m2):
+        q = coarsen(p, m1)
+        r = coarsen(q, m2)
+        assert refines(p, q) and refines(q, r)
+        assert refines(p, r)
+
+    @given(patterns, st.lists(st.integers(0, 2), min_size=1, max_size=5))
+    def test_antisymmetric(self, p, mapping):
+        """Mutual refinement of canonical RGS forces equality."""
+        q = coarsen(p, mapping)
+        if refines(q, p):
+            assert q == p
+
+    @given(patterns)
+    def test_bottom_and_top(self, p):
+        """Discrete refines everything; everything refines trivial."""
+        n = len(p)
+        discrete = tuple(range(n))
+        trivial = (0,) * n
+        assert refines(discrete, p)
+        assert refines(p, trivial)
+
+    @given(patterns, st.lists(st.integers(0, 2), min_size=1, max_size=5),
+           st.lists(st.integers(0, 2), min_size=1, max_size=5))
+    def test_pointwise_pairing_is_meet(self, p, m1, m2):
+        """zip-pattern = coarsest common refinement of two coarsenings."""
+        q1, q2 = coarsen(p, m1), coarsen(p, m2)
+        meet = equality_pattern(list(zip(q1, q2)))
+        assert is_restricted_growth(meet)
+        assert refines(meet, q1) and refines(meet, q2)
+        # p is a common refinement, so it must refine the meet.
+        assert refines(p, meet)
+
+
+class TestPartitionRefineLaws:
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=8,
+                    unique=True),
+           st.lists(st.integers(0, 2), min_size=1, max_size=4))
+    def test_refine_only_splits(self, items, keys):
+        """After refine, same_block implies same_block before."""
+        part = Partition(items)
+        before = part.as_frozen()
+        part.refine(lambda x: keys[x % len(keys)])
+        for block in part.as_frozen():
+            assert any(block <= old for old in before)
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=8,
+                    unique=True),
+           st.lists(st.integers(0, 2), min_size=1, max_size=4))
+    def test_refine_idempotent(self, items, keys):
+        """Refining twice by the same signature changes nothing new."""
+        part = Partition(items)
+        part.refine(lambda x: keys[x % len(keys)])
+        assert part.refine(lambda x: keys[x % len(keys)]) is False
+
+
+class TestEnumerationTotality:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=3))
+    def test_fair_tuples_total(self, tup):
+        """Every tuple appears within the (m+1)^k stage of the walk."""
+        tup = tuple(tup)
+        rank = len(tup)
+        bound = (max(tup) + 1) ** rank
+        prefix = take(fair_tuples(naturals(), rank), bound)
+        assert tup in prefix
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 3), st.integers(1, 40))
+    def test_fair_tuples_no_duplicates(self, rank, n):
+        prefix = take(fair_tuples(naturals(), rank), n)
+        assert len(prefix) == len(set(prefix))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4), st.integers(0, 20))
+    def test_fair_union_total(self, parts, j):
+        """Item j of every branch appears within parts*(j+1) draws."""
+        def branch(i):
+            return ((i, k) for k in naturals())
+
+        iterators = [branch(i) for i in range(parts)]
+        prefix = take(fair_union(iterators), parts * (j + 1))
+        for i in range(parts):
+            assert (i, j) in prefix
