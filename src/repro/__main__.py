@@ -27,6 +27,14 @@ Commands
     frontend must agree modulo ``UNKNOWN``; failures are shrunk and
     emitted as standalone reproducer scripts.  Exit status 1 on any
     genuine disagreement.
+``check --stress [--seed=N] [--threads=T] [--ops=K] [--budget-s=S] [--out=F]``
+    The race-stress campaign instead (``repro.check.stress``): seeded
+    multi-threaded hammers pounding shared budgets, caches, recorders,
+    and engines, asserting the thread-safety contract of
+    ``docs/concurrency.md`` (exact accounting, zero escaped
+    exceptions, sequential-reference agreement).  ``--budget-s`` loops
+    fresh-seeded rounds for a wall-clock budget; exit status 1 when
+    any invariant broke.
 ``trace NAME FORMULA [--jsonl=FILE]``
     Evaluate through the engine under a
     :class:`~repro.trace.TraceRecorder` and print the span tree

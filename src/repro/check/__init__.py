@@ -16,7 +16,11 @@ equivalences into a continuously checkable property:
   minimizes a failing (database, query) pair and emits a standalone
   reproducer script;
 * :mod:`repro.check.runner` — the campaign driver behind
-  ``python -m repro check --seed N --cases K --out report.json``.
+  ``python -m repro check --seed N --cases K --out report.json``;
+* :mod:`repro.check.stress` — the race-stress oracle ("hammer"):
+  seeded multi-threaded campaigns pounding shared caches, budgets,
+  recorders, and engines, asserting the thread-safety contract of
+  ``docs/concurrency.md`` (``python -m repro check --stress``).
 
 Quick use::
 
@@ -35,19 +39,23 @@ from .oracles import (
 )
 from .runner import main, replay, run_check
 from .shrink import shrink_case, write_reproducer
+from .stress import HAMMERS, format_stress_report, run_stress
 
 __all__ = [
+    "HAMMERS",
     "ORACLES",
     "ORACLES_BY_KIND",
     "Case",
     "CaseContext",
     "FcfSpec",
     "OracleOutcome",
+    "format_stress_report",
     "gen_case",
     "main",
     "replay",
     "run_check",
     "run_oracles",
+    "run_stress",
     "shrink_case",
     "write_reproducer",
 ]

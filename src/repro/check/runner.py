@@ -217,11 +217,17 @@ def format_report(report: dict) -> str:
 
 def main(args: list[str]) -> int:
     """``check [--seed=N] [--cases=K] [--budget-s=S] [--out=F]
-    [--emit-dir=D] [--steps=N] [--quiet]`` — fuzz the frontends.
+    [--emit-dir=D] [--steps=N] [--quiet]`` — fuzz the frontends; or
+    ``check --stress [--seed=N] [--threads=T] [--ops=K] [--budget-s=S]
+    [--out=F] [--quiet]`` — run the multi-threaded race-stress
+    campaign (:mod:`repro.check.stress`) instead.
 
     Flags accept both ``--flag=value`` and ``--flag value`` forms.
-    Exit status 1 when any oracle failed.
+    Exit status 1 when any oracle failed (or, under ``--stress``, when
+    any concurrency invariant broke).
     """
+    from . import stress as stress_mod
+
     seed = 0
     cases = 500
     budget_s: float | None = None
@@ -229,12 +235,15 @@ def main(args: list[str]) -> int:
     emit_dir: str | None = None
     steps = DEFAULT_CASE_STEPS
     verbose = True
+    stress = False
+    threads = stress_mod.DEFAULT_THREADS
+    ops = stress_mod.DEFAULT_OPS
 
     it = iter(args)
     for arg in it:
         if "=" in arg:
             flag, value = arg.split("=", 1)
-        elif arg in ("--quiet",):
+        elif arg in ("--quiet", "--stress"):
             flag, value = arg, ""
         else:
             flag, value = arg, next(it, None)
@@ -252,13 +261,29 @@ def main(args: list[str]) -> int:
             emit_dir = value
         elif flag == "--steps":
             steps = int(value)
+        elif flag == "--threads":
+            threads = int(value)
+        elif flag == "--ops":
+            ops = int(value)
+        elif flag == "--stress":
+            stress = True
         elif flag == "--quiet":
             verbose = False
         else:
             raise SystemExit(
                 f"unknown flag {flag!r}; usage: python -m repro check "
-                "[--seed=N] [--cases=K] [--budget-s=S] [--out=F] "
-                "[--emit-dir=D] [--steps=N] [--quiet]")
+                "[--stress] [--seed=N] [--cases=K] [--budget-s=S] "
+                "[--out=F] [--emit-dir=D] [--steps=N] [--threads=T] "
+                "[--ops=K] [--quiet]")
+
+    if stress:
+        report = stress_mod.run_stress(
+            seed, threads=threads, ops=ops, budget_s=budget_s,
+            out=out, verbose=verbose)
+        print(stress_mod.format_stress_report(report))
+        if out is not None:
+            print(f"report -> {out}")
+        return 1 if report["failures"] else 0
 
     report = run_check(seed, cases, budget_s=budget_s, out=out,
                        emit_dir=emit_dir, case_steps=steps,

@@ -15,10 +15,21 @@ is a correct answer regardless of which copy asked.  ``args`` carries
 per-request parameters (e.g. the tuple of a membership test).
 
 Both levels expose :class:`~repro.engine.stats.CacheStats` snapshots.
+
+Thread safety (the serving-tier contract, ``docs/concurrency.md``):
+one :class:`EngineCache` may back N engines on N threads.  The plan
+cache inherits the locked memo of :func:`~repro.util.memo.lru_cached`;
+the result cache is **lock-striped** — keys hash to one of several
+shards, each an ``OrderedDict`` guarded by its own lock, so concurrent
+lookups of distinct keys proceed in parallel while each individual
+``get``/``put`` (LRU refresh included) is atomic.  Eviction keeps a
+global bound with near-exact LRU order via per-entry touch stamps.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 from collections import OrderedDict
 from collections.abc import Hashable
 from typing import Any
@@ -27,9 +38,18 @@ from ..util.memo import lru_cached
 from .plan import Plan, normalize
 from .stats import CacheStats
 
+#: Default shard count of :class:`ResultCache` — enough stripes that
+#: eight engine threads rarely collide, few enough that the all-shard
+#: operations (``clear``, eviction victim scan) stay trivial.
+DEFAULT_SHARDS = 16
+
 
 class PlanCache:
-    """Memoized plan normalization (level 1)."""
+    """Memoized plan normalization (level 1).
+
+    Thread-safe: the underlying :func:`~repro.util.memo.lru_cached`
+    wrapper serializes lookup and (pure) computation under one lock.
+    """
 
     def __init__(self, maxsize: int = 4096):
         self._normalize = lru_cached(maxsize=maxsize)(
@@ -43,28 +63,65 @@ class PlanCache:
     def stats(self) -> CacheStats:
         """A :class:`CacheStats` snapshot of the normalization memo."""
         fn = self._normalize
-        return CacheStats(hits=fn.hits, misses=fn.misses,
-                          evictions=fn.evictions, size=len(fn.cache))
+        with fn.lock:
+            return CacheStats(hits=fn.hits, misses=fn.misses,
+                              evictions=fn.evictions, size=len(fn.cache))
 
     def clear(self) -> None:
         """Drop every memoized normalization (counters reset too)."""
         self._normalize.cache_clear()
 
 
+class _Shard:
+    """One stripe of the result cache: an LRU dict plus its lock.
+
+    Entries are two-slot lists ``[value, stamp]``; the stamp is a
+    global monotonic touch counter used to pick the globally oldest
+    entry at eviction time (per-shard LRU order alone would evict the
+    newest insert whenever it landed in an otherwise empty shard).
+    """
+
+    __slots__ = ("lock", "data", "hits", "misses", "evictions")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.data: OrderedDict[Hashable, list] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
 class ResultCache:
-    """Bounded LRU of finished answers (level 2).
+    """Bounded, lock-striped LRU of finished answers (level 2).
 
     Keys are ``(fingerprint, plan, args)`` triples; values are whatever
     the executor produced (path frozensets, booleans, ``FcfValue``\\ s —
     all immutable, so sharing is safe).
+
+    Concurrency contract: every public method is safe to call from any
+    thread.  ``get`` is atomic (containment check, LRU refresh, and
+    counter bump under one shard lock — no TOCTOU window), ``put``
+    is atomic per shard with the global-bound eviction loop running
+    lock-free between shards; the size may transiently overshoot
+    ``maxsize`` by at most the number of concurrent writers and is
+    restored to ``<= maxsize`` by the time every ``put`` returns.
+    Counters satisfy ``hits + misses == counted lookups`` exactly.
+
+    Parameters
+    ----------
+    maxsize:
+        Global entry bound across all shards.
+    shards:
+        Stripe count (clamped to ``maxsize`` so tiny caches keep exact
+        single-dict semantics; default :data:`DEFAULT_SHARDS`).
     """
 
-    def __init__(self, maxsize: int = 65536):
+    def __init__(self, maxsize: int = 65536,
+                 shards: int = DEFAULT_SHARDS):
         self.maxsize = maxsize
-        self._data: OrderedDict[Hashable, Any] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        nshards = max(1, min(shards, maxsize))
+        self._shards = tuple(_Shard() for __ in range(nshards))
+        self._ticker = itertools.count()
 
     @staticmethod
     def key(fingerprint: str, plan: Plan,
@@ -72,42 +129,111 @@ class ResultCache:
         """The canonical ``(fingerprint, plan, args)`` cache key."""
         return (fingerprint, plan, args)
 
+    def _shard_for(self, key: Hashable) -> _Shard:
+        """The stripe ``key`` lives in (stable hash partition)."""
+        return self._shards[hash(key) % len(self._shards)]
+
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """Counted lookup: a hit refreshes LRU order, a miss counts."""
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return default
+        """Counted lookup: a hit refreshes LRU order, a miss counts.
+
+        Atomic under the key's shard lock: the historical
+        ``key in dict`` / ``dict[key]`` two-step (which could raise
+        ``KeyError`` when a concurrent ``put`` evicted in between) is
+        folded into one locked access.
+        """
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.data.get(key)
+            if entry is not None:
+                shard.data.move_to_end(key)
+                entry[1] = next(self._ticker)
+                shard.hits += 1
+                return entry[0]
+            shard.misses += 1
+            return default
 
     def __contains__(self, key: Hashable) -> bool:
         # Pure containment check — does not touch the counters; use
         # ``get`` for the counted access path.
-        return key in self._data
+        shard = self._shard_for(key)
+        with shard.lock:
+            return key in shard.data
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the LRU on overflow."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        shard = self._shard_for(key)
+        with shard.lock:
+            shard.data[key] = [value, next(self._ticker)]
+            shard.data.move_to_end(key)
+        while len(self) > self.maxsize:
+            if not self._evict_one():
+                break
+
+    def _evict_one(self) -> bool:
+        """Evict the (approximately) globally oldest entry.
+
+        Scans shard heads for the minimal touch stamp, then pops that
+        shard's LRU entry.  Between the scan and the pop another thread
+        may touch the shard — the pop still removes *that shard's*
+        oldest entry, so the policy degrades to near-LRU rather than
+        breaking.  Returns ``False`` when every shard is empty.
+        """
+        victim: _Shard | None = None
+        oldest: int | None = None
+        for shard in self._shards:
+            with shard.lock:
+                if shard.data:
+                    head = next(iter(shard.data.values()))
+                    if oldest is None or head[1] < oldest:
+                        oldest = head[1]
+                        victim = shard
+        if victim is None:
+            return False
+        with victim.lock:
+            if not victim.data:
+                return False
+            victim.data.popitem(last=False)
+            victim.evictions += 1
+            return True
+
+    # -- aggregate counters (summed across shards) ---------------------------
+
+    @property
+    def hits(self) -> int:
+        """Total counted hits across all shards."""
+        return sum(s.hits for s in self._shards)
+
+    @property
+    def misses(self) -> int:
+        """Total counted misses across all shards."""
+        return sum(s.misses for s in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        """Total LRU evictions across all shards."""
+        return sum(s.evictions for s in self._shards)
+
+    @property
+    def shards(self) -> int:
+        """Number of lock stripes."""
+        return len(self._shards)
 
     def stats(self) -> CacheStats:
         """A :class:`CacheStats` snapshot of the result cache."""
         return CacheStats(hits=self.hits, misses=self.misses,
-                          evictions=self.evictions, size=len(self._data))
+                          evictions=self.evictions, size=len(self))
 
     def clear(self) -> None:
         """Drop every entry and zero the hit/miss/eviction counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        for shard in self._shards:
+            with shard.lock:
+                shard.data.clear()
+                shard.hits = 0
+                shard.misses = 0
+                shard.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        return sum(len(s.data) for s in self._shards)
 
 
 class EngineCache:
@@ -116,13 +242,18 @@ class EngineCache:
     Sharing one :class:`EngineCache` between several engines over
     fingerprint-equal databases is the intended deployment shape for a
     serving tier: the fingerprint in every result key keeps tenants
-    with different databases from ever reading each other's entries.
+    with different databases from ever reading each other's entries,
+    and both levels are thread-safe, so the sharers may live on
+    different threads (``docs/concurrency.md`` states the full
+    contract; the E18 experiment bounds the locking overhead).
     """
 
     def __init__(self, plan_maxsize: int = 4096,
-                 result_maxsize: int = 65536):
+                 result_maxsize: int = 65536,
+                 result_shards: int = DEFAULT_SHARDS):
         self.plans = PlanCache(maxsize=plan_maxsize)
-        self.results = ResultCache(maxsize=result_maxsize)
+        self.results = ResultCache(maxsize=result_maxsize,
+                                   shards=result_shards)
 
     def clear(self) -> None:
         """Clear both levels."""

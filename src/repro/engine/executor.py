@@ -33,13 +33,26 @@ evaluates plan-IR trees against it:
 Results are immutable (:class:`~repro.qlhs.interpreter.Value` for path
 sets, :class:`~repro.fcf.relation.FcfValue` for fcf plans, ``bool`` for
 tests), so cache sharing never aliases mutable state.
+
+Concurrency contract (``docs/concurrency.md``): one :class:`Engine`
+may be shared between threads.  The budget governing the evaluation in
+flight lives in a :class:`~contextvars.ContextVar` (not instance
+state), so two threads evaluating through one engine never cross their
+step budgets or deadlines; per-node timing bookkeeping is thread-local;
+the caches, stats tables, and :class:`~repro.trace.Budget` charging are
+individually thread-safe.  The parallel batch path propagates both the
+active budget and the enclosing trace span into its pool workers, so
+``--trace`` trees keep their ``engine.batch_contains`` parent and a
+:meth:`Engine.cancel` from any thread interrupts a batch mid-flight.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from contextvars import ContextVar
 
 from ..errors import (
     OutOfFuel,
@@ -54,6 +67,7 @@ from ..qlhs.interpreter import QLhsInterpreter, Value
 from ..symmetric.hsdb import HSDatabase
 from ..trace import Budget, limits, span
 from ..trace.budget import as_budget
+from ..trace.spans import current_span, under_span
 from .cache import EngineCache, ResultCache
 from .fingerprint import fingerprint
 from .plan import (
@@ -76,6 +90,14 @@ from .plan import (
 )
 from .stats import MutableEngineStats, Timer
 from .verdict import Verdict
+
+#: The budget governing the evaluation currently in flight, scoped per
+#: context (and therefore per thread): two threads evaluating through
+#: one shared engine each see their own budget, never each other's —
+#: the instance-attribute version of this state was the engine's
+#: re-entrancy bug.  ``None`` outside any evaluation.
+_ACTIVE_BUDGET: ContextVar[Budget | None] = ContextVar(
+    "repro_engine_active_budget", default=None)
 
 
 class Engine:
@@ -122,10 +144,10 @@ class Engine:
         self.max_workers = max_workers
         self.fingerprint = fingerprint(db)
         self._stats = MutableEngineStats()
-        # Exclusive-time bookkeeping for per-node timings.
-        self._child_time: list[float] = []
-        # The budget governing the evaluation currently in flight.
-        self._active_budget: Budget | None = None
+        # Exclusive-time bookkeeping for per-node timings, kept
+        # per-thread so concurrent evaluations through one shared
+        # engine never corrupt each other's stacks.
+        self._timing = threading.local()
 
     # -- properties ---------------------------------------------------------
 
@@ -162,8 +184,7 @@ class Engine:
         :meth:`eval` for the three-valued surface that never raises.
         """
         run = budget if budget is not None else self.budget.fork()
-        previous = self._active_budget
-        self._active_budget = run
+        token = _ACTIVE_BUDGET.set(run)
         timer = Timer()
         try:
             with span("engine.evaluate") as sp, timer:
@@ -173,14 +194,14 @@ class Engine:
                     result = self._arg(prepared)
                 finally:
                     asked = self._oracle_calls() - before
-                    self._stats.oracle_questions += asked
-                    self._stats.evaluations += 1
+                    self._stats.add(oracle_questions=asked,
+                                    evaluations=1)
                     sp.count("oracle_questions", asked)
                     sp.count("steps", run.steps)
             return result
         finally:
-            self._active_budget = previous
-            self._stats.wall_time += timer.seconds
+            _ACTIVE_BUDGET.reset(token)
+            self._stats.add(wall_time=timer.seconds)
 
     def holds(self, plan: Plan) -> bool:
         """Truth of a rank-0 plan (nonemptiness in general)."""
@@ -265,20 +286,28 @@ class Engine:
         in request order, so the two paths agree bit for bit (the E15
         benchmark asserts it).  Per-tuple answers are result-cached
         under ``(fingerprint, plan, ("contains", u))``.
+
+        The whole batch runs under one :meth:`~repro.trace.Budget.fork`
+        of the engine budget, *shared* by every pool worker (the fork's
+        charging is atomic, so the workers cannot jointly overrun it),
+        and the budget is checked before every membership test — a
+        :meth:`cancel` from another thread or an expired deadline
+        interrupts the batch mid-flight with
+        :class:`~repro.errors.OutOfFuel` (reason ``cancelled`` /
+        ``deadline``), mirroring :meth:`evaluate`'s raising contract.
         """
         requests = [tuple(u) for u in tuples]
         run = self.budget.fork()
-        previous = self._active_budget
-        self._active_budget = run
+        token = _ACTIVE_BUDGET.set(run)
         try:
             return self._batch_contains(plan, requests, parallel,
-                                        max_workers)
+                                        max_workers, run)
         finally:
-            self._active_budget = previous
+            _ACTIVE_BUDGET.reset(token)
 
     def _batch_contains(self, plan: Plan, requests: list[tuple],
-                        parallel: bool,
-                        max_workers: int | None) -> list[bool]:
+                        parallel: bool, max_workers: int | None,
+                        run: Budget) -> list[bool]:
         """The :meth:`batch_contains` body (active budget installed)."""
         with span("engine.batch_contains",
                   requests=len(requests)) as sp, Timer() as t:
@@ -300,14 +329,31 @@ class Engine:
                     answers[pos] = hit
 
             if parallel and len(pending) > 1:
+                # Capture the enclosing span and the batch budget for
+                # the workers: pool threads start fresh span stacks and
+                # empty budget contexts, so without explicit
+                # propagation their spans would surface as orphan roots
+                # and their work would escape the batch budget.
+                parent = current_span()  # no-op span when not recording
+
+                def member_task(pos: int) -> bool:
+                    worker_token = _ACTIVE_BUDGET.set(run)
+                    try:
+                        with under_span(parent):
+                            with span("engine.member"):
+                                run.check()
+                                return self._member(value, requests[pos])
+                    finally:
+                        _ACTIVE_BUDGET.reset(worker_token)
+
                 workers = max_workers or self.max_workers
                 with ThreadPoolExecutor(max_workers=workers) as pool:
-                    computed = list(pool.map(
-                        lambda pos: self._member(value, requests[pos]),
-                        pending))
+                    computed = list(pool.map(member_task, pending))
             else:
-                computed = [self._member(value, requests[pos])
-                            for pos in pending]
+                computed = []
+                for pos in pending:
+                    run.check()
+                    computed.append(self._member(value, requests[pos]))
 
             for pos, answer in zip(pending, computed):
                 key = ResultCache.key(self.fingerprint, prepared,
@@ -316,10 +362,10 @@ class Engine:
                 answers[pos] = answer
 
             asked = self._oracle_calls() - before
-            self._stats.oracle_questions += asked
-            self._stats.batch_requests += len(requests)
+            self._stats.add(oracle_questions=asked,
+                            batch_requests=len(requests))
             sp.count("oracle_questions", asked)
-        self._stats.wall_time += t.seconds
+        self._stats.add(wall_time=t.seconds)
         return answers  # type: ignore[return-value]
 
     def batch_evaluate(self, plans: Sequence[Plan]) -> list:
@@ -329,7 +375,16 @@ class Engine:
     # -- stats --------------------------------------------------------------
 
     def stats(self):
-        """An immutable :class:`~repro.engine.stats.EngineStats` snapshot."""
+        """An immutable :class:`~repro.engine.stats.EngineStats` snapshot.
+
+        Thread-safe; note that ``oracle_questions`` is attributed per
+        evaluation by before/after deltas on the database's shared
+        oracle counter, so when several threads evaluate through one
+        engine concurrently the per-engine total can double-count
+        overlapping windows — the database-level
+        ``db.equiv.calls`` counter itself stays exact
+        (``docs/concurrency.md``).
+        """
         return self._stats.snapshot(self.cache.plans.stats(),
                                     self.cache.results.stats())
 
@@ -346,12 +401,14 @@ class Engine:
     def _node_budget(self, max_steps: int | None = None) -> Budget:
         """The budget a fixpoint node runs under.
 
-        The evaluation's active budget governs directly; a plan-level
-        ``max_steps`` knob (:class:`~repro.engine.plan.MachineFixpoint`)
-        forks it so the node-local step cap applies while the deadline
-        and cancellation flag stay shared.
+        The evaluation's active budget (a :class:`~contextvars.
+        ContextVar`, so per-thread on a shared engine) governs
+        directly; a plan-level ``max_steps`` knob (:class:`~repro.
+        engine.plan.MachineFixpoint`) forks it so the node-local step
+        cap applies while the deadline and cancellation flag stay
+        shared.
         """
-        base = self._active_budget
+        base = _ACTIVE_BUDGET.get()
         if base is None:  # direct _execute_node use (tests, debugging)
             base = self.budget.fork()
         if max_steps is not None:
@@ -367,17 +424,31 @@ class Engine:
                 value.tuples or value.cofinite)
         return not value.is_empty
 
+    def _child_time(self) -> list[float]:
+        """This thread's exclusive-time stack (lazily created).
+
+        Per-thread because two threads evaluating through one shared
+        engine would otherwise pop each other's frames and corrupt the
+        per-node timings.
+        """
+        stack = getattr(self._timing, "stack", None)
+        if stack is None:
+            stack = []
+            self._timing.stack = stack
+        return stack
+
     def _execute(self, plan: Plan) -> Value | FcfValue:
         """Execute one node (children through the cache), timed."""
+        child_time = self._child_time()
         start = time.perf_counter()
-        self._child_time.append(0.0)
+        child_time.append(0.0)
         try:
             value = self._execute_node(plan)
         finally:
-            child_seconds = self._child_time.pop()
+            child_seconds = child_time.pop()
             total = time.perf_counter() - start
-            if self._child_time:
-                self._child_time[-1] += total
+            if child_time:
+                child_time[-1] += total
             self._stats.record_node(type(plan).__name__,
                                     max(total - child_seconds, 0.0))
         return value

@@ -9,11 +9,15 @@ execution timings, and wall time.
 
 :class:`EngineStats` is an immutable snapshot; the live engine holds a
 :class:`MutableEngineStats` and snapshots it on demand (CLI ``--stats``,
-benchmarks, tests).
+benchmarks, tests).  The mutable tables are lock-protected, so engines
+shared between threads (see ``docs/concurrency.md``) never lose counts
+to interleaved read-modify-write updates, and a :meth:`MutableEngineStats.
+snapshot` taken mid-traffic is internally consistent.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -98,7 +102,13 @@ class EngineStats:
 
 @dataclass
 class MutableEngineStats:
-    """The live counters an :class:`~repro.engine.executor.Engine` keeps."""
+    """The live counters an :class:`~repro.engine.executor.Engine` keeps.
+
+    Thread-safe: every mutation runs under one private lock (use
+    :meth:`add` for the scalar counters rather than ``+=`` on the
+    public attributes), and :meth:`snapshot` freezes a consistent view
+    even while other threads keep recording.
+    """
 
     oracle_questions: int = 0
     evaluations: int = 0
@@ -108,51 +118,73 @@ class MutableEngineStats:
     node_seconds: dict = field(default_factory=dict)
     verdict_counts: dict = field(default_factory=dict)
     unknown_reasons: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def add(self, *, oracle_questions: int = 0, evaluations: int = 0,
+            batch_requests: int = 0, wall_time: float = 0.0) -> None:
+        """Atomically accumulate the scalar counters.
+
+        The race-free replacement for the historical ``stats.counter
+        += n`` read-modify-write pattern.
+        """
+        with self._lock:
+            self.oracle_questions += oracle_questions
+            self.evaluations += evaluations
+            self.batch_requests += batch_requests
+            self.wall_time += wall_time
 
     def record_node(self, kind: str, seconds: float) -> None:
         """Accumulate one plan-node execution into the timing tables."""
-        self.node_counts[kind] = self.node_counts.get(kind, 0) + 1
-        self.node_seconds[kind] = self.node_seconds.get(kind, 0.0) + seconds
+        with self._lock:
+            self.node_counts[kind] = self.node_counts.get(kind, 0) + 1
+            self.node_seconds[kind] = (
+                self.node_seconds.get(kind, 0.0) + seconds)
 
     def record_verdict(self, status: str, reason: str | None = None) -> None:
         """Count one :class:`~repro.engine.verdict.Verdict` by status
         (and, for UNKNOWN, by machine-readable reason)."""
-        self.verdict_counts[status] = self.verdict_counts.get(status, 0) + 1
-        if reason is not None:
-            self.unknown_reasons[reason] = (
-                self.unknown_reasons.get(reason, 0) + 1)
+        with self._lock:
+            self.verdict_counts[status] = (
+                self.verdict_counts.get(status, 0) + 1)
+            if reason is not None:
+                self.unknown_reasons[reason] = (
+                    self.unknown_reasons.get(reason, 0) + 1)
 
     def snapshot(self, plan_cache: CacheStats,
                  result_cache: CacheStats) -> EngineStats:
         """Freeze the live counters into an :class:`EngineStats`."""
-        timings = tuple(
-            (kind, self.node_counts[kind], self.node_seconds[kind])
-            for kind in sorted(self.node_counts,
-                               key=lambda k: -self.node_seconds[k]))
-        return EngineStats(
-            plan_cache=plan_cache,
-            result_cache=result_cache,
-            oracle_questions=self.oracle_questions,
-            evaluations=self.evaluations,
-            batch_requests=self.batch_requests,
-            wall_time=self.wall_time,
-            node_timings=timings,
-            verdicts_true=self.verdict_counts.get("true", 0),
-            verdicts_false=self.verdict_counts.get("false", 0),
-            verdicts_unknown=self.verdict_counts.get("unknown", 0),
-            unknown_reasons=tuple(sorted(self.unknown_reasons.items())),
-        )
+        with self._lock:
+            timings = tuple(
+                (kind, self.node_counts[kind], self.node_seconds[kind])
+                for kind in sorted(self.node_counts,
+                                   key=lambda k: -self.node_seconds[k]))
+            return EngineStats(
+                plan_cache=plan_cache,
+                result_cache=result_cache,
+                oracle_questions=self.oracle_questions,
+                evaluations=self.evaluations,
+                batch_requests=self.batch_requests,
+                wall_time=self.wall_time,
+                node_timings=timings,
+                verdicts_true=self.verdict_counts.get("true", 0),
+                verdicts_false=self.verdict_counts.get("false", 0),
+                verdicts_unknown=self.verdict_counts.get("unknown", 0),
+                unknown_reasons=tuple(
+                    sorted(self.unknown_reasons.items())),
+            )
 
     def reset(self) -> None:
         """Zero every live counter."""
-        self.oracle_questions = 0
-        self.evaluations = 0
-        self.batch_requests = 0
-        self.wall_time = 0.0
-        self.node_counts.clear()
-        self.node_seconds.clear()
-        self.verdict_counts.clear()
-        self.unknown_reasons.clear()
+        with self._lock:
+            self.oracle_questions = 0
+            self.evaluations = 0
+            self.batch_requests = 0
+            self.wall_time = 0.0
+            self.node_counts.clear()
+            self.node_seconds.clear()
+            self.verdict_counts.clear()
+            self.unknown_reasons.clear()
 
 
 class Timer:

@@ -48,8 +48,10 @@ from .spans import (
     add_counter,
     current_span,
     install,
+    propagate_span,
     recording,
     span,
+    under_span,
     uninstall,
 )
 
@@ -68,7 +70,9 @@ __all__ = [
     "as_budget",
     "current_span",
     "install",
+    "propagate_span",
     "recording",
     "span",
+    "under_span",
     "uninstall",
 ]

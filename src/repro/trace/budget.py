@@ -63,10 +63,23 @@ class Budget:
         clock from construction (``None`` = no deadline).  Forked
         children inherit the *absolute* deadline, so a whole evaluation
         tree shares one clock.
+
+    Thread safety: one budget may be charged from many threads (the
+    engine's parallel batch path shares one fork across its pool
+    workers).  :meth:`charge` / :meth:`charge_oracle` run under a
+    private lock and commit **check-then-charge**: a charge that would
+    exceed the limit raises *without* consuming, so ``steps`` never
+    exceeds ``max_steps`` and hammering one budget from N threads
+    yields exact accounting — the sum of successful charges equals the
+    final counter bit for bit.  The raised :class:`OutOfFuel` carries
+    the attempted count (``steps + cost``), preserving the historical
+    ``exc.steps > max_steps`` signal.  Forks get fresh counters and a
+    fresh lock; only the cancellation flag (and the absolute deadline)
+    is shared.
     """
 
     __slots__ = ("max_steps", "max_oracle_calls", "deadline_at",
-                 "steps", "oracle_calls", "_cancel_event")
+                 "steps", "oracle_calls", "_cancel_event", "_lock")
 
     def __init__(self, max_steps: int | None = None, *,
                  max_oracle_calls: int | None = None,
@@ -84,30 +97,40 @@ class Budget:
         self.steps = 0
         self.oracle_calls = 0
         self._cancel_event = _cancel_event or threading.Event()
+        self._lock = threading.Lock()
 
     # -- charging ------------------------------------------------------------
 
     def charge(self, cost: int = 1) -> None:
         """Account ``cost`` steps; raise :class:`OutOfFuel` on any trip.
 
+        Atomic and non-committing on failure: the increment and the
+        limit test happen under the budget's lock, and a charge that
+        would cross ``max_steps`` raises **without** consuming — so the
+        counter is exact even when many threads charge one budget, and
+        :class:`OutOfFuel` fires precisely at the documented limit.
         The cancellation flag and (when set) the deadline are checked
         on every charge, so cooperative interruption is prompt.
         """
-        self.steps += cost
-        if self.max_steps is not None and self.steps > self.max_steps:
-            raise OutOfFuel(
-                f"step budget of {self.max_steps} exhausted",
-                steps=self.steps, reason=OUT_OF_FUEL)
+        with self._lock:
+            attempted = self.steps + cost
+            if self.max_steps is not None and attempted > self.max_steps:
+                raise OutOfFuel(
+                    f"step budget of {self.max_steps} exhausted",
+                    steps=attempted, reason=OUT_OF_FUEL)
+            self.steps = attempted
         self.check()
 
     def charge_oracle(self, n: int = 1) -> None:
-        """Account ``n`` oracle questions."""
-        self.oracle_calls += n
-        if (self.max_oracle_calls is not None
-                and self.oracle_calls > self.max_oracle_calls):
-            raise OutOfFuel(
-                f"oracle budget of {self.max_oracle_calls} exhausted",
-                steps=self.steps, reason=OUT_OF_FUEL)
+        """Account ``n`` oracle questions (atomic, like :meth:`charge`)."""
+        with self._lock:
+            attempted = self.oracle_calls + n
+            if (self.max_oracle_calls is not None
+                    and attempted > self.max_oracle_calls):
+                raise OutOfFuel(
+                    f"oracle budget of {self.max_oracle_calls} exhausted",
+                    steps=self.steps, reason=OUT_OF_FUEL)
+            self.oracle_calls = attempted
 
     def check(self) -> None:
         """Raise if cancelled or past the deadline (no step charged)."""

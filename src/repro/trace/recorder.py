@@ -28,6 +28,7 @@ Doctest::
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from dataclasses import dataclass
 
@@ -36,7 +37,15 @@ from .spans import Span
 
 class TraceRecorder:
     """A bounded sink for finished spans (install via
-    :func:`repro.trace.install` or :func:`repro.trace.recording`)."""
+    :func:`repro.trace.install` or :func:`repro.trace.recording`).
+
+    Thread-safe: spans finish on whichever thread opened them (the
+    engine's parallel batch workers included), so :meth:`record`, the
+    :meth:`trace` snapshot, and :meth:`clear` all run under one lock —
+    the ``dropped`` counter stays exact and a snapshot taken while
+    workers are still recording is a consistent prefix, never a
+    half-updated buffer.
+    """
 
     def __init__(self, capacity: int = 65536):
         if capacity < 1:
@@ -44,24 +53,29 @@ class TraceRecorder:
         self.capacity = capacity
         self._spans: deque[Span] = deque(maxlen=capacity)
         self.dropped = 0
+        self._lock = threading.Lock()
 
     def record(self, span: Span) -> None:
         """Append one finished span (evicting the oldest when full)."""
-        if len(self._spans) == self.capacity:
-            self.dropped += 1
-        self._spans.append(span)
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self.dropped += 1
+            self._spans.append(span)
 
     def trace(self) -> "Trace":
         """An immutable snapshot of the buffered spans."""
-        return Trace(tuple(self._spans), dropped=self.dropped)
+        with self._lock:
+            return Trace(tuple(self._spans), dropped=self.dropped)
 
     def clear(self) -> None:
         """Drop all buffered spans and reset the dropped counter."""
-        self._spans.clear()
-        self.dropped = 0
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
 
     def __len__(self) -> int:
-        return len(self._spans)
+        with self._lock:
+            return len(self._spans)
 
     def __repr__(self) -> str:
         return (f"TraceRecorder({len(self._spans)}/{self.capacity} spans, "

@@ -4,10 +4,18 @@ Characteristic trees, tuple-equivalence oracles, and local-type
 computations are pure but repeatedly consulted; these helpers cache their
 results without letting caches grow without bound during long benchmark
 sweeps.
+
+Thread safety: both :func:`lru_cached` and :class:`CallCounter` are safe
+to share across threads (see ``docs/concurrency.md``).  The memo wrapper
+holds one re-entrant lock around lookup, computation, and insertion, so
+a cold key is computed exactly once even under contention — the memoized
+functions here are pure, so serializing their first computation is the
+cheap correct choice, and a warm hit pays only one uncontended acquire.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from functools import wraps
@@ -46,6 +54,12 @@ def lru_cached(maxsize: int = 65536) -> Callable[[Callable[..., R]], Callable[..
     ``.evictions`` counter, and a ``.cache_clear()`` resetting all of
     them.  Keyword arguments are supported and keyed order-insensitively.
 
+    The wrapper is **thread-safe**: one re-entrant lock guards the
+    cache and its counters, held across the underlying call too, so a
+    cold key is computed once even when several threads race for it
+    (re-entrant so memoized functions may recurse through themselves).
+    The lock object is exposed as ``.lock`` for introspection.
+
     Doctest::
 
         >>> @lru_cached(maxsize=2)
@@ -75,29 +89,36 @@ def lru_cached(maxsize: int = 65536) -> Callable[[Callable[..., R]], Callable[..
 
     def decorate(fn: Callable[..., R]) -> Callable[..., R]:
         cache: OrderedDict[Hashable, R] = OrderedDict()
+        lock = threading.RLock()
 
         @wraps(fn)
         def wrapper(*args: Hashable, **kwargs: Hashable) -> R:
             key = _make_key(args, kwargs)
-            if key in cache:
-                cache.move_to_end(key)
-                wrapper.hits += 1  # type: ignore[attr-defined]
-                return cache[key]
-            result = fn(*args, **kwargs)
-            cache[key] = result
-            wrapper.misses += 1  # type: ignore[attr-defined]
-            if len(cache) > maxsize:
-                cache.popitem(last=False)
-                wrapper.evictions += 1  # type: ignore[attr-defined]
-            return result
+            with lock:
+                if key in cache:
+                    cache.move_to_end(key)
+                    wrapper.hits += 1  # type: ignore[attr-defined]
+                    return cache[key]
+                # Compute with the lock held: fn is pure, recursion is
+                # covered by re-entrancy, and racing threads wait for
+                # one computation instead of duplicating it.
+                result = fn(*args, **kwargs)
+                cache[key] = result
+                wrapper.misses += 1  # type: ignore[attr-defined]
+                if len(cache) > maxsize:
+                    cache.popitem(last=False)
+                    wrapper.evictions += 1  # type: ignore[attr-defined]
+                return result
 
         def cache_clear() -> None:
-            cache.clear()
-            wrapper.hits = 0  # type: ignore[attr-defined]
-            wrapper.misses = 0  # type: ignore[attr-defined]
-            wrapper.evictions = 0  # type: ignore[attr-defined]
+            with lock:
+                cache.clear()
+                wrapper.hits = 0  # type: ignore[attr-defined]
+                wrapper.misses = 0  # type: ignore[attr-defined]
+                wrapper.evictions = 0  # type: ignore[attr-defined]
 
         wrapper.cache = cache  # type: ignore[attr-defined]
+        wrapper.lock = lock  # type: ignore[attr-defined]
         wrapper.hits = 0  # type: ignore[attr-defined]
         wrapper.misses = 0  # type: ignore[attr-defined]
         wrapper.evictions = 0  # type: ignore[attr-defined]
@@ -114,6 +135,11 @@ class CallCounter:
     through "is u ∈ Rᵢ?" questions, and experiments report how many such
     questions each algorithm asks.
 
+    The counter increment is atomic (guarded by a private lock), so a
+    database shared between engine threads never loses oracle-question
+    counts to an interleaved ``calls += 1``.  The wrapped callable runs
+    *outside* the lock.
+
     Doctest::
 
         >>> counted = CallCounter(abs, name="abs")
@@ -129,14 +155,17 @@ class CallCounter:
         self._fn = fn
         self.name = name or getattr(fn, "__name__", "callable")
         self.calls = 0
+        self._lock = threading.Lock()
 
     def __call__(self, *args, **kwargs) -> R:
-        self.calls += 1
+        with self._lock:
+            self.calls += 1
         return self._fn(*args, **kwargs)
 
     def reset(self) -> None:
         """Zero the call counter."""
-        self.calls = 0
+        with self._lock:
+            self.calls = 0
 
     def __repr__(self) -> str:
         return f"CallCounter({self.name}, calls={self.calls})"

@@ -150,3 +150,65 @@ class TestAsBudget:
 
     def test_reason_vocabulary_is_closed(self):
         assert REASONS == (OUT_OF_FUEL, DEADLINE, CANCELLED)
+
+
+class TestAtomicCharging:
+    """The check-then-commit charge contract (docs/concurrency.md)."""
+
+    def test_failed_charge_consumes_nothing(self):
+        b = Budget(max_steps=3)
+        b.charge(2)
+        with pytest.raises(OutOfFuel) as exc:
+            b.charge(5)
+        assert exc.value.steps == 7   # the attempted total
+        assert b.steps == 2           # rolled back, not committed
+        b.charge(1)                   # remaining allowance still usable
+        assert b.steps == 3
+
+    def test_steps_never_exceed_limit(self):
+        b = Budget(max_steps=10)
+        for __ in range(10):
+            b.charge()
+        for __ in range(5):
+            with pytest.raises(OutOfFuel):
+                b.charge()
+        assert b.steps == 10
+
+    def test_concurrent_charges_are_exact(self):
+        import threading
+        threads, ops = 8, 2000
+        limit = threads * ops // 2
+        b = Budget(max_steps=limit)
+        successes = [0] * threads
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def work(i):
+            try:
+                barrier.wait()
+                for __ in range(ops):
+                    try:
+                        b.charge()
+                        successes[i] += 1
+                    except OutOfFuel:
+                        pass
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        ts = [threading.Thread(target=work, args=(i,))
+              for i in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert errors == []
+        assert b.steps == limit
+        assert sum(successes) == limit
+
+    def test_oracle_charges_are_atomic_too(self):
+        b = Budget(max_oracle_calls=2)
+        b.charge_oracle()
+        b.charge_oracle()
+        with pytest.raises(OutOfFuel):
+            b.charge_oracle()
+        assert b.oracle_calls == 2
