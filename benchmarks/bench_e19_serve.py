@@ -1,0 +1,204 @@
+"""E19 — serving: latency/throughput of the HTTP tier, plus its
+correctness gates.
+
+Claim: putting the unified engine behind the asyncio serving tier
+keeps the engine's answers bit-identical (the serve-aware differential
+oracle comes back clean), enforces tenant quotas without collateral
+damage (a 429'd tenant never blocks another), and the warm path —
+compile memo + fingerprint-keyed result cache — makes repeat traffic
+cheaper than cold traffic.  Measured: per-request p50/p99 latency and
+aggregate throughput at 1/8/64 concurrent clients, cold (fresh server
+per scenario) vs warm (workload pre-played once), with the
+differential and quota gates asserted on the same servers.
+
+Run under pytest (tier-2: ``pytest benchmarks/bench_e19_serve.py -s``)
+or as a script emitting the E19 JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_e19_serve.py --out=e19.json
+"""
+
+import json
+import sys
+import threading
+import time
+
+from repro.check.serve import run_serve_check
+from repro.serve import ServeClient, ServeError, start_in_thread
+from repro.serve.config import config_from_dict
+
+try:
+    from conftest import report
+except ImportError:  # script mode: benchmarks/ is not on sys.path
+    def report(title, rows):
+        """Print an experiment's data series (script-mode fallback)."""
+        print(f"\n[{title}]")
+        for row in rows:
+            print("   ", *row)
+
+#: The steady-state request mix: four frontends, two databases.
+WORKLOAD = (
+    ("rado", "fo", "forall x. exists y. R1(x, y)"),
+    ("rado", "fo", "exists x. R1(x, x)"),
+    ("rado", "qlhs", "R1 & !R1"),
+    ("rado", "gmhs", "exists x. R1(x, x)"),
+    ("clique", "fo", "forall x. forall y. (R1(x, y) or x = y)"),
+    ("pair", "qlf", "R1 & swap(R1)"),
+)
+
+#: Concurrency levels of the load scenarios.
+CLIENT_COUNTS = (1, 8, 64)
+
+#: Total requests per scenario (split across the clients).
+TOTAL_REQUESTS = 192
+
+QUOTA_CONFIG = {
+    "databases": {"rado": {"kind": "builtin"}},
+    "tenants": {"default": {}, "capped": {"max_requests": 5}},
+}
+
+
+def percentile(samples, q):
+    """The q-quantile (0..1) of a non-empty sample list, by rank."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def drive(base_url, clients, per_client):
+    """Hammer the server: ``clients`` threads, ``per_client`` requests
+    each, round-robin over WORKLOAD.  Returns (latencies_s, wall_s)."""
+    latencies = []
+    lock = threading.Lock()
+
+    def worker(worker_index):
+        client = ServeClient(base_url)
+        mine = []
+        for i in range(per_client):
+            database, frontend, query = WORKLOAD[
+                (worker_index + i) % len(WORKLOAD)]
+            t0 = time.perf_counter()
+            body = client.eval(database, query, frontend=frontend)
+            mine.append(time.perf_counter() - t0)
+            assert body["status"] in ("true", "false", "unknown")
+        with lock:
+            latencies.extend(mine)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return latencies, wall
+
+
+def run_scenario(clients, warm):
+    """One (clients, warm) cell: fresh server, optional pre-play,
+    measured drive.  Returns the scenario row dict."""
+    per_client = max(1, TOTAL_REQUESTS // clients)
+    with start_in_thread(port=0) as server:
+        if warm:
+            drive(server.base_url, 1, len(WORKLOAD))
+        latencies, wall = drive(server.base_url, clients, per_client)
+    requests = len(latencies)
+    return {
+        "clients": clients,
+        "warm": warm,
+        "requests": requests,
+        "p50_ms": percentile(latencies, 0.50) * 1e3,
+        "p99_ms": percentile(latencies, 0.99) * 1e3,
+        "throughput_rps": requests / wall if wall else 0.0,
+    }
+
+
+def run_quota_gate():
+    """The 429 gate: a capped tenant is refused with a structured
+    reason while the default tenant keeps serving."""
+    with start_in_thread(config_from_dict(QUOTA_CONFIG)) as server:
+        client = ServeClient(server.base_url)
+        for __ in range(5):
+            client.eval("rado", "exists x. R1(x, x)", tenant="capped")
+        try:
+            client.eval("rado", "exists x. R1(x, x)", tenant="capped")
+        except ServeError as exc:
+            refusal = exc.payload
+            status = exc.status
+        else:
+            raise AssertionError("6th capped request was not refused")
+        assert status == 429
+        assert refusal["error"] == "over_quota"
+        assert refusal["dimension"] == "requests"
+        survivor = client.eval("rado", "exists x. R1(x, x)")
+        assert survivor["status"] == "false"
+        return {"status": status, "refusal": refusal,
+                "other_tenant_status": survivor["status"]}
+
+
+def run_differential_gate():
+    """The bit-for-bit gate: served == in-process on the oracle pool."""
+    with start_in_thread(port=0) as server:
+        result = run_serve_check(server.base_url)
+    assert result["disagreements"] == [], result["disagreements"]
+    return result
+
+
+def run_experiment():
+    """All scenarios + both gates; returns the E19 JSON document."""
+    scenarios = [run_scenario(clients, warm)
+                 for warm in (False, True)
+                 for clients in CLIENT_COUNTS]
+    differential = run_differential_gate()
+    quota = run_quota_gate()
+    return {"experiment": "E19", "workload": len(WORKLOAD),
+            "scenarios": scenarios, "differential": differential,
+            "quota": quota}
+
+
+def test_e19_serve_load():
+    """E19 under pytest: all cells measured, both gates green."""
+    result = run_experiment()
+    report("E19 serve: latency/throughput",
+           [(f"{row['clients']:>2} clients",
+             "warm" if row["warm"] else "cold",
+             f"p50 {row['p50_ms']:8.2f} ms",
+             f"p99 {row['p99_ms']:8.2f} ms",
+             f"{row['throughput_rps']:8.1f} req/s")
+            for row in result["scenarios"]])
+    for row in result["scenarios"]:
+        assert row["requests"] > 0
+        assert row["throughput_rps"] > 0
+    assert result["differential"]["disagreements"] == []
+    assert result["quota"]["status"] == 429
+
+
+def main(argv):
+    """Script mode: run everything, print the table, write ``--out``."""
+    out = None
+    for arg in argv:
+        if arg.startswith("--out="):
+            out = arg.split("=", 1)[1]
+        else:
+            raise SystemExit(
+                "usage: python benchmarks/bench_e19_serve.py [--out=F]")
+    result = run_experiment()
+    for row in result["scenarios"]:
+        print(f"  {row['clients']:>2} clients "
+              f"{'warm' if row['warm'] else 'cold'}: "
+              f"p50 {row['p50_ms']:8.2f} ms  "
+              f"p99 {row['p99_ms']:8.2f} ms  "
+              f"{row['throughput_rps']:8.1f} req/s")
+    print(f"  differential: {result['differential']['agreements']}/"
+          f"{result['differential']['cases']} agree")
+    print(f"  quota gate: HTTP {result['quota']['status']} "
+          f"({result['quota']['refusal']['dimension']})")
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+        print(f"  wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -35,11 +35,22 @@ Commands
     exceptions, sequential-reference agreement).  ``--budget-s`` loops
     fresh-seeded rounds for a wall-clock budget; exit status 1 when
     any invariant broke.
+``serve [--config=FILE] [--host=H] [--port=P] [--print-config]``
+    Run the HTTP/JSON serving tier (``repro.serve``): the unified
+    engine behind ``POST /eval`` / ``POST /eval_batch`` (streamed
+    NDJSON verdicts), with a catalog of named databases, per-tenant
+    quotas (HTTP 429 on exhaustion), and ``GET /stats`` / ``GET
+    /trace`` observability.  ``--config`` loads a TOML or JSON config
+    (see ``docs/serving.md``); without it the batteries-included
+    default catalog is served.  ``--print-config`` dumps the effective
+    config as JSON and exits.
 ``trace NAME FORMULA [--jsonl=FILE]``
     Evaluate through the engine under a
     :class:`~repro.trace.TraceRecorder` and print the span tree
     (name, duration, counters, status).  ``--jsonl=FILE`` also writes
     the trace in the JSONL schema documented in ``docs/tracing.md``.
+
+``python -m repro --version`` prints the library version and exits.
 
 Any command also accepts a global ``--trace=FILE`` flag: the whole run
 is recorded and the spans are written to ``FILE`` as JSONL on exit,
@@ -76,7 +87,7 @@ def cmd_info(args: list[str]) -> int:
     print("Reproduction of: Hirst & Harel, 'Completeness Results for "
           "Recursive Data Bases', PODS 1993 / JCSS 52 (1996).")
     print("\nSubpackages: core, logic, symmetric, qlhs, finite, fcf, "
-          "machines, bp, graphs, engine")
+          "machines, bp, graphs, engine, serve")
     print("Docs: README.md, DESIGN.md, EXPERIMENTS.md; runnable demos "
           "in examples/")
     return 0
@@ -199,6 +210,37 @@ def cmd_trace(args: list[str]) -> int:
     return 0
 
 
+def cmd_serve(args: list[str]) -> int:
+    """``serve`` — run the HTTP/JSON serving tier until interrupted."""
+    import json
+
+    from .serve import default_config, load_config, serve_forever
+
+    config_path = None
+    host = None
+    port = None
+    print_config = False
+    for arg in args:
+        if arg.startswith("--config="):
+            config_path = arg.split("=", 1)[1]
+        elif arg.startswith("--host="):
+            host = arg.split("=", 1)[1]
+        elif arg.startswith("--port="):
+            port = int(arg.split("=", 1)[1])
+        elif arg == "--print-config":
+            print_config = True
+        else:
+            raise SystemExit(
+                "usage: python -m repro serve [--config=FILE] [--host=H] "
+                "[--port=P] [--print-config]")
+    config = (load_config(config_path) if config_path is not None
+              else default_config())
+    if print_config:
+        print(json.dumps(config.to_dict(), indent=2, sort_keys=True))
+        return 0
+    return serve_forever(config, host=host, port=port)
+
+
 def cmd_check(args: list[str]) -> int:
     """``check`` — differential & metamorphic frontend fuzzing."""
     from .check.runner import main as check_main
@@ -214,6 +256,7 @@ COMMANDS = {
     "engine": cmd_engine,
     "trace": cmd_trace,
     "check": cmd_check,
+    "serve": cmd_serve,
 }
 
 
@@ -231,10 +274,15 @@ def main(argv: list[str] | None = None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    if argv[0] in ("--version", "-V"):
+        print(f"recdb {__version__}")
+        return 0
     command, *rest = argv
     if command not in COMMANDS:
-        print(f"unknown command {command!r}; choose from "
-              f"{sorted(COMMANDS)}", file=sys.stderr)
+        print(f"unknown command {command!r}\n"
+              f"usage: python -m repro COMMAND [ARGS...]\n"
+              f"commands: {', '.join(sorted(COMMANDS))} "
+              "(python -m repro --help for details)", file=sys.stderr)
         return 2
     if trace_file is None:
         return COMMANDS[command](rest)

@@ -41,6 +41,17 @@ class CacheStats:
         """Hits per request (0.0 when the cache was never consulted)."""
         return self.hits / self.requests if self.requests else 0.0
 
+    def to_dict(self) -> dict:
+        """A JSON-safe dict (round-trips through :meth:`from_dict`)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": self.size}
+
+    @staticmethod
+    def from_dict(data: dict) -> "CacheStats":
+        """Rebuild a :class:`CacheStats` from :meth:`to_dict` output."""
+        return CacheStats(hits=data["hits"], misses=data["misses"],
+                          evictions=data["evictions"], size=data["size"])
+
 
 @dataclass(frozen=True)
 class EngineStats:
@@ -63,6 +74,51 @@ class EngineStats:
     verdicts_false: int = 0
     verdicts_unknown: int = 0
     unknown_reasons: tuple[tuple[str, int], ...] = ()
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict of the whole snapshot.
+
+        This is the wire format of the serving tier's ``GET /stats``
+        endpoint; ``json.dumps(stats.to_dict())`` always succeeds and
+        :meth:`from_dict` inverts it exactly (tuples become lists in
+        JSON and are restored on the way back).
+        """
+        return {
+            "plan_cache": self.plan_cache.to_dict(),
+            "result_cache": self.result_cache.to_dict(),
+            "oracle_questions": self.oracle_questions,
+            "evaluations": self.evaluations,
+            "batch_requests": self.batch_requests,
+            "wall_time": self.wall_time,
+            "node_timings": [[kind, count, seconds]
+                             for kind, count, seconds in self.node_timings],
+            "verdicts": {"true": self.verdicts_true,
+                         "false": self.verdicts_false,
+                         "unknown": self.verdicts_unknown},
+            "unknown_reasons": {r: n for r, n in self.unknown_reasons},
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "EngineStats":
+        """Rebuild an :class:`EngineStats` from :meth:`to_dict` output
+        (including a ``json.loads(json.dumps(...))`` round trip)."""
+        verdicts = data["verdicts"]
+        return EngineStats(
+            plan_cache=CacheStats.from_dict(data["plan_cache"]),
+            result_cache=CacheStats.from_dict(data["result_cache"]),
+            oracle_questions=data["oracle_questions"],
+            evaluations=data["evaluations"],
+            batch_requests=data["batch_requests"],
+            wall_time=data["wall_time"],
+            node_timings=tuple(
+                (kind, count, seconds)
+                for kind, count, seconds in data["node_timings"]),
+            verdicts_true=verdicts["true"],
+            verdicts_false=verdicts["false"],
+            verdicts_unknown=verdicts["unknown"],
+            unknown_reasons=tuple(
+                sorted(data["unknown_reasons"].items())),
+        )
 
     def format(self) -> str:
         """A human-readable block (the CLI's ``--stats`` output)."""

@@ -1,0 +1,50 @@
+"""The serving tier: the unified engine behind an HTTP/JSON API.
+
+``repro.serve`` exposes the four-frontend engine over asyncio HTTP
+(stdlib only): a catalog of named databases built lazily behind one
+shared engine cache, multi-tenant admission control with per-request
+budget forks, streamed batch evaluation, and stats/trace
+observability.  Start one with ``python -m repro serve`` or, in
+process, :func:`start_in_thread`; talk to it with
+:class:`~repro.serve.client.ServeClient`.  Wire formats and quota
+semantics are documented in ``docs/serving.md``.
+"""
+
+from .catalog import FRONTENDS, Catalog, QueryError
+from .client import ServeClient, ServeError
+from .config import (
+    ConfigError,
+    DatabaseSpec,
+    ServeConfig,
+    TenantSpec,
+    config_from_dict,
+    default_config,
+    load_config,
+)
+from .protocol import ProtocolError
+from .server import ServeApp, ServerHandle, serve_forever, start_in_thread
+from .tenants import QuotaExceeded, Tenant, TenantRegistry, UnknownTenant
+
+__all__ = [
+    "FRONTENDS",
+    "Catalog",
+    "ConfigError",
+    "DatabaseSpec",
+    "ProtocolError",
+    "QueryError",
+    "QuotaExceeded",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerHandle",
+    "Tenant",
+    "TenantRegistry",
+    "TenantSpec",
+    "UnknownTenant",
+    "config_from_dict",
+    "default_config",
+    "load_config",
+    "serve_forever",
+    "start_in_thread",
+]

@@ -1,0 +1,148 @@
+"""A blocking client for the serving tier (stdlib ``http.client``).
+
+:class:`ServeClient` wraps the HTTP/JSON API so tests, the E19 load
+generator, and the CI smoke job never hand-roll requests::
+
+    with start_in_thread(port=0) as server:
+        client = ServeClient(server.base_url)
+        verdict = client.eval("rado", "exists x. E(x, x)")
+        for line in client.eval_batch("rado", ["E(c0, c1)", "E(c0, c0)"]):
+            print(line["index"], line.get("status"))
+
+Non-2xx responses raise :class:`ServeError` carrying the parsed error
+body, so a 429 surfaces as ``exc.payload["dimension"]`` rather than a
+string to grep.  ``eval_batch`` is a generator over the streamed
+NDJSON lines — members arrive as the server finishes them, ending
+with the ``{"done": true, ...}`` summary line.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from http.client import HTTPConnection
+from typing import Iterator
+from urllib.parse import urlsplit
+
+
+class ServeError(Exception):
+    """A non-2xx response; ``status`` plus the parsed JSON ``payload``."""
+
+    def __init__(self, status: int, payload: dict):
+        detail = payload.get("detail", payload.get("error", ""))
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """A blocking HTTP client bound to one server ``base_url``.
+
+    Each call opens a fresh connection (the server is
+    ``Connection: close``), so one client object is safe to share
+    across threads — the E19 bench drives 64 of them concurrently.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(f"need an http://host:port URL, got "
+                             f"{base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port if parts.port is not None else 80
+        self.timeout = timeout
+
+    def _connect(self) -> HTTPConnection:
+        """A fresh connection (one per request: the server closes)."""
+        return HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        """One non-streaming exchange; parsed JSON body or
+        :class:`ServeError`."""
+        conn = self._connect()
+        try:
+            body = (None if payload is None
+                    else json.dumps(payload).encode("utf-8"))
+            conn.request(method, path, body=body,
+                         headers={"Content-Type": "application/json"}
+                         if body else {})
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.status >= 400:
+            raise ServeError(response.status, data)
+        return data
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval(self, database: str, query: str, *, frontend: str = "fo",
+             tenant: str | None = None) -> dict:
+        """``POST /eval``: one three-valued verdict as a dict
+        (``status`` / ``reason`` / ``steps`` / ``wall_us`` ...)."""
+        payload = {"database": database, "frontend": frontend,
+                   "query": query}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self._request("POST", "/eval", payload)
+
+    def eval_batch(self, database: str, queries: list[str], *,
+                   frontend: str = "fo",
+                   tenant: str | None = None) -> Iterator[dict]:
+        """``POST /eval_batch``: yield each streamed NDJSON line as it
+        arrives (members in completion order, then the summary line)."""
+        payload = {"database": database, "frontend": frontend,
+                   "queries": list(queries)}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        conn = self._connect()
+        try:
+            conn.request("POST", "/eval_batch",
+                         body=json.dumps(payload).encode("utf-8"),
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServeError(response.status,
+                                 json.loads(response.read() or b"{}"))
+            while True:
+                try:
+                    line = response.fp.readline()
+                except (socket.timeout, OSError) as exc:
+                    raise ServeError(
+                        499, {"error": "stream_interrupted",
+                              "detail": str(exc)}) from exc
+                if not line:
+                    return
+                yield json.loads(line)
+        finally:
+            conn.close()
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """``GET /stats``."""
+        return self._request("GET", "/stats")
+
+    def catalog(self) -> dict:
+        """``GET /catalog``."""
+        return self._request("GET", "/catalog")
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def trace(self, n: int = 200) -> list[dict]:
+        """``GET /trace?n=K``: the last K span records, parsed."""
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/trace?n={n}")
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        if response.status >= 400:
+            raise ServeError(response.status,
+                             json.loads(raw or b"{}"))
+        return [json.loads(line) for line in raw.splitlines() if line]

@@ -1,0 +1,378 @@
+"""Serving-tier configuration: databases, tenants, server knobs.
+
+A :class:`ServeConfig` is the declarative face of the service — the
+"config + constructor" shape of the related ``aics_modeling_db``
+catalog layer (PAPERS.md): each named database entry says *how to
+build* a database (it is not built until first use, see
+:mod:`repro.serve.catalog`), and each tenant entry says *how much* of
+the engine a client may consume (:mod:`repro.serve.tenants`).
+
+Configs load from JSON always, and from TOML when the interpreter
+ships :mod:`tomllib` (3.11+); the two spell the same schema, which is
+documented in ``docs/serving.md`` and exercised by
+``tests/test_serve/test_config.py``.
+
+Database kinds
+--------------
+``builtin``
+    One of the library's built-in hs-r-dbs: ``clique``, ``rado``,
+    ``triangles``, ``k3k2``.
+``finite``
+    A finite database embedded into an infinite domain
+    (:func:`repro.symmetric.constructions.from_finite_database`):
+    ``relations`` is a list of ``{"rank": r, "tuples": [...]}`` and
+    ``domain`` the finite domain size.
+``fcf``
+    A finite/co-finite database (Section 4): ``relations`` is a list
+    of ``{"rank": r, "tuples": [...], "cofinite": bool}``.  Fcf
+    entries serve the ``qlf`` frontend natively and the hs frontends
+    through the Proposition 4.1 bridge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:  # Python 3.11+; JSON remains the floor for older interpreters.
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None
+
+from ..errors import TypeSignatureError
+from ..trace import limits
+
+#: The builtin database names ``kind: builtin`` accepts (the same
+#: catalog the CLI's ``eval``/``engine``/``trace`` commands use).
+BUILTIN_DATABASES = ("clique", "rado", "triangles", "k3k2")
+
+#: Database kinds understood by :func:`DatabaseSpec.validate`.
+DATABASE_KINDS = ("builtin", "finite", "fcf")
+
+
+class ConfigError(TypeSignatureError):
+    """A malformed serving config (bad kind, missing field, bad type)."""
+
+
+@dataclass(frozen=True)
+class DatabaseSpec:
+    """One named database entry: how to construct it, lazily.
+
+    ``relations`` holds ``(rank, tuples, cofinite)`` triples for the
+    ``finite``/``fcf`` kinds (``cofinite`` is always ``False`` for
+    ``finite``); ``source`` names the builder for ``builtin``.
+    """
+
+    name: str
+    kind: str
+    source: str = ""
+    relations: tuple = ()
+    domain: int = 0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any inconsistency."""
+        if self.kind not in DATABASE_KINDS:
+            raise ConfigError(
+                f"database {self.name!r}: unknown kind {self.kind!r}; "
+                f"choose from {DATABASE_KINDS}")
+        if self.kind == "builtin":
+            if self.source not in BUILTIN_DATABASES:
+                raise ConfigError(
+                    f"database {self.name!r}: unknown builtin "
+                    f"{self.source!r}; choose from {BUILTIN_DATABASES}")
+            return
+        if not self.relations:
+            raise ConfigError(
+                f"database {self.name!r}: kind {self.kind!r} needs a "
+                "non-empty 'relations' list")
+        for rank, tuples, cofinite in self.relations:
+            if rank < 0:
+                raise ConfigError(
+                    f"database {self.name!r}: negative rank {rank}")
+            for t in tuples:
+                if len(t) != rank:
+                    raise ConfigError(
+                        f"database {self.name!r}: tuple {t!r} does not "
+                        f"match rank {rank}")
+                if any(not isinstance(x, int) or x < 0 for x in t):
+                    raise ConfigError(
+                        f"database {self.name!r}: tuple {t!r} must hold "
+                        "non-negative integers")
+            if cofinite and self.kind == "finite":
+                raise ConfigError(
+                    f"database {self.name!r}: kind 'finite' cannot "
+                    "carry co-finite relations")
+        if self.kind == "finite":
+            if self.domain < 1:
+                raise ConfigError(
+                    f"database {self.name!r}: kind 'finite' needs "
+                    "'domain' >= 1")
+            for rank, tuples, __ in self.relations:
+                for t in tuples:
+                    if any(x >= self.domain for x in t):
+                        raise ConfigError(
+                            f"database {self.name!r}: tuple {t!r} "
+                            f"outside domain of size {self.domain}")
+
+    def to_dict(self) -> dict:
+        """The JSON form of this entry (inverse of :func:`_database_spec`)."""
+        if self.kind == "builtin":
+            return {"kind": "builtin", "source": self.source}
+        out: dict = {"kind": self.kind, "relations": [
+            {"rank": rank, "tuples": [list(t) for t in tuples],
+             **({"cofinite": True} if cofinite else {})}
+            for rank, tuples, cofinite in self.relations]}
+        if self.kind == "finite":
+            out["domain"] = self.domain
+        return out
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's resource quotas.
+
+    Per-request dimensions (``max_steps``, ``max_oracle_calls``,
+    ``deadline_s``) bound a single evaluation and surface as ``UNKNOWN``
+    verdicts when tripped; admission dimensions (``max_concurrent``,
+    ``max_requests``, ``quota_steps``) gate whether a request is
+    *accepted at all* and surface as HTTP 429 with a structured reason
+    (:mod:`repro.serve.tenants`).  ``None`` means unlimited.
+    """
+
+    name: str
+    max_steps: int = limits.SERVE_REQUEST
+    max_oracle_calls: int | None = None
+    deadline_s: float | None = None
+    max_concurrent: int | None = None
+    max_requests: int | None = None
+    quota_steps: int | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a nonsensical quota."""
+        for label, value in (("max_steps", self.max_steps),
+                             ("max_oracle_calls", self.max_oracle_calls),
+                             ("max_concurrent", self.max_concurrent),
+                             ("max_requests", self.max_requests),
+                             ("quota_steps", self.quota_steps)):
+            if value is not None and value < 1:
+                raise ConfigError(
+                    f"tenant {self.name!r}: {label} must be >= 1 "
+                    f"(got {value})")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: deadline_s must be positive")
+
+    def to_dict(self) -> dict:
+        """The JSON form of this entry (``None`` fields omitted)."""
+        out: dict = {"max_steps": self.max_steps}
+        for label, value in (("max_oracle_calls", self.max_oracle_calls),
+                             ("deadline_s", self.deadline_s),
+                             ("max_concurrent", self.max_concurrent),
+                             ("max_requests", self.max_requests),
+                             ("quota_steps", self.quota_steps)):
+            if value is not None:
+                out[label] = value
+        return out
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The whole service description: databases + tenants + server knobs.
+
+    ``default_tenant`` names the tenant used by requests that carry no
+    ``"tenant"`` field; it must exist in ``tenants``.
+    """
+
+    databases: tuple[DatabaseSpec, ...]
+    tenants: tuple[TenantSpec, ...]
+    default_tenant: str = "default"
+    host: str = "127.0.0.1"
+    port: int = 8199
+    workers: int = 4
+    trace_capacity: int = 4096
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any inconsistency."""
+        if not self.databases:
+            raise ConfigError("config needs at least one database")
+        names = [d.name for d in self.databases]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate database names in {names}")
+        tenant_names = [t.name for t in self.tenants]
+        if len(set(tenant_names)) != len(tenant_names):
+            raise ConfigError(f"duplicate tenant names in {tenant_names}")
+        if self.default_tenant not in tenant_names:
+            raise ConfigError(
+                f"default tenant {self.default_tenant!r} is not declared "
+                f"in tenants {tenant_names}")
+        for spec in self.databases:
+            spec.validate()
+        for tenant in self.tenants:
+            tenant.validate()
+        if self.workers < 1:
+            raise ConfigError("server.workers must be >= 1")
+        if self.trace_capacity < 1:
+            raise ConfigError("server.trace_capacity must be >= 1")
+
+    def database(self, name: str) -> DatabaseSpec:
+        """The named database spec (:class:`KeyError` when absent)."""
+        for spec in self.databases:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    def tenant(self, name: str) -> TenantSpec:
+        """The named tenant spec (:class:`KeyError` when absent)."""
+        for spec in self.tenants:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        """The JSON form (what ``python -m repro serve --print-config``
+        emits; :func:`config_from_dict` inverts it)."""
+        return {
+            "databases": {d.name: d.to_dict() for d in self.databases},
+            "tenants": {t.name: t.to_dict() for t in self.tenants},
+            "server": {
+                "default_tenant": self.default_tenant,
+                "host": self.host,
+                "port": self.port,
+                "workers": self.workers,
+                "trace_capacity": self.trace_capacity,
+            },
+        }
+
+
+def _relations(name: str, entries) -> tuple:
+    """Parse a config ``relations`` list into ``(rank, tuples, cofinite)``."""
+    if not isinstance(entries, (list, tuple)):
+        raise ConfigError(
+            f"database {name!r}: 'relations' must be a list")
+    out = []
+    for entry in entries:
+        if not isinstance(entry, dict) or "rank" not in entry:
+            raise ConfigError(
+                f"database {name!r}: each relation needs at least a "
+                f"'rank' field (got {entry!r})")
+        tuples = tuple(tuple(t) for t in entry.get("tuples", ()))
+        out.append((int(entry["rank"]), tuples,
+                    bool(entry.get("cofinite", False))))
+    return tuple(out)
+
+
+def _database_spec(name: str, entry: dict) -> DatabaseSpec:
+    """One ``databases`` table entry → :class:`DatabaseSpec`."""
+    if not isinstance(entry, dict):
+        raise ConfigError(f"database {name!r}: entry must be a table/object")
+    kind = entry.get("kind", "builtin")
+    spec = DatabaseSpec(
+        name=name, kind=kind,
+        source=entry.get("source", name if kind == "builtin" else ""),
+        relations=(_relations(name, entry["relations"])
+                   if "relations" in entry else ()),
+        domain=int(entry.get("domain", 0)))
+    spec.validate()
+    return spec
+
+
+def _tenant_spec(name: str, entry: dict) -> TenantSpec:
+    """One ``tenants`` table entry → :class:`TenantSpec`."""
+    if not isinstance(entry, dict):
+        raise ConfigError(f"tenant {name!r}: entry must be a table/object")
+    known = {"max_steps", "max_oracle_calls", "deadline_s",
+             "max_concurrent", "max_requests", "quota_steps"}
+    unknown = set(entry) - known
+    if unknown:
+        raise ConfigError(
+            f"tenant {name!r}: unknown quota fields {sorted(unknown)}; "
+            f"choose from {sorted(known)}")
+    spec = TenantSpec(
+        name=name,
+        max_steps=int(entry.get("max_steps", limits.SERVE_REQUEST)),
+        max_oracle_calls=entry.get("max_oracle_calls"),
+        deadline_s=entry.get("deadline_s"),
+        max_concurrent=entry.get("max_concurrent"),
+        max_requests=entry.get("max_requests"),
+        quota_steps=entry.get("quota_steps"))
+    spec.validate()
+    return spec
+
+
+def config_from_dict(data: dict) -> ServeConfig:
+    """Build and validate a :class:`ServeConfig` from parsed JSON/TOML."""
+    if not isinstance(data, dict):
+        raise ConfigError("config root must be a table/object")
+    databases = tuple(_database_spec(name, entry)
+                      for name, entry in data.get("databases", {}).items())
+    tenant_table = data.get("tenants", {})
+    server = data.get("server", {})
+    default_tenant = server.get("default_tenant", "default")
+    if not tenant_table:
+        # No tenants declared: a single permissive default tenant, so
+        # a databases-only config is immediately servable.
+        tenant_table = {default_tenant: {}}
+    tenants = tuple(_tenant_spec(name, entry)
+                    for name, entry in tenant_table.items())
+    config = ServeConfig(
+        databases=databases,
+        tenants=tenants,
+        default_tenant=default_tenant,
+        host=server.get("host", "127.0.0.1"),
+        port=int(server.get("port", 8199)),
+        workers=int(server.get("workers", 4)),
+        trace_capacity=int(server.get("trace_capacity", 4096)))
+    config.validate()
+    return config
+
+
+def load_config(path: str | Path) -> ServeConfig:
+    """Load a config file; ``.toml`` parses as TOML, anything else as JSON.
+
+    TOML needs :mod:`tomllib` (Python 3.11+); on older interpreters a
+    ``.toml`` path raises :class:`ConfigError` asking for the JSON
+    spelling instead of failing with an import error mid-request.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if path.suffix.lower() == ".toml":
+        if tomllib is None:  # pragma: no cover - 3.10 only
+            raise ConfigError(
+                f"{path}: TOML configs need Python 3.11+ (tomllib); "
+                "use the JSON spelling instead")
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"{path}: invalid TOML: {exc}") from exc
+    else:
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path}: invalid JSON: {exc}") from exc
+    return config_from_dict(data)
+
+
+def default_config() -> ServeConfig:
+    """The batteries-included config (CLI ``--print-config``, tests,
+    and the E19 load generator): every builtin database, one small fcf
+    database, and two tenants — a permissive default and a strictly
+    quota'd ``metered`` tenant whose 429s are easy to demonstrate."""
+    return config_from_dict({
+        "databases": {
+            "clique": {"kind": "builtin"},
+            "rado": {"kind": "builtin"},
+            "triangles": {"kind": "builtin"},
+            "k3k2": {"kind": "builtin"},
+            "pair": {"kind": "fcf", "relations": [
+                {"rank": 2, "tuples": [[0, 1], [1, 0]]},
+                {"rank": 1, "tuples": [[0]], "cofinite": True},
+            ]},
+        },
+        "tenants": {
+            "default": {},
+            "metered": {"max_steps": 200_000, "max_concurrent": 2,
+                        "max_requests": 50, "quota_steps": 2_000_000},
+        },
+        "server": {"default_tenant": "default"},
+    })

@@ -1,0 +1,166 @@
+"""A minimal HTTP/1.1 layer over asyncio streams (stdlib only).
+
+The serving tier speaks just enough HTTP for its JSON API: request
+line + headers + ``Content-Length`` body in, status line + headers +
+body out, every exchange ``Connection: close``.  Closing per request
+keeps the state machine one screen long — no keep-alive, no chunked
+parsing — while still letting the server *stream*: a streaming
+response sends its headers without ``Content-Length`` and writes
+newline-delimited JSON until it closes the connection (the NDJSON
+convention ``POST /eval_batch`` uses).
+
+Deliberate limits (HTTP 400/413 on violation, never an exception to
+the event loop): request line and headers ≤ 16 KiB, bodies ≤ 8 MiB.
+"""
+
+from __future__ import annotations
+
+import json
+from asyncio import IncompleteReadError, LimitOverrunError, StreamReader
+from dataclasses import dataclass, field
+
+#: Hard caps on request size; violations are refused, not buffered.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reason phrases for the status codes the server emits.
+REASONS = {
+    200: "OK", 400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or over-limit request; carries the HTTP status."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object (:class:`ProtocolError`
+        400 on anything else)."""
+        if not self.body:
+            raise ProtocolError(400, "request body must be a JSON object")
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        return data
+
+
+def _parse_query(raw: str) -> dict[str, str]:
+    """``a=1&b=2`` → ``{"a": "1", "b": "2"}`` (no unquoting needed for
+    this API's integer-valued parameters)."""
+    out: dict[str, str] = {}
+    for part in raw.split("&"):
+        if not part:
+            continue
+        key, __, value = part.partition("=")
+        out[key] = value
+    return out
+
+
+async def read_request(reader: StreamReader) -> Request | None:
+    """Parse one request from the stream (``None`` on a clean EOF
+    before any bytes — the client connected and went away)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(400, "truncated request head") from exc
+    except LimitOverrunError as exc:
+        raise ProtocolError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(413, "request head too large")
+
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(400, "malformed request line") from exc
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    path, __, raw_query = target.partition("?")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise ProtocolError(400, "malformed Content-Length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError(413, f"body of {length} bytes refused")
+        try:
+            body = await reader.readexactly(length)
+        except IncompleteReadError as exc:
+            raise ProtocolError(400, "truncated request body") from exc
+    return Request(method=method.upper(), path=path,
+                   query=_parse_query(raw_query), headers=headers,
+                   body=body)
+
+
+def response_bytes(status: int, body: bytes,
+                   content_type: str = "application/json") -> bytes:
+    """A complete non-streaming response (headers + body)."""
+    reason = REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload) -> bytes:
+    """A JSON response (the API's default shape)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return response_bytes(status, body)
+
+
+def error_response(status: int, code: str, detail: str,
+                   extra: dict | None = None) -> bytes:
+    """The uniform error shape: ``{"error": code, "detail": ...}``."""
+    payload = {"error": code, "detail": detail}
+    if extra:
+        payload.update(extra)
+    return json_response(status, payload)
+
+
+def stream_head(status: int = 200,
+                content_type: str = "application/x-ndjson") -> bytes:
+    """Headers for a streaming response: no ``Content-Length`` — the
+    body runs until the server closes the connection."""
+    reason = REASONS.get(status, "Unknown")
+    return (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+
+
+def ndjson_line(payload) -> bytes:
+    """One streamed NDJSON record."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")

@@ -1,0 +1,250 @@
+"""Tenants: per-client budgets, quotas, and admission control.
+
+Every request to the serving tier runs on behalf of a *tenant*.  A
+:class:`Tenant` holds two layers of resource governance:
+
+* **per-request budgets** — each admitted request forks the tenant's
+  :class:`~repro.trace.Budget` template (fresh step/oracle counters,
+  shared cancellation flag, a fresh relative deadline when
+  ``deadline_s`` is set).  Exhausting any dimension *inside* the
+  evaluation surfaces as the three-valued contract's ``UNKNOWN``
+  verdict in a 200 response — the answer "don't know yet", not an
+  error;
+* **admission control** — ``max_concurrent`` (in-flight requests),
+  ``max_requests`` (lifetime request count), and ``quota_steps``
+  (cumulative interpreter steps across all finished requests) gate
+  whether a request is accepted at all.  An over-quota request is
+  refused up front with :class:`QuotaExceeded`, which the HTTP layer
+  renders as **429** plus a machine-readable body
+  (``{"error": "over_quota", "dimension": ..., ...}``).  One tenant
+  hitting its quota never affects another: all accounting is
+  per-tenant, and the engine cache they share is read-compatible by
+  fingerprint soundness.
+
+Admission and settlement are atomic under one per-tenant lock, so the
+counters stay exact when the asyncio loop admits while worker threads
+settle (the same check-then-commit discipline as
+:meth:`repro.trace.Budget.charge`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from ..trace import Budget, limits
+from .config import ServeConfig, TenantSpec
+
+
+class QuotaExceeded(Exception):
+    """An admission-control refusal (HTTP 429).
+
+    ``dimension`` is machine-readable: ``concurrent`` / ``requests`` /
+    ``steps``.  ``retryable`` distinguishes transient refusals (the
+    in-flight cap — retry once a slot frees) from exhausted lifetime
+    quotas.
+    """
+
+    def __init__(self, tenant: str, dimension: str, detail: str,
+                 retryable: bool):
+        super().__init__(detail)
+        self.tenant = tenant
+        self.dimension = dimension
+        self.detail = detail
+        self.retryable = retryable
+
+    def to_dict(self) -> dict:
+        """The structured 429 response body."""
+        return {"error": "over_quota", "tenant": self.tenant,
+                "dimension": self.dimension, "detail": self.detail,
+                "retryable": self.retryable}
+
+
+class UnknownTenant(Exception):
+    """A request named a tenant the config does not declare (HTTP 403)."""
+
+
+class Tenant:
+    """One tenant's live state: budget template plus quota counters.
+
+    Parameters
+    ----------
+    name:
+        The tenant name (requests route by it).
+    max_steps:
+        Per-request step allowance (default
+        :data:`repro.trace.limits.SERVE_REQUEST`).
+    max_oracle_calls / deadline_s:
+        Optional per-request oracle-question allowance and wall-clock
+        deadline in seconds.
+    max_concurrent / max_requests / quota_steps:
+        Admission quotas (``None`` = unlimited): in-flight cap,
+        lifetime request cap, cumulative step quota.
+    """
+
+    def __init__(self, name: str, *,
+                 max_steps: int = limits.SERVE_REQUEST,
+                 max_oracle_calls: int | None = None,
+                 deadline_s: float | None = None,
+                 max_concurrent: int | None = None,
+                 max_requests: int | None = None,
+                 quota_steps: int | None = None):
+        self.name = name
+        self.deadline_s = deadline_s
+        self.max_concurrent = max_concurrent
+        self.max_requests = max_requests
+        self.quota_steps = quota_steps
+        #: The per-request budget template; every admitted request
+        #: forks it, so ``cancel_all`` (server shutdown) interrupts
+        #: every in-flight request of this tenant at its next charge.
+        self.budget_template = Budget(
+            max_steps=max_steps, max_oracle_calls=max_oracle_calls)
+        self._lock = threading.Lock()
+        self.in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.steps_used = 0
+        self.oracle_calls_used = 0
+        self.verdicts: dict[str, int] = {}
+
+    @classmethod
+    def from_spec(cls, spec: TenantSpec) -> "Tenant":
+        """Build the live tenant from its validated config entry."""
+        return cls(spec.name,
+                   max_steps=spec.max_steps,
+                   max_oracle_calls=spec.max_oracle_calls,
+                   deadline_s=spec.deadline_s,
+                   max_concurrent=spec.max_concurrent,
+                   max_requests=spec.max_requests,
+                   quota_steps=spec.quota_steps)
+
+    @property
+    def max_steps(self) -> int | None:
+        """The per-request step allowance (the registry's knob)."""
+        return self.budget_template.max_steps
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, cost: int = 1) -> Budget:
+        """Admit one request of ``cost`` budget forks (batch = member
+        count), returning the request :class:`~repro.trace.Budget`.
+
+        Check-then-commit under the tenant lock: a refusal raises
+        :class:`QuotaExceeded` *without* consuming any quota.  The
+        caller must pair every successful ``admit`` with exactly one
+        :meth:`settle` (use :meth:`admission` for the context-managed
+        form).
+        """
+        with self._lock:
+            if (self.max_concurrent is not None
+                    and self.in_flight >= self.max_concurrent):
+                self.rejected += 1
+                raise QuotaExceeded(
+                    self.name, "concurrent",
+                    f"{self.in_flight} requests in flight >= cap "
+                    f"{self.max_concurrent}", retryable=True)
+            if (self.max_requests is not None
+                    and self.admitted + cost > self.max_requests):
+                self.rejected += 1
+                raise QuotaExceeded(
+                    self.name, "requests",
+                    f"request quota of {self.max_requests} exhausted "
+                    f"({self.admitted} used, {cost} asked)",
+                    retryable=False)
+            if (self.quota_steps is not None
+                    and self.steps_used >= self.quota_steps):
+                self.rejected += 1
+                raise QuotaExceeded(
+                    self.name, "steps",
+                    f"step quota of {self.quota_steps} exhausted "
+                    f"({self.steps_used} used)", retryable=False)
+            self.in_flight += 1
+            self.admitted += cost
+        return self.budget_template.fork(deadline=self.deadline_s)
+
+    def settle(self, *budgets: Budget, verdicts=()) -> None:
+        """Account one finished request: charge the consumed steps and
+        oracle questions against the lifetime quotas and count its
+        verdict statuses."""
+        with self._lock:
+            self.in_flight -= 1
+            for budget in budgets:
+                self.steps_used += budget.steps
+                self.oracle_calls_used += budget.oracle_calls
+            for status in verdicts:
+                self.verdicts[status] = self.verdicts.get(status, 0) + 1
+
+    @contextmanager
+    def admission(self, cost: int = 1):
+        """``with tenant.admission() as budget:`` — admit + auto-settle.
+
+        Only the *request* budget is settled; callers that fork
+        per-member budgets (batches) should use :meth:`admit` /
+        :meth:`settle` directly to account every member.
+        """
+        budget = self.admit(cost)
+        verdicts: list[str] = []
+        try:
+            yield budget, verdicts
+        finally:
+            self.settle(budget, verdicts=verdicts)
+
+    def cancel_all(self) -> None:
+        """Cancel every in-flight (and future) request of this tenant."""
+        self.budget_template.cancel()
+
+    # -- observability -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-safe view of quotas and usage (``GET /stats``)."""
+        with self._lock:
+            return {
+                "quotas": {
+                    "max_steps": self.budget_template.max_steps,
+                    "max_oracle_calls":
+                        self.budget_template.max_oracle_calls,
+                    "deadline_s": self.deadline_s,
+                    "max_concurrent": self.max_concurrent,
+                    "max_requests": self.max_requests,
+                    "quota_steps": self.quota_steps,
+                },
+                "in_flight": self.in_flight,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "steps_used": self.steps_used,
+                "oracle_calls_used": self.oracle_calls_used,
+                "verdicts": dict(self.verdicts),
+            }
+
+
+class TenantRegistry:
+    """The live tenants of one server, keyed by name."""
+
+    def __init__(self, config: ServeConfig):
+        self._tenants = {spec.name: Tenant.from_spec(spec)
+                         for spec in config.tenants}
+        self.default_name = config.default_tenant
+
+    def get(self, name: str | None) -> Tenant:
+        """The named tenant (default when ``name`` is ``None``);
+        :class:`UnknownTenant` when undeclared."""
+        key = self.default_name if name is None else name
+        tenant = self._tenants.get(key)
+        if tenant is None:
+            raise UnknownTenant(
+                f"no tenant {key!r}; declared: {sorted(self._tenants)}")
+        return tenant
+
+    def names(self) -> list[str]:
+        """All declared tenant names, sorted."""
+        return sorted(self._tenants)
+
+    def cancel_all(self) -> None:
+        """Cancel every tenant's in-flight work (server shutdown)."""
+        for tenant in self._tenants.values():
+            tenant.cancel_all()
+
+    def snapshot(self) -> dict:
+        """Per-tenant usage snapshots (``GET /stats``'s ``tenants``)."""
+        return {name: tenant.snapshot()
+                for name, tenant in sorted(self._tenants.items())}

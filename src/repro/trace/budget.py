@@ -156,7 +156,8 @@ class Budget:
 
     # -- derivation ----------------------------------------------------------
 
-    def fork(self, max_steps: int | None = None) -> "Budget":
+    def fork(self, max_steps: int | None = None, *,
+             deadline: float | None = None) -> "Budget":
         """A child budget: fresh counters, same limits.
 
         The absolute deadline and the cancellation flag are *shared*
@@ -166,17 +167,29 @@ class Budget:
         step limit (used for plan-level knobs like
         :class:`~repro.engine.plan.MachineFixpoint.max_steps`).
 
+        ``deadline`` gives the child a *relative* wall-clock allowance
+        measured from now (the serving tier's per-request clock: a
+        tenant template has no deadline, each admitted request forks
+        with one).  It can only tighten: when the parent already has an
+        absolute deadline, the child gets the earlier of the two —
+        forking never grants fresh wall-clock time.
+
         Edge case: forking a budget whose deadline is near (or past)
         expiry yields a child that is *already expired* — the child
         inherits the parent's absolute ``deadline_at``, its
         :attr:`remaining_seconds` is clamped at ``0.0`` rather than
         going negative, and its first :meth:`check` trips with reason
-        :data:`DEADLINE`.  Forking never grants fresh wall-clock time.
+        :data:`DEADLINE`.
         """
+        deadline_at = self.deadline_at
+        if deadline is not None:
+            requested = time.monotonic() + deadline
+            deadline_at = (requested if deadline_at is None
+                           else min(deadline_at, requested))
         return Budget(
             max_steps if max_steps is not None else self.max_steps,
             max_oracle_calls=self.max_oracle_calls,
-            _deadline_at=self.deadline_at,
+            _deadline_at=deadline_at,
             _cancel_event=self._cancel_event)
 
     # -- introspection -------------------------------------------------------

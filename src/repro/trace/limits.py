@@ -37,6 +37,7 @@ QLF_INTERPRETER = 1_000_000
 PQ_PIPELINE = 10_000_000
 ENGINE = 10_000_000
 CHECK_CASE = 200_000
+SERVE_REQUEST = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -119,4 +120,9 @@ REGISTRY: tuple[LimitSpec, ...] = (
         "budget_steps", CHECK_CASE,
         "one interpreter operation on any one frontend route of a fuzz case",
         "the route abstains (UNKNOWN); oracles compare modulo UNKNOWN"),
+    LimitSpec(
+        "repro.serve.tenants.Tenant",
+        "max_steps", SERVE_REQUEST,
+        "one interpreter operation of one HTTP request (per batch member)",
+        "the response verdict is UNKNOWN; admission overruns get HTTP 429"),
 )

@@ -98,6 +98,47 @@ class TestEngineCommand:
             main(["engine", "petersen", "exists x. R1(x, x)"])
 
 
+class TestVersionAndUsage:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == f"recdb {__version__}"
+
+    def test_short_version_flag(self, capsys):
+        assert main(["-V"]) == 0
+        assert "recdb" in capsys.readouterr().out
+
+    def test_unknown_command_prints_usage_to_stderr(self, capsys):
+        assert main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'frobnicate'" in err
+        assert "usage: python -m repro" in err
+        assert "serve" in err          # the command list is enumerated
+
+
+class TestServeCommand:
+    def test_print_config_emits_valid_json(self, capsys):
+        from repro.serve import config_from_dict, default_config
+        assert main(["serve", "--print-config"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        # sort_keys reorders the tables; compare order-insensitively.
+        assert config_from_dict(printed).to_dict() == \
+            default_config().to_dict()
+
+    def test_print_config_respects_config_file(self, capsys, tmp_path):
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(
+            {"databases": {"rado": {"kind": "builtin"}},
+             "tenants": {"default": {"max_steps": 777}}}))
+        assert main(["serve", f"--config={path}", "--print-config"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["tenants"]["default"]["max_steps"] == 777
+
+    def test_usage_error_on_unknown_flag(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--bogus"])
+
+
 class TestTraceCommand:
     def test_prints_verdict_and_tree(self, capsys):
         assert main(["trace", "rado",
@@ -155,3 +196,14 @@ class TestSubprocessSmoke:
     def test_unknown_command_exit_code(self):
         proc = run_module("frobnicate")
         assert proc.returncode == 2
+        assert "usage: python -m repro" in proc.stderr
+
+    def test_version_flag(self):
+        proc = run_module("--version")
+        assert proc.returncode == 0
+        assert proc.stdout.startswith("recdb ")
+
+    def test_serve_print_config(self):
+        proc = run_module("serve", "--print-config")
+        assert proc.returncode == 0
+        assert "databases" in json.loads(proc.stdout)

@@ -89,3 +89,9 @@ class TestLiveDefaultsMatchRegistry:
         ctx = CaseContext(gen_case(random.Random(7), 0))
         assert ctx.budget_steps == limits.CHECK_CASE
         assert ctx.budget().max_steps == limits.CHECK_CASE
+
+    def test_serve_tenant_default(self):
+        from repro.serve.tenants import Tenant
+        tenant = Tenant("t")
+        assert tenant.max_steps == limits.SERVE_REQUEST
+        assert tenant.admit().max_steps == limits.SERVE_REQUEST

@@ -1,0 +1,72 @@
+"""``EngineStats`` must round-trip exactly through its JSON wire form
+(the serving tier's ``GET /stats`` leaf format)."""
+
+import json
+
+from repro.engine import Engine, plan_from_sentence
+from repro.engine.stats import CacheStats, EngineStats, MutableEngineStats
+from repro.graphs import mixed_components_hsdb
+from repro.logic import parse
+
+
+class TestCacheStatsRoundTrip:
+    def test_round_trip(self):
+        stats = CacheStats(hits=3, misses=2, evictions=1, size=4)
+        assert CacheStats.from_dict(stats.to_dict()) == stats
+
+    def test_json_safe(self):
+        payload = json.dumps(CacheStats(hits=1).to_dict())
+        assert CacheStats.from_dict(json.loads(payload)).hits == 1
+
+
+class TestEngineStatsRoundTrip:
+    def test_default_round_trip(self):
+        stats = EngineStats()
+        assert EngineStats.from_dict(stats.to_dict()) == stats
+
+    def test_populated_round_trip_through_json_text(self):
+        stats = EngineStats(
+            plan_cache=CacheStats(hits=5, misses=1, size=1),
+            result_cache=CacheStats(hits=9, misses=3, evictions=2, size=3),
+            oracle_questions=42,
+            evaluations=7,
+            batch_requests=2,
+            wall_time=0.125,
+            node_timings=(("Fixpoint", 4, 0.1), ("Exists", 3, 0.025)),
+            verdicts_true=4,
+            verdicts_false=2,
+            verdicts_unknown=1,
+            unknown_reasons=(("deadline", 1),))
+        wire = json.dumps(stats.to_dict(), sort_keys=True)
+        restored = EngineStats.from_dict(json.loads(wire))
+        assert restored == stats
+        # And the round trip is idempotent at the wire level too.
+        assert json.dumps(restored.to_dict(), sort_keys=True) == wire
+
+    def test_verdict_dict_shape(self):
+        data = EngineStats(verdicts_true=2, verdicts_unknown=1,
+                           unknown_reasons=(("out_of_fuel", 1),)).to_dict()
+        assert data["verdicts"] == {"true": 2, "false": 0, "unknown": 1}
+        assert data["unknown_reasons"] == {"out_of_fuel": 1}
+
+    def test_mutable_snapshot_round_trips(self):
+        live = MutableEngineStats()
+        live.add(oracle_questions=3, evaluations=2, wall_time=0.5)
+        live.record_node("Fixpoint", 0.25)
+        live.record_verdict("true")
+        live.record_verdict("unknown", "deadline")
+        snapshot = live.snapshot(CacheStats(hits=1), CacheStats(misses=1))
+        assert EngineStats.from_dict(
+            json.loads(json.dumps(snapshot.to_dict()))) == snapshot
+
+    def test_real_engine_snapshot_round_trips(self):
+        engine = Engine(mixed_components_hsdb())
+        plan = plan_from_sentence(parse("exists x. R1(x, x)"),
+                                  engine.signature)
+        engine.eval(plan)
+        engine.eval(plan)            # warm: exercises the cache counters
+        snapshot = engine.stats()
+        restored = EngineStats.from_dict(
+            json.loads(json.dumps(snapshot.to_dict())))
+        assert restored == snapshot
+        assert restored.evaluations == 2

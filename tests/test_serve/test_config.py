@@ -1,0 +1,164 @@
+"""Serving config: schema validation, file loading, round trips."""
+
+import pytest
+
+from repro.serve.config import (
+    ConfigError,
+    DatabaseSpec,
+    ServeConfig,
+    TenantSpec,
+    config_from_dict,
+    default_config,
+    load_config,
+    tomllib,
+)
+
+
+class TestDefaultConfig:
+    def test_shape(self):
+        config = default_config()
+        assert [d.name for d in config.databases] == [
+            "clique", "rado", "triangles", "k3k2", "pair"]
+        assert sorted(t.name for t in config.tenants) == [
+            "default", "metered"]
+        assert config.default_tenant == "default"
+
+    def test_round_trips_through_to_dict(self):
+        config = default_config()
+        assert config_from_dict(config.to_dict()) == config
+
+    def test_metered_tenant_quotas(self):
+        metered = default_config().tenant("metered")
+        assert metered.max_requests == 50
+        assert metered.max_concurrent == 2
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown kind"):
+            config_from_dict({"databases": {"x": {"kind": "graphql"}}})
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ConfigError, match="unknown builtin"):
+            config_from_dict(
+                {"databases": {"x": {"kind": "builtin", "source": "web"}}})
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ConfigError, match="does not match rank"):
+            config_from_dict({"databases": {"x": {
+                "kind": "fcf",
+                "relations": [{"rank": 2, "tuples": [[0]]}]}}})
+
+    def test_finite_needs_domain(self):
+        with pytest.raises(ConfigError, match="domain"):
+            config_from_dict({"databases": {"x": {
+                "kind": "finite",
+                "relations": [{"rank": 1, "tuples": [[0]]}]}}})
+
+    def test_finite_tuple_outside_domain(self):
+        with pytest.raises(ConfigError, match="outside domain"):
+            config_from_dict({"databases": {"x": {
+                "kind": "finite", "domain": 2,
+                "relations": [{"rank": 1, "tuples": [[5]]}]}}})
+
+    def test_finite_rejects_cofinite(self):
+        with pytest.raises(ConfigError, match="co-finite"):
+            config_from_dict({"databases": {"x": {
+                "kind": "finite", "domain": 2,
+                "relations": [{"rank": 1, "tuples": [[0]],
+                               "cofinite": True}]}}})
+
+    def test_unknown_tenant_field(self):
+        with pytest.raises(ConfigError, match="unknown quota fields"):
+            config_from_dict({
+                "databases": {"rado": {"kind": "builtin"}},
+                "tenants": {"t": {"requests_per_hour": 9}}})
+
+    def test_nonpositive_quota(self):
+        with pytest.raises(ConfigError, match="max_requests"):
+            config_from_dict({
+                "databases": {"rado": {"kind": "builtin"}},
+                "tenants": {"t": {"max_requests": 0}},
+                "server": {"default_tenant": "t"}})
+
+    def test_default_tenant_must_be_declared(self):
+        with pytest.raises(ConfigError, match="not declared"):
+            config_from_dict({
+                "databases": {"rado": {"kind": "builtin"}},
+                "tenants": {"a": {}},
+                "server": {"default_tenant": "b"}})
+
+    def test_needs_a_database(self):
+        with pytest.raises(ConfigError, match="at least one database"):
+            config_from_dict({"databases": {}})
+
+    def test_direct_dataclass_duplicate_names(self):
+        config = ServeConfig(
+            databases=(DatabaseSpec("a", "builtin", source="rado"),
+                       DatabaseSpec("a", "builtin", source="rado")),
+            tenants=(TenantSpec("default"),))
+        with pytest.raises(ConfigError, match="duplicate database"):
+            config.validate()
+
+
+class TestDefaults:
+    def test_databases_only_config_gets_default_tenant(self):
+        config = config_from_dict(
+            {"databases": {"rado": {"kind": "builtin"}}})
+        tenant = config.tenant("default")
+        assert tenant.max_requests is None
+        assert config.default_tenant == "default"
+
+    def test_builtin_source_defaults_to_name(self):
+        config = config_from_dict({"databases": {"rado": {}}})
+        assert config.database("rado").source == "rado"
+
+
+class TestLoadConfig:
+    CONFIG = {
+        "databases": {
+            "rado": {"kind": "builtin"},
+            "tiny": {"kind": "finite", "domain": 3,
+                     "relations": [{"rank": 2, "tuples": [[0, 1]]}]},
+        },
+        "tenants": {"default": {"max_steps": 1000}},
+    }
+
+    def test_json(self, tmp_path):
+        import json
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(self.CONFIG))
+        config = load_config(path)
+        assert config.tenant("default").max_steps == 1000
+        assert config.database("tiny").domain == 3
+
+    @pytest.mark.skipif(tomllib is None, reason="tomllib needs 3.11+")
+    def test_toml(self, tmp_path):
+        path = tmp_path / "serve.toml"
+        path.write_text(
+            '[databases.rado]\nkind = "builtin"\n'
+            '[databases.tiny]\nkind = "finite"\ndomain = 3\n'
+            'relations = [{rank = 2, tuples = [[0, 1]]}]\n'
+            '[tenants.default]\nmax_steps = 1000\n')
+        assert load_config(path) == load_config_json(tmp_path, self.CONFIG)
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "serve.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            load_config(path)
+
+    @pytest.mark.skipif(tomllib is None, reason="tomllib needs 3.11+")
+    def test_bad_toml(self, tmp_path):
+        path = tmp_path / "serve.toml"
+        path.write_text("[databases\n")
+        with pytest.raises(ConfigError, match="invalid TOML"):
+            load_config(path)
+
+
+def load_config_json(tmp_path, data):
+    """Write ``data`` as JSON and load it (TOML-equivalence helper)."""
+    import json
+    path = tmp_path / "equiv.json"
+    path.write_text(json.dumps(data))
+    return load_config(path)

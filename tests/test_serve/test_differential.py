@@ -1,0 +1,47 @@
+"""The serve-aware oracle: HTTP verdicts == in-process verdicts."""
+
+import pytest
+
+from repro.check.serve import QUERY_POOL, run_serve_check
+from repro.serve import config_from_dict, start_in_thread
+
+
+@pytest.fixture(scope="module")
+def server():
+    with start_in_thread(port=0) as handle:
+        yield handle
+
+
+class TestDifferentialOracle:
+    def test_pool_covers_every_frontend(self):
+        assert {f for __, f, __ in QUERY_POOL} == {
+            "fo", "qlhs", "gmhs", "qlf"}
+
+    def test_sampled_agreement(self, server):
+        report = run_serve_check(server.base_url, sample=8, seed=7)
+        assert report["cases"] == 8
+        assert report["disagreements"] == []
+        assert report["agreements"] == 8
+
+    def test_full_pool_agreement(self, server):
+        report = run_serve_check(server.base_url)
+        assert report["cases"] == len(QUERY_POOL)
+        assert report["disagreements"] == []
+
+    def test_agreement_as_metered_tenant(self, server):
+        report = run_serve_check(server.base_url, sample=4, seed=1,
+                                 tenant="metered")
+        assert report["disagreements"] == []
+
+    def test_subset_catalog_restricts_pool(self):
+        # A config declaring only some pool databases must check only
+        # the rows it can serve — not crash on the missing ones.
+        config = config_from_dict({
+            "databases": {"rado": {"kind": "builtin"},
+                          "clique": {"kind": "builtin"}}})
+        expected = [row for row in QUERY_POOL
+                    if row[0] in ("rado", "clique")]
+        with start_in_thread(config, port=0) as handle:
+            report = run_serve_check(handle.base_url, config=config)
+        assert report["cases"] == len(expected)
+        assert report["disagreements"] == []

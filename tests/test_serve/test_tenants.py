@@ -1,0 +1,157 @@
+"""Tenant admission control: quotas, 429 reasons, exact accounting."""
+
+import threading
+
+import pytest
+
+from repro.serve.config import default_config
+from repro.serve.tenants import (
+    QuotaExceeded,
+    Tenant,
+    TenantRegistry,
+    UnknownTenant,
+)
+from repro.trace import limits
+
+
+class TestAdmission:
+    def test_admit_returns_fork_of_template(self):
+        tenant = Tenant("t", max_steps=123)
+        budget = tenant.admit()
+        assert budget.max_steps == 123
+        assert budget is not tenant.budget_template
+        assert tenant.in_flight == 1
+        tenant.settle(budget)
+        assert tenant.in_flight == 0
+
+    def test_default_allowance_is_the_registry_knob(self):
+        assert Tenant("t").max_steps == limits.SERVE_REQUEST
+
+    def test_concurrent_cap_is_retryable(self):
+        tenant = Tenant("t", max_concurrent=1)
+        first = tenant.admit()
+        with pytest.raises(QuotaExceeded) as exc:
+            tenant.admit()
+        assert exc.value.dimension == "concurrent"
+        assert exc.value.retryable is True
+        tenant.settle(first)
+        tenant.settle(tenant.admit())       # slot freed: admitted again
+
+    def test_request_quota_is_terminal(self):
+        tenant = Tenant("t", max_requests=2)
+        tenant.settle(tenant.admit())
+        tenant.settle(tenant.admit())
+        with pytest.raises(QuotaExceeded) as exc:
+            tenant.admit()
+        assert exc.value.dimension == "requests"
+        assert exc.value.retryable is False
+
+    def test_batch_cost_counts_members(self):
+        tenant = Tenant("t", max_requests=5)
+        budget = tenant.admit(cost=4)
+        tenant.settle(budget)
+        with pytest.raises(QuotaExceeded):
+            tenant.admit(cost=2)            # 4 + 2 > 5
+        tenant.settle(tenant.admit(cost=1))  # exactly 5 still fits
+
+    def test_step_quota_counts_settled_usage(self):
+        tenant = Tenant("t", quota_steps=10)
+        budget = tenant.admit()
+        budget.charge(12)                   # the request overspent
+        tenant.settle(budget)
+        with pytest.raises(QuotaExceeded) as exc:
+            tenant.admit()
+        assert exc.value.dimension == "steps"
+
+    def test_refusal_consumes_nothing(self):
+        tenant = Tenant("t", max_concurrent=1)
+        held = tenant.admit()
+        for __ in range(3):
+            with pytest.raises(QuotaExceeded):
+                tenant.admit()
+        assert tenant.admitted == 1
+        assert tenant.rejected == 3
+        tenant.settle(held)
+
+    def test_quota_exceeded_wire_shape(self):
+        exc = QuotaExceeded("t", "requests", "quota exhausted",
+                            retryable=False)
+        assert exc.to_dict() == {
+            "error": "over_quota", "tenant": "t",
+            "dimension": "requests", "detail": "quota exhausted",
+            "retryable": False}
+
+    def test_admission_context_manager_settles(self):
+        tenant = Tenant("t")
+        with tenant.admission() as (budget, verdicts):
+            budget.charge(7)
+            verdicts.append("true")
+        assert tenant.in_flight == 0
+        assert tenant.steps_used == 7
+        assert tenant.verdicts == {"true": 1}
+
+    def test_deadline_fork(self):
+        tenant = Tenant("t", deadline_s=60.0)
+        budget = tenant.admit()
+        assert budget.remaining_seconds is not None
+        assert budget.remaining_seconds <= 60.0
+        tenant.settle(budget)
+
+    def test_cancel_all_reaches_admitted_budgets(self):
+        tenant = Tenant("t")
+        budget = tenant.admit()
+        tenant.cancel_all()
+        assert budget.cancelled
+        tenant.settle(budget)
+
+    def test_accounting_is_exact_under_threads(self):
+        tenant = Tenant("t", max_requests=64)
+        outcomes = []
+
+        def worker():
+            try:
+                budget = tenant.admit()
+            except QuotaExceeded:
+                outcomes.append("rejected")
+                return
+            budget.charge(1)
+            tenant.settle(budget, verdicts=["true"])
+            outcomes.append("served")
+
+        threads = [threading.Thread(target=worker) for __ in range(80)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("served") == 64
+        assert outcomes.count("rejected") == 16
+        assert tenant.steps_used == 64
+        assert tenant.snapshot()["verdicts"] == {"true": 64}
+
+
+class TestRegistry:
+    @pytest.fixture()
+    def registry(self):
+        return TenantRegistry(default_config())
+
+    def test_none_routes_to_default(self, registry):
+        assert registry.get(None).name == "default"
+
+    def test_unknown_tenant(self, registry):
+        with pytest.raises(UnknownTenant, match="ghost"):
+            registry.get("ghost")
+
+    def test_names_and_snapshot(self, registry):
+        assert registry.names() == ["default", "metered"]
+        snapshot = registry.snapshot()
+        assert snapshot["metered"]["quotas"]["max_requests"] == 50
+        assert snapshot["default"]["in_flight"] == 0
+
+    def test_isolation(self, registry):
+        """Exhausting one tenant leaves the others serving."""
+        metered = registry.get("metered")
+        metered.settle(metered.admit(cost=50))
+        with pytest.raises(QuotaExceeded):
+            metered.admit()
+        budget = registry.get("default").admit()
+        registry.get("default").settle(budget)

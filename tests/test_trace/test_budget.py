@@ -119,6 +119,35 @@ class TestFork:
         with pytest.raises(OutOfFuel):
             grandchild.charge()
 
+    def test_fork_relative_deadline(self):
+        """``fork(deadline=s)`` grants a fresh relative allowance when
+        the parent has no deadline of its own."""
+        parent = Budget(max_steps=100)
+        child = parent.fork(deadline=60.0)
+        assert parent.remaining_seconds is None
+        remaining = child.remaining_seconds
+        assert remaining is not None and 0.0 < remaining <= 60.0
+        # Counters and limits still behave like a plain fork.
+        assert child.max_steps == 100
+        assert child.steps == 0
+
+    def test_fork_relative_deadline_capped_by_parent(self):
+        """A request deadline never grants more wall-clock time than
+        the parent budget has left (forking cannot extend a deadline)."""
+        parent = Budget(deadline=0.001)
+        time.sleep(0.005)
+        child = parent.fork(deadline=60.0)
+        assert child.expired
+        with pytest.raises(OutOfFuel) as exc:
+            child.check()
+        assert exc.value.reason == DEADLINE
+
+    def test_fork_relative_deadline_shares_cancellation(self):
+        parent = Budget()
+        child = parent.fork(deadline=60.0)
+        parent.cancel()
+        assert child.cancelled
+
     def test_remaining_seconds(self):
         assert Budget().remaining_seconds is None
         b = Budget(deadline=60.0)
