@@ -1,0 +1,71 @@
+"""The plan optimizer and compiled backend, end to end.
+
+Cold evaluation over a highly symmetric database is *oracle-bound*:
+the frontends lower each quantifier into a tower of projections, and
+every projection canonicalizes each tuple with ``≅_B`` oracle
+questions (Definition 2.4's cost currency).  ``repro.engine.optimize``
+rewrites those towers into quantifier chains — exactly, leaning on
+genericity and tree-relativized quantification — and
+``repro.engine.compile`` runs the result as fused closures.  Both are
+on by default; this script shows what they do and what they save.
+
+Run:  python examples/optimized_eval.py
+"""
+
+import time
+
+from repro.engine import (
+    Engine,
+    optimize_result,
+    plan_from_sentence,
+    plan_size,
+)
+from repro.logic import parse
+from repro.symmetric import rado_hsdb
+
+SENTENCE = "forall x. exists y. (R1(x, y) and x != y)"
+
+
+def main() -> None:
+    db = rado_hsdb()
+    plan = plan_from_sentence(parse(SENTENCE), db.signature)
+
+    # 1. What the optimizer does to the naive lowering.
+    result = optimize_result(plan, db.signature)
+    print(f"sentence:        {SENTENCE}")
+    print(f"naive plan:      {plan_size(plan)} nodes")
+    print(f"optimized plan:  {plan_size(result.plan)} nodes "
+          f"({result.total_rewrites} rewrites in {result.passes} passes)")
+    for rule, count in result.rewrites:
+        print(f"   {rule:<24} x{count}")
+
+    # 2. What that saves: same sentence, fresh database each time,
+    #    naive interpreted vs default (optimized + compiled) engine.
+    def cold_eval(**flags):
+        engine = Engine(rado_hsdb(), **flags)
+        t0 = time.perf_counter()
+        answer = engine.holds(plan_from_sentence(parse(SENTENCE),
+                                                 engine.signature))
+        elapsed = time.perf_counter() - t0
+        return answer, elapsed, engine.stats().oracle_questions
+
+    naive_answer, naive_s, naive_q = cold_eval(optimize=False,
+                                               compiled=False)
+    fast_answer, fast_s, fast_q = cold_eval()
+    assert fast_answer == naive_answer  # bit-for-bit contract
+    print(f"\ncold evaluation (fresh database, fresh caches):")
+    print(f"   interpreted:   {naive_s * 1e3:7.2f} ms, "
+          f"{naive_q} oracle questions")
+    print(f"   opt+compiled:  {fast_s * 1e3:7.2f} ms, "
+          f"{fast_q} oracle questions")
+    print(f"   same answer:   {fast_answer}")
+
+    # 3. The observability surface: rewrites, compiles, shared-probe
+    #    split — all in the standard stats snapshot.
+    engine = Engine(rado_hsdb())
+    engine.holds(plan_from_sentence(parse(SENTENCE), engine.signature))
+    print("\n" + engine.stats().format())
+
+
+if __name__ == "__main__":
+    main()

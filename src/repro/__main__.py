@@ -137,7 +137,9 @@ def cmd_eval(args: list[str]) -> int:
 
 
 def cmd_engine(args: list[str]) -> int:
-    """``engine NAME FORMULA [--repeat=N] [--stats]`` — engine route."""
+    """``engine NAME FORMULA [--repeat=N] [--stats] [--no-optimize]
+    [--no-compile]`` — engine route (optimizer + compiled backend on
+    by default; the flags select the naive interpreted path)."""
     from .engine import Engine, plan_from_sentence
     from .logic import parse
 
@@ -145,9 +147,15 @@ def cmd_engine(args: list[str]) -> int:
     positional = [a for a in args if not a.startswith("--")]
     repeat = 1
     show_stats = False
+    optimize = True
+    compiled = True
     for flag in flags:
         if flag == "--stats":
             show_stats = True
+        elif flag == "--no-optimize":
+            optimize = False
+        elif flag == "--no-compile":
+            compiled = False
         elif flag.startswith("--repeat="):
             repeat = int(flag.split("=", 1)[1])
         else:
@@ -158,13 +166,13 @@ def cmd_engine(args: list[str]) -> int:
     if len(positional) != 2:
         raise SystemExit(
             'usage: python -m repro engine NAME "SENTENCE" '
-            "[--repeat=N] [--stats]")
+            "[--repeat=N] [--stats] [--no-optimize] [--no-compile]")
     if repeat < 1:
         raise SystemExit("--repeat must be >= 1")
 
     hsdb = _builtin_hsdb(positional[0])
     sentence = parse(positional[1])
-    engine = Engine(hsdb)
+    engine = Engine(hsdb, optimize=optimize, compiled=compiled)
     plan = plan_from_sentence(sentence, hsdb.signature)
     answer = engine.holds(plan)
     for __ in range(repeat - 1):

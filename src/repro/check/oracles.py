@@ -33,6 +33,12 @@ The oracles:
 ``rewrites``
     Double negation, implication elimination, and NNF/De Morgan
     rewrites (and double complement on terms) preserve verdicts.
+``optimizer``
+    The three execution configurations of the hs engine — naive
+    interpreter, optimized plan, optimized + compiled closures
+    (:mod:`repro.engine.optimize` / :mod:`repro.engine.compile`) —
+    agree bit for bit: same verdict, same canonical value, same probe
+    memberships.
 """
 
 from __future__ import annotations
@@ -481,9 +487,71 @@ def rewrites(ctx: CaseContext) -> OracleOutcome:
     return OracleOutcome("rewrites", OK)
 
 
+def optimizer(ctx: CaseContext) -> OracleOutcome:
+    """Interpreted == optimized == optimized+compiled on the hs view.
+
+    The strongest equality the engine offers: not just verdict
+    agreement but canonical-*value* equality (the optimizer and the
+    compiled backend both promise bit-for-bit representative sets,
+    ``docs/optimizer.md``), plus pointwise probe membership for open
+    queries.
+    """
+    plan = _hs_plan(ctx)
+    if plan is None:
+        return OracleOutcome("optimizer", SKIP, "no hs plan")
+    case = ctx.case
+    want_members = bool(case.probes) and case.rank > 0
+    configs = (("interpreted", False, False),
+               ("optimized", True, False),
+               ("compiled", True, True))
+    results: list[tuple[str, Verdict, tuple[bool, ...] | None]] = []
+    for name, opt, comp in configs:
+        engine = Engine(ctx.hsdb, budget=ctx.budget(),
+                        optimize=opt, compiled=comp)
+        verdict = _engine_eval(engine, plan)
+        membership = (ctx.membership(verdict.value)
+                      if want_members and verdict.known else None)
+        results.append((name, verdict, membership))
+    base_name, base, base_members = results[0]
+    for name, v, members in results[1:]:
+        if v.conflicts(base):
+            return OracleOutcome(
+                "optimizer", FAIL,
+                f"{name}={v.status.upper()} vs {base_name}="
+                f"{base.status.upper()} on {case.describe()}")
+        if (v.known and base.known
+                and v.value is not None and base.value is not None
+                and v.value != base.value):
+            return OracleOutcome(
+                "optimizer", FAIL,
+                f"{name} computes a different canonical value than "
+                f"{base_name} on {case.describe()}")
+        if members is not None and base_members is not None:
+            for probe, x, y in zip(case.probes, members, base_members):
+                if x != y:
+                    return OracleOutcome(
+                        "optimizer", FAIL,
+                        f"{name} says {probe!r}∈Q is {x}, {base_name} "
+                        f"says {y} on {case.describe()}")
+    if all(v.is_unknown for __, v, __ in results):
+        return OracleOutcome("optimizer", UNKNOWN,
+                             "every configuration abstained")
+    return OracleOutcome("optimizer", OK)
+
+
 # ---------------------------------------------------------------------------
 # Plumbing shared by the metamorphic oracles.
 # ---------------------------------------------------------------------------
+
+def _hs_plan(ctx: CaseContext):
+    """The case's plan over the hs view, where the optimizer acts."""
+    case = ctx.case
+    if case.query_kind == "formula":
+        from ..engine import plan_from_formula
+        return plan_from_formula(ctx.query, list(ctx.variables),
+                                 ctx.hsdb.signature)
+    plans = lower_all(ctx.query, ctx.hsdb.signature)
+    return plans.get("qlhs") or plans.get("fo")
 
 def _primary_plan(ctx: CaseContext):
     """The one engine plan metamorphic oracles re-evaluate."""
@@ -518,16 +586,19 @@ ORACLES = {
     "parallel": parallel,
     "budget": budget,
     "rewrites": rewrites,
+    "optimizer": optimizer,
 }
 
 #: Which oracles run for which case kind.
 ORACLES_BY_KIND = {
-    "fo-hs": ("differential", "cache", "budget", "rewrites"),
-    "fo-open-hs": ("differential", "parallel", "cache", "rewrites"),
-    "fo-fcf": ("differential", "permutation", "cache", "rewrites"),
+    "fo-hs": ("differential", "cache", "budget", "rewrites", "optimizer"),
+    "fo-open-hs": ("differential", "parallel", "cache", "rewrites",
+                   "optimizer"),
+    "fo-fcf": ("differential", "permutation", "cache", "rewrites",
+               "optimizer"),
     "term-fcf": ("differential", "permutation", "parallel", "budget",
-                 "rewrites"),
-    "program-fcf": ("differential", "permutation", "budget"),
+                 "rewrites", "optimizer"),
+    "program-fcf": ("differential", "permutation", "budget", "optimizer"),
 }
 
 

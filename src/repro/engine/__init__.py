@@ -12,6 +12,12 @@ GMhs), built from:
   the key that makes cached results safely reusable across database
   copies (genericity, Definition 2.4, is the soundness argument);
 * :mod:`repro.engine.cache` — the two-level (plan, result) cache;
+* :mod:`repro.engine.optimize` — the rule-based plan optimizer
+  (complement pushdown, projection fusion, constant folding via
+  genericity; ``docs/optimizer.md``), on by default in
+  :meth:`Engine.prepare`;
+* :mod:`repro.engine.compile` — the compiled-closure execution
+  backend, on by default for cold evaluations;
 * :mod:`repro.engine.executor` — :class:`Engine`: cached evaluation,
   batched membership with an optional parallel path, metered end to
   end and governed by a :class:`~repro.trace.Budget`;
@@ -38,6 +44,7 @@ Quick use::
 """
 
 from .cache import EngineCache, PlanCache, ResultCache
+from .compile import CompiledPlan, compile_plan
 from .executor import Engine
 from .fingerprint import (
     fingerprint,
@@ -58,10 +65,19 @@ from .frontends import (
     procedure_from_formula,
     term_rank,
 )
+from .optimize import (
+    RULE_NAMES,
+    RULES,
+    OptimizeResult,
+    common_subplans,
+    optimize,
+    optimize_result,
+)
 from .plan import (
     EXISTS,
     FORALL,
     Complement,
+    Empty,
     Extend,
     FcfFixpoint,
     FilterAtom,
@@ -80,7 +96,7 @@ from .plan import (
     plan_rank,
     plan_size,
 )
-from .stats import CacheStats, EngineStats, MutableEngineStats
+from .stats import CacheStats, EngineStats, MutableEngineStats, OptimizerStats
 from .verdict import FALSE, TRUE, UNKNOWN, Verdict, merge_verdicts
 
 __all__ = [
@@ -89,10 +105,14 @@ __all__ = [
     "FCF_ROUTES",
     "FORALL",
     "HS_ROUTES",
+    "RULES",
+    "RULE_NAMES",
     "TRUE",
     "UNKNOWN",
     "CacheStats",
     "Complement",
+    "CompiledPlan",
+    "Empty",
     "Engine",
     "EngineCache",
     "EngineStats",
@@ -106,6 +126,8 @@ __all__ = [
     "Join",
     "MachineFixpoint",
     "MutableEngineStats",
+    "OptimizeResult",
+    "OptimizerStats",
     "Plan",
     "PlanCache",
     "Project",
@@ -114,6 +136,8 @@ __all__ = [
     "Scan",
     "Union",
     "Verdict",
+    "common_subplans",
+    "compile_plan",
     "fingerprint",
     "fingerprint_fcf",
     "fingerprint_hsdb",
@@ -121,6 +145,8 @@ __all__ = [
     "lower_all",
     "merge_verdicts",
     "normalize",
+    "optimize",
+    "optimize_result",
     "plan_from_formula",
     "plan_from_gmhs",
     "plan_from_qlf",

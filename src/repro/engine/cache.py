@@ -45,31 +45,78 @@ DEFAULT_SHARDS = 16
 
 
 class PlanCache:
-    """Memoized plan normalization (level 1).
+    """Memoized plan preparation (level 1).
 
-    Thread-safe: the underlying :func:`~repro.util.memo.lru_cached`
-    wrapper serializes lookup and (pure) computation under one lock.
+    Two memos: :meth:`normalized` (pure normalization, the historical
+    entry point) and :meth:`prepared` (normalize → optimize →
+    re-normalize, the engine's default since the optimizer landed).
+    Both are thread-safe via the locked :func:`~repro.util.memo.
+    lru_cached` wrapper; the optimizer's rewrite tallies accumulate
+    under a private lock only on memo misses, so warm lookups stay
+    contention-free.
     """
 
     def __init__(self, maxsize: int = 4096):
         self._normalize = lru_cached(maxsize=maxsize)(
             lambda plan, signature=None: normalize(plan, signature))
+        self._prepare = lru_cached(maxsize=maxsize)(self._prepare_impl)
+        self._opt_lock = threading.Lock()
+        self._optimizations = 0
+        self._rewrites: dict[str, int] = {}
+
+    def _prepare_impl(self, plan: Plan, signature=None):
+        # Imported here, not at module top: optimize.py imports plan.py
+        # which this module also imports; keeping the heavy import lazy
+        # avoids ordering constraints and costs one dict lookup per
+        # memo *miss* only.
+        from .optimize import optimize_result
+        result = optimize_result(self._normalize(plan, signature=signature),
+                                 signature)
+        with self._opt_lock:
+            self._optimizations += 1
+            for name, count in result.rewrites:
+                self._rewrites[name] = self._rewrites.get(name, 0) + count
+        return normalize(result.plan, signature)
 
     def normalized(self, plan: Plan,
                    signature: tuple[int, ...] | None = None) -> Plan:
         """The normalized form of ``plan`` (memoized)."""
         return self._normalize(plan, signature=signature)
 
+    def prepared(self, plan: Plan,
+                 signature: tuple[int, ...] | None = None, *,
+                 optimize: bool = True) -> Plan:
+        """The executable form of ``plan``: normalized and, unless
+        ``optimize=False``, rewritten by :func:`repro.engine.optimize.
+        optimize` (both memoized)."""
+        if not optimize:
+            return self._normalize(plan, signature=signature)
+        return self._prepare(plan, signature=signature)
+
+    def optimizer_stats(self) -> tuple[int, tuple[tuple[str, int], ...]]:
+        """``(plans_optimized, ((rule, firings), ...))`` so far."""
+        with self._opt_lock:
+            return self._optimizations, tuple(sorted(self._rewrites.items()))
+
     def stats(self) -> CacheStats:
-        """A :class:`CacheStats` snapshot of the normalization memo."""
-        fn = self._normalize
-        with fn.lock:
-            return CacheStats(hits=fn.hits, misses=fn.misses,
-                              evictions=fn.evictions, size=len(fn.cache))
+        """A :class:`CacheStats` snapshot across both memos."""
+        norm, prep = self._normalize, self._prepare
+        with norm.lock:
+            hits, misses = norm.hits, norm.misses
+            evictions, size = norm.evictions, len(norm.cache)
+        with prep.lock:
+            return CacheStats(hits=hits + prep.hits,
+                              misses=misses + prep.misses,
+                              evictions=evictions + prep.evictions,
+                              size=size + len(prep.cache))
 
     def clear(self) -> None:
-        """Drop every memoized normalization (counters reset too)."""
+        """Drop every memoized preparation (counters reset too)."""
         self._normalize.cache_clear()
+        self._prepare.cache_clear()
+        with self._opt_lock:
+            self._optimizations = 0
+            self._rewrites.clear()
 
 
 class _Shard:
@@ -81,7 +128,8 @@ class _Shard:
     newest insert whenever it landed in an otherwise empty shard).
     """
 
-    __slots__ = ("lock", "data", "hits", "misses", "evictions")
+    __slots__ = ("lock", "data", "hits", "misses", "evictions",
+                 "shared_hits", "shared_misses")
 
     def __init__(self):
         self.lock = threading.Lock()
@@ -89,6 +137,8 @@ class _Shard:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.shared_hits = 0
+        self.shared_misses = 0
 
 
 class ResultCache:
@@ -133,13 +183,20 @@ class ResultCache:
         """The stripe ``key`` lives in (stable hash partition)."""
         return self._shards[hash(key) % len(self._shards)]
 
-    def get(self, key: Hashable, default: Any = None) -> Any:
+    def get(self, key: Hashable, default: Any = None, *,
+            shared: bool = False) -> Any:
         """Counted lookup: a hit refreshes LRU order, a miss counts.
 
         Atomic under the key's shard lock: the historical
         ``key in dict`` / ``dict[key]`` two-step (which could raise
         ``KeyError`` when a concurrent ``put`` evicted in between) is
         folded into one locked access.
+
+        ``shared=True`` marks the lookup as a *shared-subplan* probe
+        (interior boundary of a compiled plan, or a batch common
+        subplan): it still counts in ``hits``/``misses`` and
+        additionally in the ``shared_*`` split, so observers can tell
+        cross-query sharing from root-level traffic.
         """
         shard = self._shard_for(key)
         with shard.lock:
@@ -148,8 +205,12 @@ class ResultCache:
                 shard.data.move_to_end(key)
                 entry[1] = next(self._ticker)
                 shard.hits += 1
+                if shared:
+                    shard.shared_hits += 1
                 return entry[0]
             shard.misses += 1
+            if shared:
+                shard.shared_misses += 1
             return default
 
     def __contains__(self, key: Hashable) -> bool:
@@ -218,10 +279,22 @@ class ResultCache:
         """Number of lock stripes."""
         return len(self._shards)
 
+    @property
+    def shared_hits(self) -> int:
+        """Total shared-subplan probe hits across all shards."""
+        return sum(s.shared_hits for s in self._shards)
+
+    @property
+    def shared_misses(self) -> int:
+        """Total shared-subplan probe misses across all shards."""
+        return sum(s.shared_misses for s in self._shards)
+
     def stats(self) -> CacheStats:
         """A :class:`CacheStats` snapshot of the result cache."""
         return CacheStats(hits=self.hits, misses=self.misses,
-                          evictions=self.evictions, size=len(self))
+                          evictions=self.evictions, size=len(self),
+                          shared_hits=self.shared_hits,
+                          shared_misses=self.shared_misses)
 
     def clear(self) -> None:
         """Drop every entry and zero the hit/miss/eviction counters."""
@@ -231,6 +304,8 @@ class ResultCache:
                 shard.hits = 0
                 shard.misses = 0
                 shard.evictions = 0
+                shard.shared_hits = 0
+                shard.shared_misses = 0
 
     def __len__(self) -> int:
         return sum(len(s.data) for s in self._shards)

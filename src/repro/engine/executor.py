@@ -3,10 +3,18 @@
 :class:`Engine` wraps one database (an hs-r-db or an fcf-r-db) and
 evaluates plan-IR trees against it:
 
-* every ``evaluate`` first normalizes the plan through the plan cache,
-  then consults the result cache under
-  ``(database fingerprint, plan, args)`` — so a warm re-evaluation is
+* every ``evaluate`` first *prepares* the plan through the plan cache —
+  normalization plus, by default, the algebraic rewrites of
+  :mod:`repro.engine.optimize` (``optimize=False`` restores the naive
+  lowering) — then consults the result cache under
+  ``(database fingerprint, plan, args)``, so a warm re-evaluation is
   two dictionary probes, however expensive the cold run was;
+* cold runs execute, by default, through the compiled-closure backend
+  of :mod:`repro.engine.compile` (``compiled=False`` falls back to the
+  tree-walking interpreter); both backends produce bit-for-bit equal
+  values, share the same result-cache entries, and report the same
+  per-node timings — the ``repro.check`` *optimizer* oracle fuzzes the
+  three-way agreement;
 * sub-plans are cached too: two different queries sharing a subtree
   (the *Complete Approximations* motivation — many related queries, one
   database) pay for the shared work once;
@@ -69,10 +77,13 @@ from ..trace import Budget, limits, span
 from ..trace.budget import as_budget
 from ..trace.spans import current_span, under_span
 from .cache import EngineCache, ResultCache
+from .compile import compile_plan
 from .fingerprint import fingerprint
+from .optimize import common_subplans
 from .plan import (
     EXISTS,
     Complement,
+    Empty,
     Extend,
     FcfFixpoint,
     FilterAtom,
@@ -98,6 +109,19 @@ from .verdict import Verdict
 #: re-entrancy bug.  ``None`` outside any evaluation.
 _ACTIVE_BUDGET: ContextVar[Budget | None] = ContextVar(
     "repro_engine_active_budget", default=None)
+
+#: The batch in flight's common-subplan set (:func:`repro.engine.
+#: optimize.common_subplans` over the prepared members), scoped per
+#: context like the budget.  The compiled backend refuses to fuse
+#: through these nodes, keeping a result-cache boundary at every
+#: subtree the batch shares.  Empty outside any batch.
+_BATCH_SHARED: ContextVar[frozenset] = ContextVar(
+    "repro_engine_batch_shared", default=frozenset())
+
+#: Cap on per-engine memoized compiled plans; on overflow the memo is
+#: simply dropped (recompilation is milliseconds, correctness is
+#: unaffected).
+_COMPILED_MEMO_MAX = 1024
 
 
 class Engine:
@@ -127,13 +151,25 @@ class Engine:
     max_workers:
         Default thread count for the parallel batch path (``None``
         delegates to :class:`ThreadPoolExecutor`'s default).
+    optimize:
+        Run the :mod:`repro.engine.optimize` rewrite rules during plan
+        preparation (default on; only applies to hs engines).
+        ``optimize=False`` is the escape hatch that executes exactly
+        the frontend's naive lowering.
+    compiled:
+        Execute cold plans through the :mod:`repro.engine.compile`
+        closure backend (default on; only applies to hs engines).
+        ``compiled=False`` restores the tree-walking interpreter —
+        same values, same cache entries, more per-node overhead.
     """
 
     def __init__(self, db: HSDatabase | FcfDatabase, *,
                  cache: EngineCache | None = None,
                  budget: Budget | int | None = None,
                  fuel: int | None = None,
-                 max_workers: int | None = None):
+                 max_workers: int | None = None,
+                 optimize: bool = True,
+                 compiled: bool = True):
         if not isinstance(db, (HSDatabase, FcfDatabase)):
             raise TypeSignatureError(
                 f"Engine needs an HSDatabase or FcfDatabase, got "
@@ -142,8 +178,12 @@ class Engine:
         self.cache = cache if cache is not None else EngineCache()
         self.budget = as_budget(budget, fuel, default_steps=limits.ENGINE)
         self.max_workers = max_workers
+        self.optimize = optimize
+        self.compiled = compiled
         self.fingerprint = fingerprint(db)
         self._stats = MutableEngineStats()
+        self._compiled_memo: dict = {}
+        self._compiled_lock = threading.Lock()
         # Exclusive-time bookkeeping for per-node timings, kept
         # per-thread so concurrent evaluations through one shared
         # engine never corrupt each other's stacks.
@@ -171,8 +211,16 @@ class Engine:
     # -- the public evaluation surface --------------------------------------
 
     def prepare(self, plan: Plan) -> Plan:
-        """Normalize through the plan cache (level 1)."""
-        return self.cache.plans.normalized(plan, self.signature)
+        """Normalize (and by default optimize) through the plan cache.
+
+        Idempotent, so preparing an already-prepared plan is a warm
+        memo hit; the result cache is keyed on *this* form, which is
+        what lets differently-written but rewrite-equal plans share
+        one entry.
+        """
+        return self.cache.plans.prepared(
+            plan, self.signature,
+            optimize=self.optimize and self.is_hs)
 
     def evaluate(self, plan: Plan, *,
                  budget: Budget | None = None) -> Value | FcfValue:
@@ -257,7 +305,12 @@ class Engine:
         yields ``UNKNOWN`` while the others still complete.
         """
         with span("engine.eval_batch", size=len(plans)):
-            return [self.eval(p) for p in plans]
+            prepared = [self.prepare(p) for p in plans]
+            token = _BATCH_SHARED.set(common_subplans(prepared))
+            try:
+                return [self.eval(p) for p in prepared]
+            finally:
+                _BATCH_SHARED.reset(token)
 
     def cancel(self) -> None:
         """Cooperatively cancel evaluations governed by this engine.
@@ -369,8 +422,18 @@ class Engine:
         return answers  # type: ignore[return-value]
 
     def batch_evaluate(self, plans: Sequence[Plan]) -> list:
-        """Evaluate several plans (shared sub-plans are computed once)."""
-        return [self.evaluate(p) for p in plans]
+        """Evaluate several plans (shared sub-plans are computed once).
+
+        Like :meth:`eval_batch`, the members' common subplans are
+        pinned as compiled-path boundaries so the sharing survives
+        closure fusion.
+        """
+        prepared = [self.prepare(p) for p in plans]
+        token = _BATCH_SHARED.set(common_subplans(prepared))
+        try:
+            return [self.evaluate(p) for p in prepared]
+        finally:
+            _BATCH_SHARED.reset(token)
 
     # -- stats --------------------------------------------------------------
 
@@ -385,8 +448,11 @@ class Engine:
         ``db.equiv.calls`` counter itself stays exact
         (``docs/concurrency.md``).
         """
+        optimizations, rewrites = self.cache.plans.optimizer_stats()
         return self._stats.snapshot(self.cache.plans.stats(),
-                                    self.cache.results.stats())
+                                    self.cache.results.stats(),
+                                    optimizations=optimizations,
+                                    rewrites=rewrites)
 
     def reset_stats(self) -> None:
         """Zero the engine's live counters (caches keep their contents)."""
@@ -456,17 +522,41 @@ class Engine:
     def _arg(self, plan: Plan) -> Value:
         """A (sub-)plan's value, via the result cache (level 2).
 
-        Used for the root and every child alike, so any two queries
-        sharing a normalized subtree share its computed value.
+        Used for the root and every child alike (interpreted path) and
+        for the root of a compiled run, so any two queries sharing a
+        prepared subtree share its computed value — the compiled
+        backend probes the same keys at its interior boundaries.
         """
         key = ResultCache.key(self.fingerprint, plan, ())
         missing = object()
         hit = self.cache.results.get(key, missing)
         if hit is not missing:
             return hit
-        value = self._execute(plan)
+        if self.compiled and self.is_hs:
+            value = self._compiled_for(plan).run()
+        else:
+            value = self._execute(plan)
         self.cache.results.put(key, value)
         return value
+
+    def _compiled_for(self, plan: Plan):
+        """The memoized compiled form of a prepared plan.
+
+        Keyed by ``(plan, batch shared set)`` because the shared set
+        changes which nodes keep boundaries; compilation itself is
+        pure, so a racing double-compile is wasted work, not a bug.
+        """
+        key = (plan, _BATCH_SHARED.get())
+        with self._compiled_lock:
+            compiled = self._compiled_memo.get(key)
+        if compiled is None:
+            compiled = compile_plan(self, plan, key[1])
+            self._stats.add(compiles=1)
+            with self._compiled_lock:
+                if len(self._compiled_memo) >= _COMPILED_MEMO_MAX:
+                    self._compiled_memo.clear()
+                self._compiled_memo[key] = compiled
+        return compiled
 
     def _execute_node(self, plan: Plan) -> Value | FcfValue:
         """Semantics of one plan node (dispatch on the node kind)."""
@@ -492,6 +582,8 @@ class Engine:
                          hsdb.representatives[plan.index])
         if isinstance(plan, FullScan):
             return Value(plan.rank, frozenset(hsdb.tree.level(plan.rank)))
+        if isinstance(plan, Empty):
+            return Value(plan.rank, frozenset())
         if isinstance(plan, FilterEq):
             body = self._arg(plan.child)
             i = plan.i if plan.i >= 0 else body.rank + plan.i

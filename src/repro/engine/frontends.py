@@ -24,6 +24,16 @@ single entry point for all of them *without duplicating any compiler*:
 Because a loop-free QLhs *term* and its plan are structurally isomorphic
 algebras, the equivalence tests can state "engine = direct evaluator"
 relation-for-relation on the whole existing corpus.
+
+The lowering here is deliberately **naive**: it mirrors the source
+compilers exactly, projection tower for projection tower, so that its
+correctness argument stays a structural induction against the paper's
+own translations.  Making the output *fast* — collapsing the towers
+into quantifier chains, grounding joins, folding constants — is
+entirely the job of :mod:`repro.engine.optimize`, which
+:meth:`Engine.prepare` runs over these plans by default.  Keep it that
+way: an "optimization" added here would be invisible to the optimizer's
+property battery and golden snapshots.
 """
 
 from __future__ import annotations

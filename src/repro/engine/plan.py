@@ -75,6 +75,21 @@ class FullScan(Plan):
     rank: int
 
 
+@dataclass(frozen=True)
+class Empty(Plan):
+    """``∅`` at rank ``rank`` — the other constant relation.
+
+    No frontend emits it; the optimizer's folding rules
+    (:mod:`repro.engine.optimize`) introduce it when a subplan is
+    statically contradictory (``X ∩ ∁X``, ``∁Tⁿ``, …), and further
+    rules propagate it upward.  Genericity makes the folds exact: an
+    empty union of ``≅_B`` classes stays empty under every generic
+    operation that does not reintroduce paths.
+    """
+
+    rank: int
+
+
 # ---------------------------------------------------------------------------
 # Filters.
 # ---------------------------------------------------------------------------
@@ -267,6 +282,39 @@ class FcfFixpoint(Plan):
 
 
 # ---------------------------------------------------------------------------
+# Hash caching.
+# ---------------------------------------------------------------------------
+
+def _install_cached_hash(cls: type) -> None:
+    """Replace the dataclass-generated ``__hash__`` with a caching one.
+
+    Plans are used as dict keys everywhere (both cache levels, the
+    optimizer's memos, batch shared sets), and the generated hash walks
+    the whole subtree on every call — profiling showed recursive
+    hashing dominating cold evaluation.  Nodes are frozen, so the hash
+    is computed once and stashed on the instance; child hashes are
+    themselves cached, making the first hash of a tree ``O(n)`` total
+    and every later one ``O(1)``.
+    """
+    generated = cls.__hash__
+
+    def cached_hash(self, _generated=generated):
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = _generated(self)
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    cls.__hash__ = cached_hash
+
+
+for _cls in (Scan, FullScan, Empty, FilterEq, FilterAtom, Project, Extend,
+             Join, Quantify, Union, Intersect, Complement, Fixpoint,
+             MachineFixpoint, FcfFixpoint):
+    _install_cached_hash(_cls)
+
+
+# ---------------------------------------------------------------------------
 # Static rank computation.
 # ---------------------------------------------------------------------------
 
@@ -281,6 +329,10 @@ def plan_rank(plan: Plan, signature: Sequence[int]) -> int:
     if isinstance(plan, FullScan):
         if plan.rank < 0:
             raise RankMismatchError("FullScan rank must be >= 0")
+        return plan.rank
+    if isinstance(plan, Empty):
+        if plan.rank < 0:
+            raise RankMismatchError("Empty rank must be >= 0")
         return plan.rank
     if isinstance(plan, FilterEq):
         n = plan_rank(plan.child, signature)
@@ -412,7 +464,7 @@ def normalize(plan: Plan, signature: Sequence[int] | None = None) -> Plan:
 
 def plan_size(plan: Plan) -> int:
     """Number of nodes — for stats and tests."""
-    if isinstance(plan, (Scan, FullScan, Fixpoint, MachineFixpoint,
+    if isinstance(plan, (Scan, FullScan, Empty, Fixpoint, MachineFixpoint,
                          FcfFixpoint)):
         return 1
     if isinstance(plan, (Union, Intersect)):

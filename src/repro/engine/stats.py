@@ -24,12 +24,22 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss/eviction counters of one cache level."""
+    """Hit/miss/eviction counters of one cache level.
+
+    ``shared_hits``/``shared_misses`` split out the lookups made on
+    behalf of *shared* subplan boundaries — interior probes of the
+    compiled path and batch common subplans — from root-level requests.
+    They are a subset of ``hits``/``misses``, not an addition: every
+    shared probe also counts in the totals, so ``requests`` keeps its
+    historical meaning.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     size: int = 0
+    shared_hits: int = 0
+    shared_misses: int = 0
 
     @property
     def requests(self) -> int:
@@ -44,13 +54,57 @@ class CacheStats:
     def to_dict(self) -> dict:
         """A JSON-safe dict (round-trips through :meth:`from_dict`)."""
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "size": self.size}
+                "evictions": self.evictions, "size": self.size,
+                "shared_hits": self.shared_hits,
+                "shared_misses": self.shared_misses}
 
     @staticmethod
     def from_dict(data: dict) -> "CacheStats":
-        """Rebuild a :class:`CacheStats` from :meth:`to_dict` output."""
+        """Rebuild a :class:`CacheStats` from :meth:`to_dict` output.
+
+        Accepts pre-split dicts (no ``shared_*`` keys) for wire
+        compatibility with older serving tiers.
+        """
         return CacheStats(hits=data["hits"], misses=data["misses"],
-                          evictions=data["evictions"], size=data["size"])
+                          evictions=data["evictions"], size=data["size"],
+                          shared_hits=data.get("shared_hits", 0),
+                          shared_misses=data.get("shared_misses", 0))
+
+
+@dataclass(frozen=True)
+class OptimizerStats:
+    """Counters of the plan-optimization and compilation pipeline.
+
+    ``optimizations`` counts distinct plans optimized (memo misses, not
+    warm lookups), ``compiles`` counts closure compilations, and
+    ``rewrites`` maps rule name to total firings across all optimized
+    plans — the observable record of *which* algebraic laws actually
+    pay off on a workload (``docs/optimizer.md``).
+    """
+
+    optimizations: int = 0
+    compiles: int = 0
+    rewrites: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def total_rewrites(self) -> int:
+        """Total rule firings across all rules."""
+        return sum(n for __, n in self.rewrites)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict (round-trips through :meth:`from_dict`)."""
+        return {"optimizations": self.optimizations,
+                "compiles": self.compiles,
+                "rewrites": {name: n for name, n in self.rewrites}}
+
+    @staticmethod
+    def from_dict(data: dict) -> "OptimizerStats":
+        """Rebuild an :class:`OptimizerStats` from :meth:`to_dict`
+        output."""
+        return OptimizerStats(
+            optimizations=data["optimizations"],
+            compiles=data["compiles"],
+            rewrites=tuple(sorted(data["rewrites"].items())))
 
 
 @dataclass(frozen=True)
@@ -65,6 +119,7 @@ class EngineStats:
 
     plan_cache: CacheStats = CacheStats()
     result_cache: CacheStats = CacheStats()
+    optimizer: OptimizerStats = OptimizerStats()
     oracle_questions: int = 0
     evaluations: int = 0
     batch_requests: int = 0
@@ -86,6 +141,7 @@ class EngineStats:
         return {
             "plan_cache": self.plan_cache.to_dict(),
             "result_cache": self.result_cache.to_dict(),
+            "optimizer": self.optimizer.to_dict(),
             "oracle_questions": self.oracle_questions,
             "evaluations": self.evaluations,
             "batch_requests": self.batch_requests,
@@ -106,6 +162,8 @@ class EngineStats:
         return EngineStats(
             plan_cache=CacheStats.from_dict(data["plan_cache"]),
             result_cache=CacheStats.from_dict(data["result_cache"]),
+            optimizer=OptimizerStats.from_dict(
+                data.get("optimizer", OptimizerStats().to_dict())),
             oracle_questions=data["oracle_questions"],
             evaluations=data["evaluations"],
             batch_requests=data["batch_requests"],
@@ -137,8 +195,15 @@ class EngineStats:
             f"{self.result_cache.misses} misses / "
             f"{self.result_cache.evictions} evictions "
             f"(hit rate {self.result_cache.hit_rate:.0%}, "
-            f"size {self.result_cache.size})",
+            f"size {self.result_cache.size}, shared "
+            f"{self.result_cache.shared_hits}/"
+            f"{self.result_cache.shared_misses})",
         ]
+        if self.optimizer.optimizations or self.optimizer.compiles:
+            lines.append(
+                f"  optimizer:        {self.optimizer.optimizations} "
+                f"plans optimized / {self.optimizer.total_rewrites} "
+                f"rewrites / {self.optimizer.compiles} compiles")
         if self.verdicts_true or self.verdicts_false or self.verdicts_unknown:
             reasons = ", ".join(f"{r}={n}" for r, n in self.unknown_reasons)
             lines.append(
@@ -169,6 +234,7 @@ class MutableEngineStats:
     oracle_questions: int = 0
     evaluations: int = 0
     batch_requests: int = 0
+    compiles: int = 0
     wall_time: float = 0.0
     node_counts: dict = field(default_factory=dict)
     node_seconds: dict = field(default_factory=dict)
@@ -178,7 +244,8 @@ class MutableEngineStats:
                                   repr=False, compare=False)
 
     def add(self, *, oracle_questions: int = 0, evaluations: int = 0,
-            batch_requests: int = 0, wall_time: float = 0.0) -> None:
+            batch_requests: int = 0, compiles: int = 0,
+            wall_time: float = 0.0) -> None:
         """Atomically accumulate the scalar counters.
 
         The race-free replacement for the historical ``stats.counter
@@ -188,6 +255,7 @@ class MutableEngineStats:
             self.oracle_questions += oracle_questions
             self.evaluations += evaluations
             self.batch_requests += batch_requests
+            self.compiles += compiles
             self.wall_time += wall_time
 
     def record_node(self, kind: str, seconds: float) -> None:
@@ -208,8 +276,14 @@ class MutableEngineStats:
                     self.unknown_reasons.get(reason, 0) + 1)
 
     def snapshot(self, plan_cache: CacheStats,
-                 result_cache: CacheStats) -> EngineStats:
-        """Freeze the live counters into an :class:`EngineStats`."""
+                 result_cache: CacheStats,
+                 optimizations: int = 0,
+                 rewrites: tuple[tuple[str, int], ...] = ()) -> EngineStats:
+        """Freeze the live counters into an :class:`EngineStats`.
+
+        ``optimizations``/``rewrites`` come from the (shareable) plan
+        cache's optimizer memo; ``compiles`` is engine-local.
+        """
         with self._lock:
             timings = tuple(
                 (kind, self.node_counts[kind], self.node_seconds[kind])
@@ -218,6 +292,10 @@ class MutableEngineStats:
             return EngineStats(
                 plan_cache=plan_cache,
                 result_cache=result_cache,
+                optimizer=OptimizerStats(
+                    optimizations=optimizations,
+                    compiles=self.compiles,
+                    rewrites=rewrites),
                 oracle_questions=self.oracle_questions,
                 evaluations=self.evaluations,
                 batch_requests=self.batch_requests,
@@ -236,6 +314,7 @@ class MutableEngineStats:
             self.oracle_questions = 0
             self.evaluations = 0
             self.batch_requests = 0
+            self.compiles = 0
             self.wall_time = 0.0
             self.node_counts.clear()
             self.node_seconds.clear()

@@ -127,18 +127,27 @@ class Catalog:
         (only ``kind: fcf`` entries; :class:`QueryError` otherwise).
         Both views of one database share the catalog-wide cache, and a
         second request for the same view returns the same engine.
+        Engines inherit the service-wide execution configuration
+        (``server.optimize`` / ``server.compiled`` in the config; both
+        default on) — one knob for the whole catalog, so every tenant
+        sees the same plans and the shared result cache stays coherent.
         """
         spec = self.spec(name)
         key = (name, view)
+        optimize = self.config.optimize
+        compiled = self.config.compiled
         with self._lock:
             got = self._engines.get(key)
             if got is not None:
                 return got
             hsdb, fcf_db = _build_database(spec)
-            self._engines[(name, "hs")] = Engine(hsdb, cache=self.cache)
+            self._engines[(name, "hs")] = Engine(
+                hsdb, cache=self.cache, optimize=optimize,
+                compiled=compiled)
             if fcf_db is not None:
-                self._engines[(name, "fcf")] = Engine(fcf_db,
-                                                      cache=self.cache)
+                self._engines[(name, "fcf")] = Engine(
+                    fcf_db, cache=self.cache, optimize=optimize,
+                    compiled=compiled)
             got = self._engines.get(key)
         if got is None:
             raise QueryError(

@@ -191,6 +191,12 @@ class ServeConfig:
     port: int = 8199
     workers: int = 4
     trace_capacity: int = 4096
+    #: Engine execution configuration for every catalog engine: the
+    #: plan optimizer and the compiled backend (both on by default, as
+    #: in :class:`repro.engine.Engine`; ``optimize = false`` in the
+    #: ``[server]`` table is the service-wide escape hatch).
+    optimize: bool = True
+    compiled: bool = True
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on any inconsistency."""
@@ -241,6 +247,8 @@ class ServeConfig:
                 "port": self.port,
                 "workers": self.workers,
                 "trace_capacity": self.trace_capacity,
+                "optimize": self.optimize,
+                "compiled": self.compiled,
             },
         }
 
@@ -322,7 +330,9 @@ def config_from_dict(data: dict) -> ServeConfig:
         host=server.get("host", "127.0.0.1"),
         port=int(server.get("port", 8199)),
         workers=int(server.get("workers", 4)),
-        trace_capacity=int(server.get("trace_capacity", 4096)))
+        trace_capacity=int(server.get("trace_capacity", 4096)),
+        optimize=bool(server.get("optimize", True)),
+        compiled=bool(server.get("compiled", True)))
     config.validate()
     return config
 

@@ -36,6 +36,7 @@ QL_INTERPRETER = 1_000_000
 QLF_INTERPRETER = 1_000_000
 PQ_PIPELINE = 10_000_000
 ENGINE = 10_000_000
+OPTIMIZER_PASSES = 12
 CHECK_CASE = 200_000
 SERVE_REQUEST = 2_000_000
 
@@ -115,6 +116,11 @@ REGISTRY: tuple[LimitSpec, ...] = (
         "budget", ENGINE,
         "one interpreter operation of any fixpoint node",
         "Engine.eval returns Verdict.UNKNOWN"),
+    LimitSpec(
+        "repro.engine.optimize.optimize",
+        "max_passes", OPTIMIZER_PASSES,
+        "one whole-tree rewrite pass of the plan optimizer",
+        "the plan is used as rewritten so far (still semantics-preserving)"),
     LimitSpec(
         "repro.check.oracles.CaseContext",
         "budget_steps", CHECK_CASE,

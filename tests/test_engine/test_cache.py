@@ -132,6 +132,28 @@ class TestResultCache:
         assert s.hits == 1 and s.size == 1
         assert 0.0 < s.hit_rate <= 1.0
 
+    def test_shared_probes_split_out(self):
+        """``shared=True`` probes (compiled-boundary lookups inside a
+        batch) count in the shared_* columns — a subset of the totals,
+        not a separate ledger."""
+        rc = ResultCache()
+        key = ResultCache.key("fp", Scan(0), ())
+        rc.get(key, shared=True)           # shared miss
+        rc.put(key, "value")
+        rc.get(key, shared=True)           # shared hit
+        rc.get(key)                        # plain hit
+        s = rc.stats()
+        assert (s.shared_hits, s.shared_misses) == (1, 1)
+        assert s.hits == 2 and s.misses == 1
+        assert s.shared_hits <= s.hits and s.shared_misses <= s.misses
+
+    def test_shared_counters_reset_on_clear(self):
+        rc = ResultCache()
+        key = ResultCache.key("fp", Scan(0), ())
+        rc.get(key, shared=True)
+        rc.clear()
+        assert rc.shared_hits == rc.shared_misses == 0
+
 
 def test_engine_cache_bundle_clear():
     cache = EngineCache(plan_maxsize=8, result_maxsize=8)

@@ -4,7 +4,12 @@
 import json
 
 from repro.engine import Engine, plan_from_sentence
-from repro.engine.stats import CacheStats, EngineStats, MutableEngineStats
+from repro.engine.stats import (
+    CacheStats,
+    EngineStats,
+    MutableEngineStats,
+    OptimizerStats,
+)
 from repro.graphs import mixed_components_hsdb
 from repro.logic import parse
 
@@ -18,6 +23,32 @@ class TestCacheStatsRoundTrip:
         payload = json.dumps(CacheStats(hits=1).to_dict())
         assert CacheStats.from_dict(json.loads(payload)).hits == 1
 
+    def test_shared_split_round_trips(self):
+        stats = CacheStats(hits=9, misses=4, shared_hits=3,
+                           shared_misses=2)
+        assert CacheStats.from_dict(stats.to_dict()) == stats
+
+    def test_wire_compat_without_shared_fields(self):
+        """Older serialized payloads lack the shared split; they must
+        still deserialize (as zeros)."""
+        old = {"hits": 5, "misses": 2, "evictions": 0, "size": 1}
+        restored = CacheStats.from_dict(old)
+        assert restored.hits == 5
+        assert restored.shared_hits == restored.shared_misses == 0
+
+
+class TestOptimizerStatsRoundTrip:
+    def test_round_trip(self):
+        stats = OptimizerStats(
+            optimizations=3, compiles=2,
+            rewrites=(("complement-quantify", 7), ("join-hoist", 1)))
+        wire = json.dumps(stats.to_dict(), sort_keys=True)
+        assert OptimizerStats.from_dict(json.loads(wire)) == stats
+
+    def test_total_rewrites(self):
+        stats = OptimizerStats(rewrites=(("a", 2), ("b", 3)))
+        assert stats.total_rewrites == 5
+
 
 class TestEngineStatsRoundTrip:
     def test_default_round_trip(self):
@@ -27,7 +58,10 @@ class TestEngineStatsRoundTrip:
     def test_populated_round_trip_through_json_text(self):
         stats = EngineStats(
             plan_cache=CacheStats(hits=5, misses=1, size=1),
-            result_cache=CacheStats(hits=9, misses=3, evictions=2, size=3),
+            result_cache=CacheStats(hits=9, misses=3, evictions=2, size=3,
+                                    shared_hits=4, shared_misses=1),
+            optimizer=OptimizerStats(optimizations=2, compiles=1,
+                                     rewrites=(("project-prefix", 4),)),
             oracle_questions=42,
             evaluations=7,
             batch_requests=2,
