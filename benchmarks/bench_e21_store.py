@@ -1,0 +1,184 @@
+"""E21 — persistence: warm restart from the durable store vs cold start.
+
+Claim: attaching the sqlite store to the serving tier makes a restart
+*warm* — completed values reload into the result cache and budget-
+classed ``UNKNOWN(out_of_fuel)`` rows replay without re-burning their
+step budgets — so the same workload runs at least 5× faster after a
+kill/restart than on a cold server with a fresh store, while the
+serve-aware differential oracle agrees bit-for-bit on
+``(status, reason)`` both before and after the restart.
+
+The workload is deliberately UNKNOWN-heavy: each diverging QLhs query
+burns the full per-request step budget when computed and costs one
+sqlite probe when replayed, which is exactly the asymmetry durable
+memoization is for.
+
+Run under pytest (tier-2: ``pytest benchmarks/bench_e21_store.py -s``)
+or as a script emitting the E21 JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_e21_store.py --out=e21.json
+"""
+
+import json
+import sys
+import time
+
+from repro.check.serve import run_serve_check
+from repro.serve import ServeClient, start_in_thread
+from repro.serve.config import config_from_dict
+from repro.store import Store
+
+try:
+    from conftest import report
+except ImportError:  # script mode: benchmarks/ is not on sys.path
+    def report(title, rows):
+        """Print an experiment's data series (script-mode fallback)."""
+        print(f"\n[{title}]")
+        for row in rows:
+            print("   ", *row)
+
+#: Per-request step budget: big enough that a diverging query is real
+#: work, small enough that the cold phase stays a benchmark.
+MAX_STEPS = 200_000
+
+CONFIG = {
+    "databases": {"rado": {"kind": "builtin"},
+                  "clique": {"kind": "builtin"},
+                  "triangles": {"kind": "builtin"}},
+    "tenants": {"default": {"max_steps": MAX_STEPS}},
+}
+
+#: Diverging QLhs programs — distinct plans, so each one persists its
+#: own budget-classed UNKNOWN row.
+DIVERGING = tuple(
+    f"while |Y1| = 0 do {{ Y{k} := !Y{k} }}" for k in (2, 3, 4))
+
+#: The measured request mix: completing queries across databases and
+#: frontends, plus every diverging program on two databases.
+WORKLOAD = tuple(
+    [("rado", "fo", "exists x. exists y. R1(x, y)"),
+     ("rado", "fo", "forall x. exists y. R1(x, y)"),
+     ("rado", "gmhs", "exists x. R1(x, x)"),
+     ("clique", "fo", "forall x. forall y. (R1(x, y) or x = y)"),
+     ("triangles", "fo", "exists x. forall y. R1(x, y)"),
+     ("rado", "qlhs", "down(R1 & E)")]
+    + [(database, "qlhs", text)
+       for database in ("rado", "triangles")
+       for text in DIVERGING])
+
+#: Warm restarts must beat cold starts by this factor (the acceptance
+#: criterion); ``--quick`` relaxes it for smoke runs on busy machines.
+GATE = 5.0
+QUICK_GATE = 2.0
+
+
+def drive(base_url):
+    """One pass over WORKLOAD. Returns ``(verdicts, wall_s)`` where
+    ``verdicts`` is the ordered ``(status, reason)`` list."""
+    client = ServeClient(base_url)
+    verdicts = []
+    t0 = time.perf_counter()
+    for database, frontend, text in WORKLOAD:
+        body = client.eval(database, text, frontend=frontend)
+        verdicts.append((body["status"], body["reason"]))
+    return verdicts, time.perf_counter() - t0
+
+
+def run_phase(store_path, config):
+    """One server lifetime against ``store_path``: differential gate,
+    measured workload pass, final ``/stats`` store section."""
+    with start_in_thread(config, store=store_path) as server:
+        differential = run_serve_check(server.base_url, config=config)
+        assert differential["disagreements"] == [], \
+            differential["disagreements"]
+        verdicts, wall = drive(server.base_url)
+        stats = ServeClient(server.base_url).stats()["store"]
+    return {"verdicts": verdicts, "wall_s": wall,
+            "throughput_rps": len(WORKLOAD) / wall,
+            "differential": {k: differential[k]
+                             for k in ("cases", "agreements")},
+            "store": stats}
+
+
+def run_experiment(tmp_dir):
+    """Cold phase, kill, warm phase; returns the E21 JSON document."""
+    store_path = f"{tmp_dir}/e21.sqlite"
+    config = config_from_dict(CONFIG)
+
+    cold = run_phase(store_path, config)
+    # The server is down; the store alone carries the memo across.
+    with Store(store_path) as store:
+        counts = store.counts()
+    assert counts["values"] > 0
+    assert counts["verdicts"] >= len(DIVERGING)
+
+    warm = run_phase(store_path, config)
+    assert warm["verdicts"] == cold["verdicts"], (
+        "restart changed verdicts:"
+        f" {cold['verdicts']} -> {warm['verdicts']}")
+    assert warm["store"]["loaded"]["loaded"] > 0
+    assert warm["store"]["replay_hits"] >= len(WORKLOAD)
+
+    speedup = cold["wall_s"] / warm["wall_s"] if warm["wall_s"] else 0.0
+    statuses = [status for status, __ in cold["verdicts"]]
+    return {
+        "experiment": "E21",
+        "workload": len(WORKLOAD),
+        "unknowns": statuses.count("unknown"),
+        "max_steps": MAX_STEPS,
+        "cold": cold, "warm": warm,
+        "store_counts": counts,
+        "speedup": speedup,
+    }
+
+
+def test_e21_warm_restart_speedup(tmp_path):
+    """E21 under pytest: the ≥5× warm-restart gate plus both
+    bit-for-bit gates (differential oracle and restart agreement)."""
+    result = run_experiment(str(tmp_path))
+    report("E21 store: cold start vs warm restart",
+           [("cold", f"{result['cold']['wall_s'] * 1e3:8.1f} ms",
+             f"{result['cold']['throughput_rps']:8.1f} req/s"),
+            ("warm", f"{result['warm']['wall_s'] * 1e3:8.1f} ms",
+             f"{result['warm']['throughput_rps']:8.1f} req/s"),
+            ("speedup", f"{result['speedup']:8.1f}x", "")])
+    assert result["unknowns"] >= len(DIVERGING)
+    assert result["speedup"] >= GATE, (
+        f"E21 gate: expected >= {GATE}x, measured "
+        f"{result['speedup']:.1f}x")
+
+
+def main(argv):
+    """Script mode: run the experiment, print, write ``--out``."""
+    import tempfile
+    out, quick = None, "--quick" in argv
+    for arg in argv:
+        if arg.startswith("--out="):
+            out = arg.split("=", 1)[1]
+        elif arg != "--quick":
+            raise SystemExit(
+                "usage: bench_e21_store.py [--quick] [--out=FILE]")
+    gate = QUICK_GATE if quick else GATE
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        result = run_experiment(tmp_dir)
+    print(f"  cold: {result['cold']['wall_s'] * 1e3:8.1f} ms "
+          f"({result['cold']['throughput_rps']:.1f} req/s)")
+    print(f"  warm: {result['warm']['wall_s'] * 1e3:8.1f} ms "
+          f"({result['warm']['throughput_rps']:.1f} req/s)")
+    print(f"  speedup: {result['speedup']:.1f}x (gate {gate}x)")
+    print(f"  differential: {result['cold']['differential']['agreements']}"
+          f"/{result['cold']['differential']['cases']} agree cold, "
+          f"{result['warm']['differential']['agreements']}"
+          f"/{result['warm']['differential']['cases']} agree warm")
+    assert result["speedup"] >= gate, (
+        f"E21 gate: expected >= {gate}x, measured "
+        f"{result['speedup']:.1f}x")
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+        print(f"  wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

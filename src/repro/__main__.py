@@ -35,15 +35,24 @@ Commands
     exceptions, sequential-reference agreement).  ``--budget-s`` loops
     fresh-seeded rounds for a wall-clock budget; exit status 1 when
     any invariant broke.
-``serve [--config=FILE] [--host=H] [--port=P] [--print-config]``
+``serve [--config=FILE] [--host=H] [--port=P] [--store=DB] [--print-config]``
     Run the HTTP/JSON serving tier (``repro.serve``): the unified
     engine behind ``POST /eval`` / ``POST /eval_batch`` (streamed
     NDJSON verdicts), with a catalog of named databases, per-tenant
     quotas (HTTP 429 on exhaustion), and ``GET /stats`` / ``GET
     /trace`` observability.  ``--config`` loads a TOML or JSON config
     (see ``docs/serving.md``); without it the batteries-included
-    default catalog is served.  ``--print-config`` dumps the effective
+    default catalog is served.  ``--store=DB`` attaches a durable
+    sqlite store (``repro.store``): persisted results load at startup
+    so restarts serve warm, and new verdicts write through (see
+    ``docs/persistence.md``).  ``--print-config`` dumps the effective
     config as JSON and exits.
+``ingest MANIFEST --store=DB [--workers=N] [--budget-steps=B] [--no-optimize]``
+    Bulk-build a catalog into a durable store (``repro.store.ingest``):
+    every database in the JSON manifest is constructed, fingerprinted,
+    warmed with its queries, and persisted; ``--workers=N`` fans the
+    per-database work out over worker processes with stats and spans
+    merged at the join.  Prints a JSON ingestion report.
 ``trace NAME FORMULA [--jsonl=FILE]``
     Evaluate through the engine under a
     :class:`~repro.trace.TraceRecorder` and print the span tree
@@ -227,6 +236,7 @@ def cmd_serve(args: list[str]) -> int:
     config_path = None
     host = None
     port = None
+    store = None
     print_config = False
     for arg in args:
         if arg.startswith("--config="):
@@ -235,18 +245,62 @@ def cmd_serve(args: list[str]) -> int:
             host = arg.split("=", 1)[1]
         elif arg.startswith("--port="):
             port = int(arg.split("=", 1)[1])
+        elif arg.startswith("--store="):
+            store = arg.split("=", 1)[1]
         elif arg == "--print-config":
             print_config = True
         else:
             raise SystemExit(
                 "usage: python -m repro serve [--config=FILE] [--host=H] "
-                "[--port=P] [--print-config]")
+                "[--port=P] [--store=DB] [--print-config]")
     config = (load_config(config_path) if config_path is not None
               else default_config())
     if print_config:
         print(json.dumps(config.to_dict(), indent=2, sort_keys=True))
         return 0
-    return serve_forever(config, host=host, port=port)
+    return serve_forever(config, host=host, port=port, store=store)
+
+
+def cmd_ingest(args: list[str]) -> int:
+    """``ingest MANIFEST --store=DB`` — bulk-build databases into a
+    durable store across worker processes."""
+    import json
+
+    from .store.ingest import ingest_manifest, load_manifest
+    from .trace import limits
+
+    manifest_path = None
+    store = None
+    workers = 1
+    budget_steps = limits.INGEST_DB
+    optimize = True
+    for arg in args:
+        if arg.startswith("--store="):
+            store = arg.split("=", 1)[1]
+        elif arg.startswith("--workers="):
+            workers = int(arg.split("=", 1)[1])
+        elif arg.startswith("--budget-steps="):
+            budget_steps = int(arg.split("=", 1)[1])
+        elif arg == "--no-optimize":
+            optimize = False
+        elif not arg.startswith("--") and manifest_path is None:
+            manifest_path = arg
+        else:
+            raise SystemExit(
+                "usage: python -m repro ingest MANIFEST --store=DB "
+                "[--workers=N] [--budget-steps=B] [--no-optimize]")
+    if manifest_path is None or store is None:
+        raise SystemExit(
+            "usage: python -m repro ingest MANIFEST --store=DB "
+            "[--workers=N] [--budget-steps=B] [--no-optimize]")
+    if workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    manifest = load_manifest(manifest_path)
+    report = ingest_manifest(manifest, store, workers=workers,
+                             budget_steps=budget_steps,
+                             optimize=optimize)
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0
 
 
 def cmd_check(args: list[str]) -> int:
@@ -265,6 +319,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "check": cmd_check,
     "serve": cmd_serve,
+    "ingest": cmd_ingest,
 }
 
 

@@ -296,6 +296,22 @@ class ResultCache:
                           shared_hits=self.shared_hits,
                           shared_misses=self.shared_misses)
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """A point-in-time ``(key, value)`` snapshot of every entry.
+
+        Collected shard by shard under each shard's lock (uncounted —
+        LRU order and hit/miss tallies are untouched), so the snapshot
+        is consistent per shard and safe against concurrent writers.
+        This is what :meth:`repro.store.backend.Store.snapshot_cache`
+        walks to persist a live cache.
+        """
+        out: list[tuple[Hashable, Any]] = []
+        for shard in self._shards:
+            with shard.lock:
+                out.extend((key, entry[0])
+                           for key, entry in shard.data.items())
+        return out
+
     def clear(self) -> None:
         """Drop every entry and zero the hit/miss/eviction counters."""
         for shard in self._shards:

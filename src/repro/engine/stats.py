@@ -70,6 +70,16 @@ class CacheStats:
                           shared_hits=data.get("shared_hits", 0),
                           shared_misses=data.get("shared_misses", 0))
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """The element-wise sum of two snapshots (disjoint caches)."""
+        return CacheStats(hits=self.hits + other.hits,
+                          misses=self.misses + other.misses,
+                          evictions=self.evictions + other.evictions,
+                          size=self.size + other.size,
+                          shared_hits=self.shared_hits + other.shared_hits,
+                          shared_misses=(self.shared_misses
+                                         + other.shared_misses))
+
 
 @dataclass(frozen=True)
 class OptimizerStats:
@@ -105,6 +115,16 @@ class OptimizerStats:
             optimizations=data["optimizations"],
             compiles=data["compiles"],
             rewrites=tuple(sorted(data["rewrites"].items())))
+
+    def merge(self, other: "OptimizerStats") -> "OptimizerStats":
+        """Sum two snapshots, combining rule tallies by name."""
+        rewrites: dict[str, int] = dict(self.rewrites)
+        for name, n in other.rewrites:
+            rewrites[name] = rewrites.get(name, 0) + n
+        return OptimizerStats(
+            optimizations=self.optimizations + other.optimizations,
+            compiles=self.compiles + other.compiles,
+            rewrites=tuple(sorted(rewrites.items())))
 
 
 @dataclass(frozen=True)
@@ -176,6 +196,46 @@ class EngineStats:
             verdicts_unknown=verdicts["unknown"],
             unknown_reasons=tuple(
                 sorted(data["unknown_reasons"].items())),
+        )
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Combine two snapshots from *different* engines into one.
+
+        This is the join-side aggregation of the ingest pipeline
+        (``python -m repro ingest``): each worker process ships the
+        :class:`EngineStats` of its private engine back to the parent,
+        which folds them into one fleet-wide view.  Scalars add, cache
+        and optimizer snapshots add component-wise, and the keyed
+        tables (``node_timings``, ``unknown_reasons``) merge by key.
+        Only meaningful across engines that do not share caches —
+        merging two snapshots of one engine would double-count.
+        """
+        timings: dict[str, list] = {
+            kind: [count, seconds]
+            for kind, count, seconds in self.node_timings}
+        for kind, count, seconds in other.node_timings:
+            entry = timings.setdefault(kind, [0, 0.0])
+            entry[0] += count
+            entry[1] += seconds
+        reasons: dict[str, int] = dict(self.unknown_reasons)
+        for reason, n in other.unknown_reasons:
+            reasons[reason] = reasons.get(reason, 0) + n
+        return EngineStats(
+            plan_cache=self.plan_cache.merge(other.plan_cache),
+            result_cache=self.result_cache.merge(other.result_cache),
+            optimizer=self.optimizer.merge(other.optimizer),
+            oracle_questions=self.oracle_questions + other.oracle_questions,
+            evaluations=self.evaluations + other.evaluations,
+            batch_requests=self.batch_requests + other.batch_requests,
+            wall_time=self.wall_time + other.wall_time,
+            node_timings=tuple(
+                (kind, count, seconds)
+                for kind, (count, seconds) in sorted(
+                    timings.items(), key=lambda kv: -kv[1][1])),
+            verdicts_true=self.verdicts_true + other.verdicts_true,
+            verdicts_false=self.verdicts_false + other.verdicts_false,
+            verdicts_unknown=self.verdicts_unknown + other.verdicts_unknown,
+            unknown_reasons=tuple(sorted(reasons.items())),
         )
 
     def format(self) -> str:

@@ -197,6 +197,11 @@ class ServeConfig:
     #: ``[server]`` table is the service-wide escape hatch).
     optimize: bool = True
     compiled: bool = True
+    #: Path of the durable :class:`repro.store.Store` sqlite file, or
+    #: ``None`` for a memory-only cache.  When set, the server loads
+    #: persisted results at startup (warm restart) and writes verdicts
+    #: through as it computes them (``docs/persistence.md``).
+    store: str | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on any inconsistency."""
@@ -249,6 +254,7 @@ class ServeConfig:
                 "trace_capacity": self.trace_capacity,
                 "optimize": self.optimize,
                 "compiled": self.compiled,
+                **({"store": self.store} if self.store else {}),
             },
         }
 
@@ -332,7 +338,8 @@ def config_from_dict(data: dict) -> ServeConfig:
         workers=int(server.get("workers", 4)),
         trace_capacity=int(server.get("trace_capacity", 4096)),
         optimize=bool(server.get("optimize", True)),
-        compiled=bool(server.get("compiled", True)))
+        compiled=bool(server.get("compiled", True)),
+        store=server.get("store"))
     config.validate()
     return config
 

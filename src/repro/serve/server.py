@@ -79,12 +79,19 @@ class ServeApp:
         when omitted).
     cache:
         An :class:`~repro.engine.cache.EngineCache` to share with the
-        catalog (fresh when omitted) — the hook a persistence layer
-        would use to restart warm.
+        catalog (fresh when omitted) — the hook the persistence layer
+        uses to restart warm.
+    store:
+        Path of a durable :class:`repro.store.Store` sqlite file
+        (overrides ``config.store`` when given).  When either is set,
+        persisted results load into the shared cache at construction,
+        every request probes the store's replayable verdicts under the
+        budget-class rule, and new verdicts write through.
     """
 
     def __init__(self, config: ServeConfig | None = None, *,
-                 cache: EngineCache | None = None):
+                 cache: EngineCache | None = None,
+                 store: str | None = None):
         self.config = config if config is not None else default_config()
         self.config.validate()
         self.catalog = Catalog(self.config, cache=cache)
@@ -98,6 +105,15 @@ class ServeApp:
         self._counter_lock = threading.Lock()
         self._previous_recorder = None
         self._started = False
+        self.store = None
+        self.store_loaded = {"loaded": 0, "skipped": 0}
+        self._store_hits = 0
+        self._store_writes = 0
+        store_path = store if store is not None else self.config.store
+        if store_path:
+            from ..store import Store
+            self.store = Store(store_path)
+            self.store_loaded = self.store.load_results(self.catalog.cache)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -109,12 +125,17 @@ class ServeApp:
             self._started = True
 
     def close(self) -> None:
-        """Cancel in-flight work, stop the pool, restore the recorder."""
+        """Cancel in-flight work, stop the pool, restore the recorder,
+        and snapshot the result cache into the store (when attached)."""
         if self._started:
             install(self._previous_recorder)
             self._started = False
         self.tenants.cancel_all()
         self.pool.shutdown(wait=False, cancel_futures=True)
+        if self.store is not None:
+            self.store.snapshot_cache(self.catalog.cache)
+            self.store.close()
+            self.store = None
 
     def _count_request(self) -> int:
         """Bump and return the served-request counter (thread-safe)."""
@@ -187,6 +208,37 @@ class ServeApp:
         else:
             raise ProtocolError(404, f"no endpoint {request.path!r}")
 
+    # -- the durable store (docs/persistence.md) -----------------------------
+
+    def _store_replay(self, engine, plan, budget) -> Verdict | None:
+        """A persisted verdict for this request, or ``None``.
+
+        Completed values answer any budget; UNKNOWN(out_of_fuel) rows
+        answer only requests whose step budget is at most the class
+        they were computed under — the budget-compatibility audit lives
+        in :meth:`repro.store.backend.Store.lookup_verdict`.
+        """
+        if self.store is None:
+            return None
+        prepared = engine.prepare(plan)
+        verdict = self.store.lookup_verdict(
+            engine.fingerprint, prepared, budget.max_steps)
+        if verdict is not None:
+            with self._counter_lock:
+                self._store_hits += 1
+        return verdict
+
+    def _store_write(self, engine, plan, verdict: Verdict,
+                     budget) -> None:
+        """Write one freshly computed verdict through to the store."""
+        if self.store is None:
+            return
+        prepared = engine.prepare(plan)
+        if self.store.put_verdict(engine.fingerprint, prepared, verdict,
+                                  budget.max_steps):
+            with self._counter_lock:
+                self._store_writes += 1
+
     # -- request parsing -----------------------------------------------------
 
     def _eval_fields(self, request: Request, *,
@@ -233,8 +285,13 @@ class ServeApp:
                       frontend=frontend) as sp:
                 engine, plan = self.catalog.compile(database, frontend,
                                                     query)
-                verdict = engine.eval(plan, budget=budget)
-                sp.set(verdict=verdict.status)
+                verdict = self._store_replay(engine, plan, budget)
+                if verdict is not None:
+                    sp.set(verdict=verdict.status, store="hit")
+                else:
+                    verdict = engine.eval(plan, budget=budget)
+                    self._store_write(engine, plan, verdict, budget)
+                    sp.set(verdict=verdict.status)
                 sp.count("steps", budget.steps)
             return verdict, time.perf_counter() - t0
 
@@ -288,7 +345,12 @@ class ServeApp:
                         try:
                             engine, plan = self.catalog.compile(
                                 database, frontend, text)
-                            verdict = engine.eval(plan, budget=member)
+                            verdict = self._store_replay(engine, plan,
+                                                         member)
+                            if verdict is None:
+                                verdict = engine.eval(plan, budget=member)
+                                self._store_write(engine, plan, verdict,
+                                                  member)
                         except QueryError as exc:
                             line.update(error=exc.code, detail=exc.detail)
                         else:
@@ -332,7 +394,7 @@ class ServeApp:
                 totals["wall_time"] += snapshot["wall_time"]
                 for status, n in snapshot["verdicts"].items():
                     totals["verdicts"][status] += n
-        return {
+        payload = {
             "server": {
                 "uptime_s": time.monotonic() - self.started_at,
                 "requests": self.requests_seen,
@@ -343,6 +405,17 @@ class ServeApp:
             "databases": catalog["databases"],
             "tenants": self.tenants.snapshot(),
         }
+        if self.store is not None:
+            with self._counter_lock:
+                hits, writes = self._store_hits, self._store_writes
+            payload["store"] = {
+                "path": self.store.path,
+                "loaded": dict(self.store_loaded),
+                "replay_hits": hits,
+                "write_throughs": writes,
+                "counts": self.store.counts(),
+            }
+        return payload
 
     def catalog_payload(self) -> dict:
         """The ``GET /catalog`` payload."""
@@ -434,25 +507,30 @@ class ServerHandle:
 
 def start_in_thread(config: ServeConfig | None = None, *,
                     host: str = "127.0.0.1", port: int = 0,
-                    cache: EngineCache | None = None) -> ServerHandle:
+                    cache: EngineCache | None = None,
+                    store: str | None = None) -> ServerHandle:
     """Start a server on a background thread (``port=0`` = ephemeral).
 
-    The in-process entry point tests and the E19 bench use::
+    The in-process entry point tests and the E19/E21 benches use::
 
         with start_in_thread(port=0) as server:
             client = ServeClient(server.base_url)
             client.eval("rado", "exists x. R1(x, x)")
+
+    ``store`` attaches a durable :class:`repro.store.Store` (warm
+    restart + write-through), overriding ``config.store``.
     """
-    app = ServeApp(config, cache=cache)
+    app = ServeApp(config, cache=cache, store=store)
     return ServerHandle(app, host, port)
 
 
 def serve_forever(config: ServeConfig | None = None, *,
                   host: str | None = None,
-                  port: int | None = None) -> int:
+                  port: int | None = None,
+                  store: str | None = None) -> int:
     """Run the server on the calling thread until interrupted (the
     ``python -m repro serve`` path).  Returns the process exit code."""
-    app = ServeApp(config)
+    app = ServeApp(config, store=store)
     host = host if host is not None else app.config.host
     port = port if port is not None else app.config.port
 
@@ -463,6 +541,10 @@ def serve_forever(config: ServeConfig | None = None, *,
         print(f"repro serve: listening on http://{bound[0]}:{bound[1]} "
               f"({len(app.config.databases)} databases, "
               f"{len(app.config.tenants)} tenants)", flush=True)
+        if app.store is not None:
+            print(f"repro serve: store {app.store.path} "
+                  f"(loaded {app.store_loaded['loaded']} warm results)",
+                  flush=True)
         try:
             async with server:
                 await server.serve_forever()

@@ -1,0 +1,70 @@
+"""Durable catalog: sqlite persistence and bulk ingestion.
+
+Every verdict the engine computes currently dies with the process; this
+package is the layer that makes warm-start claims honest (ROADMAP
+item 1).  The paper's central observation makes it possible: a
+recursive data base is *finitely presented* — a ``CB`` representation
+is finite data (Definition 3.7) — so databases, plans, and evaluated
+answers all serialize.
+
+* :mod:`repro.store.codec` — structural JSON codecs for plan IR,
+  evaluated values, cache-key args, and verdicts, plus the durable
+  content hash :func:`~repro.store.codec.plan_hash`;
+* :mod:`repro.store.backend` — the WAL-mode sqlite :class:`Store`
+  keyed by ``(db_fingerprint, plan_hash, args, budget_class)``, with
+  the budget-class reuse rule that keeps persisted UNKNOWNs sound;
+* :mod:`repro.store.ingest` — the manifest-driven bulk pipeline behind
+  ``python -m repro ingest``: construct, fingerprint, optimize, and
+  persist many databases across worker processes.
+
+``python -m repro serve --store PATH`` wires a :class:`Store` into the
+serving tier: results load into the shared :class:`~repro.engine.cache.
+EngineCache` at startup, verdicts write through as they are computed,
+and several server/ingest processes may share one store file thanks to
+WAL-mode sqlite (``docs/persistence.md`` states the full contract).
+"""
+
+from .backend import ANY_BUDGET, SCHEMA_VERSION, Store, StoreError
+from .codec import (
+    CODEC_VERSION,
+    StoreCodecError,
+    UnserializablePlanError,
+    args_from_json,
+    args_to_json,
+    budget_class,
+    budget_class_steps,
+    canonical_plan_text,
+    plan_from_json,
+    plan_hash,
+    plan_to_json,
+    value_from_json,
+    value_to_json,
+    verdict_from_json,
+    verdict_to_json,
+)
+from .ingest import IngestReport, ingest_manifest, load_manifest
+
+__all__ = [
+    "ANY_BUDGET",
+    "CODEC_VERSION",
+    "SCHEMA_VERSION",
+    "IngestReport",
+    "Store",
+    "StoreCodecError",
+    "StoreError",
+    "UnserializablePlanError",
+    "args_from_json",
+    "args_to_json",
+    "budget_class",
+    "budget_class_steps",
+    "canonical_plan_text",
+    "ingest_manifest",
+    "load_manifest",
+    "plan_from_json",
+    "plan_hash",
+    "plan_to_json",
+    "value_from_json",
+    "value_to_json",
+    "verdict_from_json",
+    "verdict_to_json",
+]

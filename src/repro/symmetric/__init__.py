@@ -55,7 +55,14 @@ from .refinement import (
     refinement_trace,
     stable_partition,
 )
-from .serialize import from_json, restore, snapshot, to_json
+from .serialize import (
+    decode_label,
+    encode_label,
+    from_json,
+    restore,
+    snapshot,
+    to_json,
+)
 from .tree import CharacteristicTree, tree_from_levels
 
 __all__ = [
@@ -95,6 +102,8 @@ __all__ = [
     "refinement_trace",
     "restore",
     "snapshot",
+    "encode_label",
+    "decode_label",
     "stable_partition",
     "stretch_hsdb",
     "stretching_refutation",

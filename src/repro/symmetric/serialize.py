@@ -41,9 +41,30 @@ def _encode_value(x: Any) -> Any:
 def _decode_value(x: Any) -> Any:
     if isinstance(x, dict) and set(x) == {"t"}:
         return tuple(_decode_value(c) for c in x["t"])
-    if isinstance(x, (int, str)):
+    if isinstance(x, (int, str)) and not isinstance(x, bool):
         return x
     raise RepresentationError(f"malformed serialized label {x!r}")
+
+
+def encode_label(x: Any) -> Any:
+    """JSON-encode one domain label (or tuple-of-labels, e.g. a path).
+
+    The label alphabet this library uses everywhere — ints, strings,
+    and nested tuples thereof — maps onto JSON with one twist: tuples
+    become ``{"t": [...]}`` objects so they stay distinguishable from
+    the labels themselves.  Booleans are rejected (``True == 1`` in
+    Python, so round-tripping them through JSON would silently merge
+    distinct labels).  This is the public face of the codec the
+    snapshot format uses internally; :mod:`repro.store.codec` reuses it
+    for cache keys and evaluated values.
+    """
+    return _encode_value(x)
+
+
+def decode_label(x: Any) -> Any:
+    """Invert :func:`encode_label` (raises
+    :class:`~repro.errors.RepresentationError` on malformed input)."""
+    return _decode_value(x)
 
 
 def snapshot(hsdb: HSDatabase, depth: int) -> dict:

@@ -39,6 +39,7 @@ ENGINE = 10_000_000
 OPTIMIZER_PASSES = 12
 CHECK_CASE = 200_000
 SERVE_REQUEST = 2_000_000
+INGEST_DB = 5_000_000
 
 
 @dataclass(frozen=True)
@@ -131,4 +132,9 @@ REGISTRY: tuple[LimitSpec, ...] = (
         "max_steps", SERVE_REQUEST,
         "one interpreter operation of one HTTP request (per batch member)",
         "the response verdict is UNKNOWN; admission overruns get HTTP 429"),
+    LimitSpec(
+        "repro.store.ingest.ingest_manifest",
+        "budget_steps", INGEST_DB,
+        "one interpreter operation of one warm-up query of one database",
+        "the query persists as UNKNOWN(out_of_fuel) in its budget class"),
 )

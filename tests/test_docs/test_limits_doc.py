@@ -95,3 +95,11 @@ class TestLiveDefaultsMatchRegistry:
         tenant = Tenant("t")
         assert tenant.max_steps == limits.SERVE_REQUEST
         assert tenant.admit().max_steps == limits.SERVE_REQUEST
+
+    def test_ingest_default(self):
+        import inspect
+
+        from repro.store.ingest import ingest_manifest
+        signature = inspect.signature(ingest_manifest)
+        assert (signature.parameters["budget_steps"].default
+                == limits.INGEST_DB)

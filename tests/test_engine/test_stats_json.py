@@ -104,3 +104,68 @@ class TestEngineStatsRoundTrip:
             json.loads(json.dumps(snapshot.to_dict())))
         assert restored == snapshot
         assert restored.evaluations == 2
+
+
+class TestMerge:
+    """The ingest join-side aggregation: fold per-worker snapshots of
+    *disjoint* engines into one fleet-wide view."""
+
+    def test_cache_stats_merge_is_elementwise(self):
+        a = CacheStats(hits=3, misses=2, evictions=1, size=4,
+                       shared_hits=1, shared_misses=1)
+        b = CacheStats(hits=5, misses=1, size=2)
+        assert a.merge(b) == CacheStats(hits=8, misses=3, evictions=1,
+                                        size=6, shared_hits=1,
+                                        shared_misses=1)
+
+    def test_optimizer_merge_combines_rule_tallies(self):
+        a = OptimizerStats(optimizations=2, compiles=1,
+                           rewrites=(("join-hoist", 3),))
+        b = OptimizerStats(optimizations=1,
+                           rewrites=(("join-hoist", 1),
+                                     ("complement-quantify", 4)))
+        merged = a.merge(b)
+        assert merged.optimizations == 3
+        assert merged.compiles == 1
+        assert dict(merged.rewrites) == {"join-hoist": 4,
+                                         "complement-quantify": 4}
+
+    def test_engine_merge_sums_scalars_and_keyed_tables(self):
+        a = EngineStats(evaluations=4, oracle_questions=10,
+                        wall_time=0.5,
+                        node_timings=(("Fixpoint", 2, 0.4),),
+                        verdicts_true=3, verdicts_unknown=1,
+                        unknown_reasons=(("out_of_fuel", 1),))
+        b = EngineStats(evaluations=6, wall_time=0.25,
+                        node_timings=(("Fixpoint", 1, 0.1),
+                                      ("Join", 5, 0.9)),
+                        verdicts_false=2, verdicts_unknown=2,
+                        unknown_reasons=(("out_of_fuel", 1),
+                                         ("deadline", 1)))
+        merged = a.merge(b)
+        assert merged.evaluations == 10
+        assert merged.oracle_questions == 10
+        assert merged.wall_time == 0.75
+        assert merged.verdicts_true == 3
+        assert merged.verdicts_false == 2
+        assert merged.verdicts_unknown == 3
+        assert dict(merged.unknown_reasons) == {"out_of_fuel": 2,
+                                                "deadline": 1}
+        timings = {kind: (count, seconds)
+                   for kind, count, seconds in merged.node_timings}
+        assert timings == {"Fixpoint": (3, 0.5), "Join": (5, 0.9)}
+        # Ordered hottest-first, like every other timings table.
+        assert merged.node_timings[0][0] == "Join"
+
+    def test_merge_with_default_is_identity(self):
+        a = EngineStats(evaluations=4, verdicts_true=1,
+                        node_timings=(("Scan", 1, 0.1),))
+        assert a.merge(EngineStats()) == a
+        assert EngineStats().merge(a) == a
+
+    def test_merged_snapshot_round_trips_through_json(self):
+        a = EngineStats(evaluations=1, unknown_reasons=(("deadline", 1),))
+        b = EngineStats(evaluations=2, verdicts_unknown=1)
+        merged = a.merge(b)
+        assert EngineStats.from_dict(
+            json.loads(json.dumps(merged.to_dict()))) == merged

@@ -1,0 +1,112 @@
+"""Serve restart semantics against one durable store (PR 9 satellite).
+
+Kill a server, restart a fresh one on the same sqlite file, and the
+second server must (a) come up warm — ``/stats`` shows loaded results
+and replay hits — and (b) agree **bit-for-bit** on every
+``(status, reason)`` pair the first server produced, including the
+budget-classed ``UNKNOWN(out_of_fuel)`` replay.
+"""
+
+import pytest
+
+from repro.serve import ServeClient, config_from_dict, start_in_thread
+from repro.store import Store
+
+#: The canonical diverging QLhs program — burns any finite step budget.
+DIVERGING = "while |Y1| = 0 do { Y2 := !Y2 }"
+
+#: A small per-request step budget so the diverging query trips fast
+#: and persists in a small, replayable budget class.
+CONFIG = {
+    "databases": {"rado": {"kind": "builtin"}},
+    "tenants": {"default": {"max_steps": 500}},
+}
+
+QUERIES = [
+    ("fo", "exists x. exists y. R1(x, y)"),   # completes: true
+    ("fo", "exists x. R1(x, x)"),             # completes: false
+    ("qlhs", DIVERGING),                      # trips: unknown(out_of_fuel)
+]
+
+
+def run_workload(base_url):
+    """Every query's ``(status, reason)``, in order."""
+    client = ServeClient(base_url)
+    out = []
+    for frontend, text in QUERIES:
+        body = client.eval("rado", text, frontend=frontend)
+        out.append((body["status"], body["reason"]))
+    return out, client.stats()
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "serve.sqlite")
+
+
+class TestRestart:
+    def test_warm_restart_agrees_bit_for_bit(self, store_path):
+        # Phase 1: a cold server against a fresh store.
+        with start_in_thread(config_from_dict(CONFIG),
+                             store=store_path) as server:
+            cold, stats = run_workload(server.base_url)
+            assert stats["store"]["loaded"]["loaded"] == 0
+            assert stats["store"]["write_throughs"] == len(QUERIES)
+        # `close()` snapshotted the cache; the store now holds both
+        # completed values and the classed UNKNOWN.
+        with Store(store_path) as store:
+            counts = store.counts()
+            assert counts["values"] > 0
+            assert counts["verdicts"] == 1
+
+        # Phase 2: a brand-new server process-equivalent (fresh caches,
+        # fresh engines) restarted on the same file.
+        with start_in_thread(config_from_dict(CONFIG),
+                             store=store_path) as server:
+            warm, stats = run_workload(server.base_url)
+            assert warm == cold                       # bit-for-bit
+            assert stats["store"]["loaded"]["loaded"] > 0
+            assert stats["store"]["replay_hits"] == len(QUERIES)
+            assert stats["store"]["write_throughs"] == 0
+
+        assert [s for s, __ in cold] == ["true", "false", "unknown"]
+        assert cold[2][1] == "out_of_fuel"
+
+    def test_unknown_not_replayed_for_larger_budget(self, store_path):
+        """Satellite 1 at the HTTP boundary: the persisted UNKNOWN
+        belongs to class 500; a tenant with a *larger* step budget must
+        recompute rather than replay it."""
+        with start_in_thread(config_from_dict(CONFIG),
+                             store=store_path) as server:
+            run_workload(server.base_url)
+
+        big = {"databases": {"rado": {"kind": "builtin"}},
+               "tenants": {"default": {"max_steps": 100_000}}}
+        with start_in_thread(config_from_dict(big),
+                             store=store_path) as server:
+            client = ServeClient(server.base_url)
+            body = client.eval("rado", DIVERGING, frontend="qlhs")
+            # Still unknown (it truly diverges) — but *recomputed* at
+            # the bigger budget, not replayed from the 500 class.
+            assert body["status"] == "unknown"
+            stats = client.stats()
+            assert stats["store"]["replay_hits"] == 0
+
+    def test_stats_has_no_store_section_without_a_store(self):
+        with start_in_thread(config_from_dict(CONFIG)) as server:
+            __, stats = run_workload(server.base_url)
+            assert "store" not in stats
+
+    def test_third_restart_is_still_consistent(self, store_path):
+        """Repeated kill/restart cycles keep converging on the same
+        answers and never duplicate rows (upsert idempotence)."""
+        results, counts = [], []
+        for __ in range(3):
+            with start_in_thread(config_from_dict(CONFIG),
+                                 store=store_path) as server:
+                verdicts, __stats = run_workload(server.base_url)
+                results.append(verdicts)
+            with Store(store_path) as store:
+                counts.append(store.counts())
+        assert results[0] == results[1] == results[2]
+        assert counts[0] == counts[1] == counts[2]

@@ -1,0 +1,1 @@
+"""Tests for the durable sqlite persistence layer (``repro.store``)."""

@@ -1,0 +1,213 @@
+"""Round-trip tests for the structural plan/value/verdict codecs."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.engine.plan import (
+    Complement,
+    Empty,
+    Extend,
+    FcfFixpoint,
+    FilterAtom,
+    FilterEq,
+    Fixpoint,
+    FullScan,
+    Intersect,
+    Join,
+    MachineFixpoint,
+    Project,
+    Quantify,
+    Scan,
+    Union,
+)
+from repro.engine.verdict import Verdict
+from repro.fcf.relation import cofinite_value, finite_value
+from repro.qlhs import ast
+from repro.qlhs.interpreter import Value
+from repro.store import (
+    StoreCodecError,
+    UnserializablePlanError,
+    args_from_json,
+    args_to_json,
+    budget_class,
+    budget_class_steps,
+    canonical_plan_text,
+    plan_from_json,
+    plan_hash,
+    plan_to_json,
+    value_from_json,
+    value_to_json,
+    verdict_from_json,
+    verdict_to_json,
+)
+from repro.store.codec import (
+    program_from_json,
+    program_to_json,
+    term_from_json,
+    term_to_json,
+)
+
+
+def every_term() -> ast.Term:
+    """One term exercising every QLhs term constructor."""
+    return ast.Inter(
+        ast.Product(
+            ast.Permute(ast.Up(ast.Rel(0)), (1, 0, 2)),
+            ast.SelectEq(ast.Down(ast.Swap(ast.VarT("Y1"))), 0, 1)),
+        ast.Comp(ast.E()))
+
+
+def every_program() -> ast.Program:
+    """One program exercising every QLhs program constructor."""
+    return ast.Seq([
+        ast.Assign("Y1", every_term()),
+        ast.WhileEmpty("Y1", ast.Assign("Y2", ast.Comp(ast.VarT("Y2")))),
+        ast.WhileSingleton("Y2", ast.Assign("Y1", ast.E())),
+    ])
+
+
+def every_plan():
+    """One plan exercising every serializable plan node kind."""
+    return Union([
+        Intersect([
+            Complement(Quantify(Project(Scan(0), (0,)), "exists")),
+            FilterEq(FullScan(2), 0, 1),
+        ]),
+        Join(Extend(Empty(1)),
+             FilterAtom(FullScan(2), 0, (0, 1), True)),
+        Fixpoint(every_program(), "Y1"),
+        FcfFixpoint(ast.Assign("Y1", ast.Rel(0))),
+    ])
+
+
+class TestTermAndProgramRoundTrip:
+    def test_every_term(self):
+        term = every_term()
+        data = term_to_json(term)
+        json.dumps(data)                      # must be JSON-safe
+        assert term_from_json(data) == term
+
+    def test_every_program(self):
+        program = every_program()
+        data = program_to_json(program)
+        json.dumps(data)
+        assert program_from_json(data) == program
+
+    def test_malformed_term_rejected(self):
+        with pytest.raises(StoreCodecError):
+            term_from_json({"no": "kind"})
+        with pytest.raises(StoreCodecError):
+            term_from_json({"k": "Mystery"})
+
+    def test_malformed_program_rejected(self):
+        with pytest.raises(StoreCodecError):
+            program_from_json({"k": "Mystery"})
+
+
+class TestPlanRoundTrip:
+    def test_every_node_kind(self):
+        plan = every_plan()
+        data = plan_to_json(plan)
+        json.dumps(data)
+        back = plan_from_json(data)
+        assert back == plan
+        assert hash(back) == hash(plan)       # one cache key
+
+    def test_machine_fixpoint_is_unserializable(self):
+        node = MachineFixpoint(lambda oracle: ())
+        with pytest.raises(UnserializablePlanError):
+            plan_to_json(node)
+        # ... and so is any tree containing one.
+        with pytest.raises(UnserializablePlanError):
+            plan_to_json(Complement(node))
+
+    def test_malformed_plan_rejected(self):
+        with pytest.raises(StoreCodecError):
+            plan_from_json(["not", "a", "node"])
+        with pytest.raises(StoreCodecError):
+            plan_from_json({"k": "Mystery"})
+
+
+class TestPlanHash:
+    def test_equal_plans_equal_hashes(self):
+        assert plan_hash(every_plan()) == plan_hash(every_plan())
+
+    def test_different_plans_different_hashes(self):
+        assert plan_hash(Scan(0)) != plan_hash(Scan(1))
+
+    def test_hash_is_sha256_of_canonical_text(self):
+        """The durable identity is pinned to the canonical text — not
+        Python's per-process salted ``hash()``."""
+        plan = every_plan()
+        text = canonical_plan_text(plan)
+        expected = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        assert plan_hash(plan) == expected
+        assert len(expected) == 64
+
+    def test_canonical_text_is_deterministic(self):
+        a = canonical_plan_text(every_plan())
+        b = canonical_plan_text(every_plan())
+        assert a == b
+        assert " " not in a                  # compact separators
+
+
+class TestValueRoundTrip:
+    def test_bool(self):
+        for b in (True, False):
+            assert value_from_json(value_to_json(b)) is b
+
+    def test_path_set_value(self):
+        value = Value(2, frozenset({(0, 1), (1, 0), (2, 2)}))
+        data = value_to_json(value)
+        json.dumps(data)
+        assert value_from_json(data) == value
+
+    def test_fcf_finite(self):
+        value = finite_value(2, [(0, 1), (1, 0)])
+        assert value_from_json(value_to_json(value)) == value
+
+    def test_fcf_cofinite(self):
+        value = cofinite_value(1, [(0,), (3,)])
+        back = value_from_json(value_to_json(value))
+        assert back == value
+        assert back.cofinite
+
+    def test_equal_values_equal_text(self):
+        """Sets serialize in canonical order, so equal values produce
+        byte-equal JSON (the upsert-idempotence precondition)."""
+        a = Value(1, frozenset({(0,), (1,), (2,)}))
+        b = Value(1, frozenset([(2,), (0,), (1,)]))
+        assert (json.dumps(value_to_json(a), sort_keys=True)
+                == json.dumps(value_to_json(b), sort_keys=True))
+
+    def test_foreign_type_rejected(self):
+        with pytest.raises(StoreCodecError):
+            value_to_json(object())
+        with pytest.raises(StoreCodecError):
+            value_from_json({"k": "Mystery"})
+
+
+class TestArgsAndVerdicts:
+    def test_args_round_trip(self):
+        for args in ((), ("contains", (0, 1)), ("contains", (("g", 0),))):
+            assert args_from_json(args_to_json(args)) == args
+
+    def test_verdict_round_trip(self):
+        for verdict in (Verdict.of(True), Verdict.of(False),
+                        Verdict.unknown("out_of_fuel", steps=501)):
+            back = verdict_from_json(verdict_to_json(verdict))
+            assert back.status == verdict.status
+            assert back.reason == verdict.reason
+            assert back.steps == verdict.steps
+
+
+class TestBudgetClass:
+    def test_unbounded_is_inf(self):
+        assert budget_class(None) == "inf"
+        assert budget_class_steps("inf") is None
+
+    def test_finite_classes_round_trip(self):
+        for steps in (1, 500, 5_000_000):
+            assert budget_class_steps(budget_class(steps)) == steps

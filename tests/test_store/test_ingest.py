@@ -1,0 +1,190 @@
+"""The bulk ingestion pipeline: manifest → workers → one sqlite store."""
+
+import json
+
+import pytest
+
+from repro.engine.cache import EngineCache
+from repro.store import Store, ingest_manifest, load_manifest
+from repro.store.ingest import ManifestError, default_warm_queries
+
+TRIANGLE = {"kind": "finite", "domain": 3,
+            "relations": [{"rank": 2,
+                           "tuples": [[0, 1], [1, 2], [2, 0]]}]}
+
+#: The canonical diverging QLhs program — burns any finite step budget.
+DIVERGING = "while |Y1| = 0 do { Y2 := !Y2 }"
+
+
+def write_manifest(tmp_path, data):
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestLoadManifest:
+    def test_minimal_manifest(self, tmp_path):
+        path = write_manifest(tmp_path, {"databases": {"t": TRIANGLE}})
+        manifest = load_manifest(path)
+        assert set(manifest) == {"databases", "warm"}
+        assert manifest["warm"] == []
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{nope")
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+    def test_missing_or_empty_databases_rejected(self, tmp_path):
+        for data in ({}, {"databases": {}}, {"databases": "x"}, [1]):
+            with pytest.raises(ManifestError):
+                load_manifest(write_manifest(tmp_path, data))
+
+    def test_warm_must_be_a_list_of_texted_entries(self, tmp_path):
+        with pytest.raises(ManifestError):
+            load_manifest(write_manifest(
+                tmp_path, {"databases": {"t": TRIANGLE}, "warm": "x"}))
+        with pytest.raises(ManifestError):
+            load_manifest(write_manifest(
+                tmp_path,
+                {"databases": {"t": TRIANGLE},
+                 "warm": [{"frontend": "fo"}]}))
+
+
+class TestDefaultWarmQueries:
+    def test_one_existential_per_relation_plus_one_universal(self):
+        queries = default_warm_queries((2, 1))
+        assert len(queries) == 3
+        assert all(frontend == "fo" for frontend, __ in queries)
+        texts = [text for __, text in queries]
+        assert texts[0] == "exists x1. exists x2. R1(x1, x2)"
+        assert texts[1] == "forall x1. forall x2. R1(x1, x2)"
+        assert texts[2] == "exists x1. R2(x1)"
+
+    def test_nullary_relations_are_skipped(self):
+        assert default_warm_queries((0,)) == []
+
+
+class TestIngestSequential:
+    def test_finite_database_lands_warm(self, tmp_path):
+        store_path = tmp_path / "memo.sqlite"
+        manifest = {"databases": {"tri": TRIANGLE}, "warm": []}
+        report = ingest_manifest(manifest, store_path)
+
+        assert report.databases == ["tri"]
+        assert report.queries == 2            # defaults: exists + forall
+        assert report.values > 0
+        assert report.store_counts["databases"] == 1
+        assert report.store_counts["values"] == report.values
+        assert report.stats.evaluations >= report.queries
+
+        with Store(store_path) as store:
+            rows = store.databases()
+            assert rows[0]["name"] == "tri"
+            assert rows[0]["kind"] == "finite"
+            # The reload hits: every persisted value comes back.
+            fresh = EngineCache()
+            loaded = store.load_results(fresh)
+            assert loaded["loaded"] == report.values
+
+    def test_finite_database_gets_a_snapshot(self, tmp_path):
+        store_path = tmp_path / "memo.sqlite"
+        ingest_manifest({"databases": {"tri": TRIANGLE}, "warm": []},
+                        store_path)
+        with Store(store_path) as store:
+            snap = store._conn.execute(
+                "SELECT snapshot FROM databases").fetchone()[0]
+        assert snap is not None
+        from repro.symmetric import restore
+        restored = restore(json.loads(snap))
+        assert restored.signature == (2,)
+
+    def test_manifest_warm_queries_override_defaults(self, tmp_path):
+        store_path = tmp_path / "memo.sqlite"
+        manifest = {
+            "databases": {"tri": TRIANGLE},
+            "warm": [{"database": "tri", "frontend": "fo",
+                      "text": "exists x1. R1(x1, x1)"}],
+        }
+        report = ingest_manifest(manifest, store_path)
+        assert report.queries == 1
+
+    def test_wildcard_warm_applies_to_every_database(self, tmp_path):
+        store_path = tmp_path / "memo.sqlite"
+        manifest = {
+            "databases": {"a": TRIANGLE, "b": TRIANGLE},
+            "warm": [{"frontend": "fo",
+                      "text": "exists x1. R1(x1, x1)"}],
+        }
+        report = ingest_manifest(manifest, store_path)
+        assert report.queries == 2
+        assert sorted(report.databases) == ["a", "b"]
+        # The fingerprint covers the database *name* as well as the
+        # structure, so same-shape entries stay distinct rows.
+        assert report.store_counts["databases"] == 2
+
+    def test_diverging_query_persists_a_classed_unknown(self, tmp_path):
+        """The UNKNOWN path end-to-end: a diverging warm query trips
+        the ingest budget and lands as a replayable classed row."""
+        store_path = tmp_path / "memo.sqlite"
+        manifest = {
+            "databases": {"tri": TRIANGLE},
+            "warm": [{"frontend": "qlhs", "text": DIVERGING}],
+        }
+        report = ingest_manifest(manifest, store_path,
+                                 budget_steps=500)
+        assert report.verdicts == 1
+        assert report.store_counts["verdicts"] == 1
+
+        # Replay honours the satellite-1 budget-class rule.
+        from repro.serve.catalog import Catalog
+        from repro.serve.config import config_from_dict
+        catalog = Catalog(config_from_dict(
+            {"databases": {"tri": TRIANGLE}}), cache=EngineCache())
+        engine, plan = catalog.compile("tri", "qlhs", DIVERGING)
+        prepared = engine.prepare(plan)
+        with Store(store_path) as store:
+            replay = store.lookup_verdict(engine.fingerprint, prepared,
+                                          500)
+            assert replay is not None
+            assert replay.reason == "out_of_fuel"
+            assert store.lookup_verdict(engine.fingerprint, prepared,
+                                        10_000) is None
+            assert store.lookup_verdict(engine.fingerprint, prepared,
+                                        None) is None
+
+    def test_builtin_database_ingests_by_source(self, tmp_path):
+        store_path = tmp_path / "memo.sqlite"
+        manifest = {"databases": {
+            "tri": {"kind": "builtin", "source": "triangles"}}}
+        report = ingest_manifest(manifest, store_path)
+        assert report.store_counts["databases"] == 1
+        with Store(store_path) as store:
+            assert store.databases()[0]["kind"] == "builtin"
+            # Builtins carry no snapshot (their trees are lazy).
+            snap = store._conn.execute(
+                "SELECT snapshot FROM databases").fetchone()[0]
+            assert snap is None
+
+
+class TestIngestWorkers:
+    def test_process_pool_agrees_with_sequential(self, tmp_path):
+        """Two workers, two databases: same rows as the inline path —
+        the parent is the sole sqlite writer either way."""
+        manifest = {
+            "databases": {
+                "tri": TRIANGLE,
+                "rado": {"kind": "builtin", "source": "rado"},
+            },
+            "warm": [{"frontend": "fo",
+                      "text": "exists x1. R1(x1, x1)"}],
+        }
+        seq = ingest_manifest(manifest, tmp_path / "seq.sqlite")
+        par = ingest_manifest(manifest, tmp_path / "par.sqlite",
+                              workers=2)
+        assert sorted(par.databases) == sorted(seq.databases)
+        assert par.values == seq.values
+        assert par.verdicts == seq.verdicts
+        with Store(tmp_path / "seq.sqlite") as a, \
+                Store(tmp_path / "par.sqlite") as b:
+            assert a.counts() == b.counts()

@@ -3,10 +3,16 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core import finite_database
+from repro.engine.fingerprint import DEFAULT_TREE_DEPTH, fingerprint_hsdb
 from repro.errors import RepresentationError
+from repro.fcf import FcfDatabase, cofinite_value, finite_value
 from repro.graphs import mixed_components_hsdb, triangles_hsdb
 from repro.symmetric import (
+    from_finite_database,
     from_json,
     infinite_clique,
     rado_hsdb,
@@ -76,3 +82,86 @@ class TestSnapshot:
         back = from_json(to_json(cu, depth=2))
         for p in cu.tree.level(2):
             assert back.canonical_representative(p) == p
+
+
+def snapshot_depth(hsdb) -> int:
+    """The depth the durable store snapshots at: deep enough for the
+    fingerprint (levels ``0..DEFAULT_TREE_DEPTH``) and for every
+    relation's membership test."""
+    return max(DEFAULT_TREE_DEPTH, max(hsdb.signature, default=0))
+
+
+def roundtrip(hsdb):
+    return from_json(to_json(hsdb, depth=snapshot_depth(hsdb)))
+
+
+class TestFingerprintRoundTrip:
+    """PR 9 bugfix sweep: ``from_json(to_json(db))`` must preserve the
+    engine fingerprint bit-for-bit for every catalog spec kind —
+    otherwise a reloaded store would re-key every cached result and a
+    warm restart would silently run cold."""
+
+    @pytest.mark.parametrize("build", [
+        infinite_clique, rado_hsdb, triangles_hsdb, mixed_components_hsdb,
+    ], ids=lambda b: b.__name__)
+    def test_builtin_specs(self, build):
+        db = build()
+        assert fingerprint_hsdb(roundtrip(db)) == fingerprint_hsdb(db)
+
+    def test_fcf_spec(self):
+        fcf = FcfDatabase(
+            [finite_value(2, [(0, 1), (1, 0)]),
+             cofinite_value(1, [(0,)])],
+            name="pair")
+        hs = fcf.to_hsdb()
+        assert fingerprint_hsdb(roundtrip(hs)) == fingerprint_hsdb(hs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=2),
+            st.sets(st.tuples(st.integers(min_value=0, max_value=3),
+                              st.integers(min_value=0, max_value=3)),
+                    max_size=4)),
+        min_size=1, max_size=2))
+    def test_finite_specs_property(self, spec):
+        """Hypothesis: arbitrary small finite databases, embedded as
+        hs-r-dbs the way the catalog builds ``kind: finite`` specs,
+        survive the JSON round trip with their fingerprint intact."""
+        relations = [(arity, {t[:arity] for t in tuples})
+                     for arity, tuples in spec]
+        db = from_finite_database(
+            finite_database(relations, domain_elements=range(4)))
+        assert fingerprint_hsdb(roundtrip(db)) == fingerprint_hsdb(db)
+
+    def test_fingerprint_depth_is_covered(self):
+        """The store's snapshot depth always covers the levels the
+        fingerprint hashes, so equality above is not vacuous."""
+        for build in (infinite_clique, rado_hsdb, triangles_hsdb):
+            assert snapshot_depth(build()) >= DEFAULT_TREE_DEPTH
+
+
+class TestLabelNormalizationDrift:
+    """Regression for the decode-side drift fixed in this PR:
+    ``_encode_value`` always rejected booleans (not a supported label
+    sort), but ``_decode_value`` accepted them because ``bool`` is a
+    subclass of ``int`` — so a hand-edited or corrupted snapshot could
+    smuggle ``True`` in as a label where ``1`` was meant, perturbing
+    label-sensitive fingerprints.  Decode must reject exactly what
+    encode rejects."""
+
+    def test_bool_labels_rejected_on_decode(self):
+        from repro.symmetric.serialize import _decode_value
+        with pytest.raises(RepresentationError):
+            _decode_value(True)
+        with pytest.raises(RepresentationError):
+            _decode_value({"t": [False, 1]})
+
+    def test_bool_labels_rejected_on_encode(self):
+        from repro.symmetric.serialize import _encode_value
+        with pytest.raises(RepresentationError):
+            _encode_value(True)
+
+    def test_int_labels_still_pass_both_ways(self):
+        from repro.symmetric.serialize import _decode_value, _encode_value
+        assert _decode_value(_encode_value((0, 1))) == (0, 1)

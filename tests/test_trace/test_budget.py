@@ -148,6 +148,36 @@ class TestFork:
         parent.cancel()
         assert child.cancelled
 
+    def test_fork_deadline_on_expired_parent_trips_immediately(self):
+        """Regression (PR 9 bugfix sweep): ``fork(deadline=...)`` on a
+        parent whose own deadline already passed must yield a child
+        that is tripped *now* — remaining time clamped to 0.0, never
+        negative, and never a fresh 60 s allowance."""
+        parent = Budget(max_steps=100, deadline=0.001)
+        time.sleep(0.005)
+        assert parent.expired
+        child = parent.fork(deadline=60.0)
+        assert child.expired
+        assert child.remaining_seconds == 0.0
+        with pytest.raises(OutOfFuel) as exc:
+            child.check()
+        assert exc.value.reason == DEADLINE
+        # Charging (the engine's hot path) trips identically.
+        with pytest.raises(OutOfFuel):
+            child.charge()
+
+    def test_fork_negative_relative_deadline_is_already_tripped(self):
+        """A nonsensical negative request deadline clamps to an
+        immediately-expired child rather than arming a deadline in the
+        past with negative remaining seconds."""
+        parent = Budget()
+        child = parent.fork(deadline=-5.0)
+        assert child.expired
+        assert child.remaining_seconds == 0.0
+        with pytest.raises(OutOfFuel) as exc:
+            child.check()
+        assert exc.value.reason == DEADLINE
+
     def test_remaining_seconds(self):
         assert Budget().remaining_seconds is None
         b = Budget(deadline=60.0)
