@@ -21,20 +21,25 @@ Commands
     :class:`~repro.engine.stats.EngineStats` snapshot — cache
     hits/misses, oracle question count, per-node timings, wall time,
     verdict counts.
-``check [--seed=N] [--cases=K] [--budget-s=S] [--out=F] [--emit-dir=D]``
+``check [--seed=N] [--cases=K] [--budget-s=S] [--out=F] [--emit-dir=D]
+[--workers=W]``
     Differential & metamorphic fuzzing of the four query frontends
     (``repro.check``): random databases and queries, every applicable
     frontend must agree modulo ``UNKNOWN``; failures are shrunk and
-    emitted as standalone reproducer scripts.  Exit status 1 on any
-    genuine disagreement.
-``check --stress [--seed=N] [--threads=T] [--ops=K] [--budget-s=S] [--out=F]``
+    emitted as standalone reproducer scripts.  ``--workers=W`` (W > 1)
+    fans the cases across a process pool (``docs/sharding.md``) with
+    the same report content; shrinking and reproducer writing stay in
+    the parent.  Exit status 1 on any genuine disagreement.
+``check --stress [--seed=N] [--threads=T] [--ops=K] [--budget-s=S] [--out=F]
+[--hammers=A,B]``
     The race-stress campaign instead (``repro.check.stress``): seeded
     multi-threaded hammers pounding shared budgets, caches, recorders,
-    and engines, asserting the thread-safety contract of
-    ``docs/concurrency.md`` (exact accounting, zero escaped
-    exceptions, sequential-reference agreement).  ``--budget-s`` loops
-    fresh-seeded rounds for a wall-clock budget; exit status 1 when
-    any invariant broke.
+    engines, and a process-pool shard executor, asserting the
+    thread-safety contract of ``docs/concurrency.md`` (exact
+    accounting, zero escaped exceptions, sequential-reference
+    agreement).  ``--budget-s`` loops fresh-seeded rounds for a
+    wall-clock budget; ``--hammers=A,B`` restricts a round to named
+    hammers; exit status 1 when any invariant broke.
 ``serve [--config=FILE] [--host=H] [--port=P] [--store=DB] [--print-config]``
     Run the HTTP/JSON serving tier (``repro.serve``): the unified
     engine behind ``POST /eval`` / ``POST /eval_batch`` (streamed
@@ -45,7 +50,9 @@ Commands
     default catalog is served.  ``--store=DB`` attaches a durable
     sqlite store (``repro.store``): persisted results load at startup
     so restarts serve warm, and new verdicts write through (see
-    ``docs/persistence.md``).  ``--print-config`` dumps the effective
+    ``docs/persistence.md``).  With ``[server] workers > 1`` batch
+    misses fan out across a process-pool shard executor
+    (``docs/sharding.md``).  ``--print-config`` dumps the effective
     config as JSON and exits.
 ``ingest MANIFEST --store=DB [--workers=N] [--budget-steps=B] [--no-optimize]``
     Bulk-build a catalog into a durable store (``repro.store.ingest``):

@@ -39,11 +39,19 @@ The oracles:
     (:mod:`repro.engine.optimize` / :mod:`repro.engine.compile`) —
     agree bit for bit: same verdict, same canonical value, same probe
     memberships.
+``shard``
+    Sequential == thread-pool == process-pool: the
+    :class:`~repro.engine.shard.ShardExecutor` ships the case's
+    database spec and plan to worker processes, and the merged
+    verdict/answers must agree with the in-process paths modulo
+    ``UNKNOWN`` (one lazily started two-worker pool is shared by the
+    whole campaign).
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 
 from ..engine import Engine, lower_all, plan_from_term
@@ -539,6 +547,108 @@ def optimizer(ctx: CaseContext) -> OracleOutcome:
     return OracleOutcome("optimizer", OK)
 
 
+#: The campaign-wide process pool behind the ``shard`` oracle, started
+#: lazily on the first shardable case and reused for every later one
+#: (pool spin-up costs ~100ms; per-case pools would dominate a
+#: campaign).  Guarded by a lock: sharded campaigns run oracles from
+#: worker processes, each with its own pool.
+_SHARD_POOL = None
+_SHARD_POOL_LOCK = threading.Lock()
+
+
+def _shard_executor():
+    """The shared :class:`~repro.engine.shard.ShardExecutor`.
+
+    Two real worker processes in a top-level campaign; **inline**
+    (``workers=1``) when this process is itself a pool worker — a
+    ``--workers=N`` campaign fans cases across processes, and pools
+    must not nest inside pools (the worker trees wedge each other at
+    exit on small machines, and the parent campaign already exercises
+    the real pool).  The verdict comparison is identical either way,
+    which keeps sharded campaign reports equal to sequential ones.
+    """
+    global _SHARD_POOL
+    import multiprocessing
+
+    from ..engine.shard import ShardExecutor
+    with _SHARD_POOL_LOCK:
+        if _SHARD_POOL is None:
+            workers = (1 if multiprocessing.parent_process() is not None
+                       else 2)
+            _SHARD_POOL = ShardExecutor(workers)
+        return _SHARD_POOL
+
+
+def shard(ctx: CaseContext) -> OracleOutcome:
+    """Process-pool execution must agree with in-process, bit for bit.
+
+    Three routes answer the case's primary plan: the sequential
+    engine, the thread-pool membership path (``parallel=True``), and
+    the process-pool sharded executor; verdicts compare modulo
+    ``UNKNOWN`` and probe memberships bit for bit.  Skips when no
+    shippable spec exists and when the plan cannot serialize —
+    exactly the fallbacks ``docs/sharding.md`` documents.
+    """
+    from ..engine.shard import UnshardableDatabaseError, derive_spec
+    from ..store.codec import UnserializablePlanError
+
+    case = ctx.case
+    plan = _primary_plan(ctx)
+    if plan is None:
+        return OracleOutcome("shard", SKIP, "no engine plan")
+    engine = _engine_for_plan(ctx)
+    try:
+        spec = derive_spec(ctx.fcf_db if ctx.fcf_db is not None
+                           else engine.db)
+    except UnshardableDatabaseError as exc:
+        return OracleOutcome("shard", SKIP, str(exc))
+    executor = _shard_executor()
+
+    try:
+        sequential = _engine_eval(engine, plan)
+        sharded = executor.eval_batch(engine, [plan], spec=spec)[0]
+    except UnserializablePlanError:
+        return OracleOutcome("shard", SKIP, "plan not serializable")
+    except RepresentationError:
+        return OracleOutcome("shard", UNKNOWN, UNREPRESENTABLE)
+    if sharded.conflicts(sequential):
+        return OracleOutcome(
+            "shard", FAIL,
+            f"process pool says {sharded.status.upper()}, sequential "
+            f"says {sequential.status.upper()} on {case.describe()}")
+
+    if case.probes:
+        try:
+            seq_members = engine.batch_contains(plan, case.probes,
+                                                parallel=False)
+            threaded = engine.batch_contains(plan, case.probes,
+                                             parallel=True, max_workers=4)
+            fresh = Engine(engine.db, budget=ctx.budget(),
+                           optimize=engine.optimize,
+                           compiled=engine.compiled)
+            sharded_members = executor.batch_contains(
+                fresh, plan, case.probes, spec=spec)
+        except OutOfFuel:
+            return OracleOutcome("shard", UNKNOWN, "budget tripped")
+        except (UnserializablePlanError, RepresentationError) as exc:
+            status = (SKIP if isinstance(exc, UnserializablePlanError)
+                      else UNKNOWN)
+            return OracleOutcome("shard", status, type(exc).__name__)
+        for name, members in (("thread pool", threaded),
+                              ("process pool", sharded_members)):
+            if members != seq_members:
+                diffs = [u for u, a, b in zip(case.probes, seq_members,
+                                              members) if a != b]
+                return OracleOutcome(
+                    "shard", FAIL,
+                    f"{name} membership differs from sequential on "
+                    f"{diffs!r} for {case.describe()}")
+
+    if sequential.is_unknown and sharded.is_unknown:
+        return OracleOutcome("shard", UNKNOWN, "both routes abstained")
+    return OracleOutcome("shard", OK)
+
+
 # ---------------------------------------------------------------------------
 # Plumbing shared by the metamorphic oracles.
 # ---------------------------------------------------------------------------
@@ -587,18 +697,21 @@ ORACLES = {
     "budget": budget,
     "rewrites": rewrites,
     "optimizer": optimizer,
+    "shard": shard,
 }
 
 #: Which oracles run for which case kind.
 ORACLES_BY_KIND = {
-    "fo-hs": ("differential", "cache", "budget", "rewrites", "optimizer"),
+    "fo-hs": ("differential", "cache", "budget", "rewrites", "optimizer",
+              "shard"),
     "fo-open-hs": ("differential", "parallel", "cache", "rewrites",
-                   "optimizer"),
+                   "optimizer", "shard"),
     "fo-fcf": ("differential", "permutation", "cache", "rewrites",
-               "optimizer"),
+               "optimizer", "shard"),
     "term-fcf": ("differential", "permutation", "parallel", "budget",
-                 "rewrites", "optimizer"),
-    "program-fcf": ("differential", "permutation", "budget", "optimizer"),
+                 "rewrites", "optimizer", "shard"),
+    "program-fcf": ("differential", "permutation", "budget", "optimizer",
+                    "shard"),
 }
 
 

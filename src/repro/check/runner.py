@@ -98,19 +98,154 @@ def _record_failure(case: Case, oracle_name: str | None, detail: str,
     failures.append(entry)
 
 
+def _check_worker(task: dict) -> dict:
+    """One campaign shard, run in a worker process.
+
+    Replays the *full* seeded case stream (``gen_case`` is stateful:
+    case ``i`` depends on the generator state after case ``i-1``, so
+    skipping ahead would change the cases) but runs the oracle battery
+    only on this shard's assigned indices.  Returns a JSON-safe partial
+    report; shrinking and reproducer emission stay with the parent
+    (the ingest parent-writer pattern).  Module-level so worker
+    processes can import it (:class:`repro.engine.shard.WorkerPool`).
+    """
+    rng = random.Random(task["seed"])
+    assigned = set(task["indices"])
+    budget_s = task["budget_s"]
+    deadline = (None if budget_s is None
+                else time.monotonic() + budget_s)
+    summary: dict[str, Counter] = {}
+    kinds: Counter = Counter()
+    failures: list[dict] = []
+    cases_run = 0
+    for index in range(task["cases"]):
+        case = gen_case(rng, index, gmhs_every=task["gmhs_every"])
+        if index not in assigned:
+            continue
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        kinds[case.kind] += 1
+        cases_run += 1
+        try:
+            outcomes = _run_case(case, task["case_steps"])
+        except Exception as exc:  # noqa: BLE001 — report, don't die
+            failures.append({
+                "index": index, "oracle": None,
+                "detail": (f"{type(exc).__name__}: {exc} on "
+                           f"{case.describe()}"),
+                "crash_type": type(exc).__name__})
+            continue
+        for outcome in outcomes:
+            summary.setdefault(outcome.oracle, Counter())
+            summary[outcome.oracle][outcome.status] += 1
+            if outcome.failed:
+                failures.append({"index": index, "oracle": outcome.oracle,
+                                 "detail": outcome.detail,
+                                 "crash_type": None})
+    return {"cases_run": cases_run, "kinds": dict(kinds),
+            "summary": {name: dict(counts)
+                        for name, counts in summary.items()},
+            "failures": failures}
+
+
+def _run_check_sharded(seed: int, cases: int, *, budget_s, out, emit_dir,
+                       case_steps: int, gmhs_every: int, workers: int,
+                       verbose: bool) -> dict:
+    """The ``workers > 1`` campaign: fan cases across processes.
+
+    Indices are dealt round-robin so every shard sees the same mix of
+    cheap and expensive case kinds; the merged report has the same
+    ``summary``/``kinds``/``failures`` content as a sequential run of
+    the same seed (``budget_s`` aside — each worker enforces it
+    independently).  Failures come back as bare indices: the parent
+    regenerates those cases, shrinks them, and emits reproducers
+    itself, so only one process ever writes to ``emit_dir``.
+    """
+    from ..engine.shard import WorkerPool
+
+    started = time.monotonic()
+    nshards = min(workers, cases)
+    tasks = [{"seed": seed, "cases": cases,
+              "indices": list(range(shard, cases, nshards)),
+              "case_steps": case_steps, "gmhs_every": gmhs_every,
+              "budget_s": budget_s}
+             for shard in range(nshards)]
+    summary: dict[str, Counter] = {name: Counter() for name in ORACLES}
+    kinds: Counter = Counter()
+    raw_failures: list[dict] = []
+    cases_run = 0
+    with span("check.run", seed=seed, cases=cases,
+              workers=nshards) as run_span:
+        with WorkerPool(nshards) as pool:
+            payloads = pool.map(_check_worker, tasks)
+        for shard, payload in enumerate(payloads):
+            with span("check.shard", shard=shard) as sp:
+                cases_run += payload["cases_run"]
+                kinds.update(payload["kinds"])
+                for oracle, counts in payload["summary"].items():
+                    summary[oracle].update(counts)
+                raw_failures.extend(payload["failures"])
+                sp.count("cases", payload["cases_run"])
+        failures: list[dict] = []
+        if raw_failures:
+            raw_failures.sort(key=lambda entry: entry["index"])
+            wanted = {entry["index"] for entry in raw_failures}
+            stream: dict[int, Case] = {}
+            rng = random.Random(seed)
+            for index in range(cases):
+                case = gen_case(rng, index, gmhs_every=gmhs_every)
+                if index in wanted:
+                    stream[index] = case
+            for raw in raw_failures:
+                _record_failure(stream[raw["index"]], raw["oracle"],
+                                raw["detail"], raw["crash_type"],
+                                case_steps, emit_dir, failures)
+        run_span.set(cases_run=cases_run, failures=len(failures))
+    if verbose:
+        print(f"  ... {cases_run}/{cases} cases across {nshards} "
+              f"worker(s), {len(failures)} failure(s)")
+
+    report = {
+        "seed": seed,
+        "cases_requested": cases,
+        "cases_run": cases_run,
+        "elapsed_s": round(time.monotonic() - started, 3),
+        "workers": nshards,
+        "summary": {name: dict(counts)
+                    for name, counts in summary.items() if counts},
+        "kinds": dict(kinds),
+        "failures": failures,
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+    return report
+
+
 def run_check(seed: int, cases: int = 500, *,
               budget_s: float | None = None,
               out: str | None = None,
               emit_dir: str | None = None,
               case_steps: int = DEFAULT_CASE_STEPS,
               gmhs_every: int = 50,
+              workers: int | None = None,
               verbose: bool = False) -> dict:
     """Run a differential/metamorphic checking campaign.
 
     Deterministic given ``seed`` (``budget_s`` only truncates the case
     sequence).  Returns the report dict; also writes it to ``out`` as
     JSON when given, and emits shrunk reproducers into ``emit_dir``.
+
+    ``workers=N`` (N > 1) fans the cases across a process pool: same
+    cases, same oracle batteries, same failures — the merged report
+    agrees with a sequential run of the same seed (a pinned test) —
+    with shrinking and reproducer writing kept in the parent.
     """
+    if workers is not None and workers > 1 and cases > 1:
+        return _run_check_sharded(
+            seed, cases, budget_s=budget_s, out=out, emit_dir=emit_dir,
+            case_steps=case_steps, gmhs_every=gmhs_every,
+            workers=workers, verbose=verbose)
     rng = random.Random(seed)
     started = time.monotonic()
     deadline = None if budget_s is None else started + budget_s
@@ -217,10 +352,13 @@ def format_report(report: dict) -> str:
 
 def main(args: list[str]) -> int:
     """``check [--seed=N] [--cases=K] [--budget-s=S] [--out=F]
-    [--emit-dir=D] [--steps=N] [--quiet]`` — fuzz the frontends; or
+    [--emit-dir=D] [--steps=N] [--workers=W] [--quiet]`` — fuzz the
+    frontends (``--workers=W`` with W > 1 fans the cases across a
+    process pool; same report content, multiple cores); or
     ``check --stress [--seed=N] [--threads=T] [--ops=K] [--budget-s=S]
-    [--out=F] [--quiet]`` — run the multi-threaded race-stress
-    campaign (:mod:`repro.check.stress`) instead.
+    [--hammers=A,B] [--out=F] [--quiet]`` — run the multi-threaded
+    race-stress campaign (:mod:`repro.check.stress`) instead
+    (``--hammers`` selects a comma-separated subset by name).
 
     Flags accept both ``--flag=value`` and ``--flag value`` forms.
     Exit status 1 when any oracle failed (or, under ``--stress``, when
@@ -234,6 +372,8 @@ def main(args: list[str]) -> int:
     out: str | None = None
     emit_dir: str | None = None
     steps = DEFAULT_CASE_STEPS
+    workers: int | None = None
+    hammers: str | None = None
     verbose = True
     stress = False
     threads = stress_mod.DEFAULT_THREADS
@@ -265,6 +405,10 @@ def main(args: list[str]) -> int:
             threads = int(value)
         elif flag == "--ops":
             ops = int(value)
+        elif flag == "--workers":
+            workers = int(value)
+        elif flag == "--hammers":
+            hammers = value
         elif flag == "--stress":
             stress = True
         elif flag == "--quiet":
@@ -274,12 +418,14 @@ def main(args: list[str]) -> int:
                 f"unknown flag {flag!r}; usage: python -m repro check "
                 "[--stress] [--seed=N] [--cases=K] [--budget-s=S] "
                 "[--out=F] [--emit-dir=D] [--steps=N] [--threads=T] "
-                "[--ops=K] [--quiet]")
+                "[--ops=K] [--workers=W] [--hammers=A,B] [--quiet]")
 
     if stress:
         report = stress_mod.run_stress(
             seed, threads=threads, ops=ops, budget_s=budget_s,
-            out=out, verbose=verbose)
+            out=out, hammers=(tuple(hammers.split(","))
+                              if hammers else None),
+            verbose=verbose)
         print(stress_mod.format_stress_report(report))
         if out is not None:
             print(f"report -> {out}")
@@ -287,7 +433,7 @@ def main(args: list[str]) -> int:
 
     report = run_check(seed, cases, budget_s=budget_s, out=out,
                        emit_dir=emit_dir, case_steps=steps,
-                       verbose=verbose)
+                       workers=workers, verbose=verbose)
     print(format_report(report))
     if out is not None:
         print(f"report -> {out}")

@@ -328,6 +328,76 @@ def hammer_engine(seed: int, threads: int = DEFAULT_THREADS,
                           cache_size=stats.size)
 
 
+def hammer_shard(seed: int, threads: int = DEFAULT_THREADS,
+                 ops: int = DEFAULT_OPS) -> dict:
+    """Pound one shared :class:`~repro.engine.shard.ShardExecutor` — a
+    live process pool — from many threads submitting seeded batches.
+
+    The serving-tier shape under maximal contention: every thread owns
+    a private engine over a fingerprint-equal Rado copy but all of them
+    dispatch through the *same* executor (and so the same worker
+    processes).  Invariants: zero escaped exceptions, every sharded
+    verdict/answer agrees bit for bit with a sequential reference
+    computed up front, and exact budget accounting across the joins —
+    each thread :meth:`~repro.trace.Budget.absorb`-s its observed
+    member/batch counters into one shared parent budget, whose final
+    counters must equal the per-thread sums exactly (a lost update
+    under contention shows up as a mismatch).
+    """
+    from ..engine.shard import ShardExecutor
+
+    reference_engine = Engine(rado_hsdb())
+    plans = [plan_from_sentence(parse(s), reference_engine.signature)
+             for s in SENTENCES]
+    expected = [v.status for v in reference_engine.eval_batch(plans)]
+    pool_elems = reference_engine.db.domain.first(6)
+    tuples = [(x, y) for x in pool_elems for y in pool_elems]
+    expected_members = reference_engine.batch_contains(Scan(0), tuples)
+
+    executor = ShardExecutor(2)
+    # Spin the worker processes up before the barrier drops: pool
+    # start-up latency is not the contract under test.
+    executor.eval_batch(Engine(rado_hsdb()), plans[:1])
+
+    rounds = max(1, min(12, ops // 1000))  # a dispatch is ~ms, not ~µs
+    mismatches = [0] * threads
+    absorbed = [0] * threads
+    parent = Budget(max_steps=None)
+
+    def work(i: int) -> None:
+        engine = Engine(rado_hsdb())
+        for __ in range(rounds):
+            members = [Budget(max_steps=10_000_000) for _ in plans]
+            verdicts = executor.eval_batch(engine, plans,
+                                           member_budgets=members)
+            if [v.status for v in verdicts] != expected:
+                mismatches[i] += 1
+            batch = Budget(max_steps=10_000_000)
+            answers = executor.batch_contains(engine, Scan(0), tuples,
+                                              budget=batch)
+            if answers != expected_members:
+                mismatches[i] += 1
+            for charged in (*(m.steps for m in members), batch.steps):
+                parent.absorb(steps=charged)
+                absorbed[i] += charged
+
+    try:
+        errors = _run_threads(threads, work)
+    finally:
+        executor.close()
+    failures = [f"worker raised {type(e).__name__}: {e}" for e in errors]
+    if sum(mismatches):
+        failures.append(f"{sum(mismatches)} sharded batches diverged "
+                        "from the sequential reference")
+    if parent.steps != sum(absorbed):
+        failures.append(
+            f"parent budget absorbed {parent.steps} steps, threads "
+            f"observed {sum(absorbed)} (lost updates across the join)")
+    return _hammer_report("shard", threads, ops, failures,
+                          rounds=rounds, workers=executor.workers,
+                          absorbed_steps=parent.steps)
+
+
 #: The registered hammers, in campaign order (cheap invariants first).
 HAMMERS = {
     "budget": hammer_budget,
@@ -335,34 +405,48 @@ HAMMERS = {
     "cache": hammer_cache,
     "trace": hammer_trace,
     "engine": hammer_engine,
+    "shard": hammer_shard,
 }
 
 
 def run_stress(seed: int = 0, *, threads: int = DEFAULT_THREADS,
                ops: int = DEFAULT_OPS, budget_s: float | None = None,
-               out: str | None = None, verbose: bool = False) -> dict:
+               out: str | None = None,
+               hammers: tuple[str, ...] | None = None,
+               verbose: bool = False) -> dict:
     """Run the race-stress campaign: every hammer, at least once.
 
     With ``budget_s`` the campaign loops whole rounds (fresh derived
     seed each round) until the wall-clock budget is spent — the CI
     stress job runs ``--budget-s 60`` on a fresh seed per push.
-    Returns the JSON-ready report; also writes it to ``out`` when
-    given.  The report's ``failures`` list is empty exactly when every
-    invariant held in every round.
+    ``hammers`` restricts a round to a named subset (the CLI's
+    ``--hammers=a,b``; the CI shard-bench job runs just the process-pool
+    hammer this way).  Returns the JSON-ready report; also writes it to
+    ``out`` when given.  The report's ``failures`` list is empty
+    exactly when every invariant held in every round.
     """
     import json
+
+    selected = dict(HAMMERS)
+    if hammers is not None:
+        unknown = [name for name in hammers if name not in HAMMERS]
+        if unknown:
+            raise ValueError(f"unknown hammers {unknown}; choose from "
+                             f"{sorted(HAMMERS)}")
+        selected = {name: fn for name, fn in HAMMERS.items()
+                    if name in hammers}
 
     started = time.monotonic()
     deadline = None if budget_s is None else started + budget_s
     rounds = 0
     failures: list[dict] = []
-    hammer_runs: dict[str, int] = {name: 0 for name in HAMMERS}
+    hammer_runs: dict[str, int] = {name: 0 for name in selected}
 
     with span("check.stress", seed=seed, threads=threads,
               ops=ops) as run_span:
         while True:
             round_seed = seed + rounds
-            for name, hammer in HAMMERS.items():
+            for name, hammer in selected.items():
                 with span("check.hammer", hammer=name,
                           seed=round_seed) as sp:
                     result = hammer(round_seed, threads, ops)

@@ -27,7 +27,14 @@ GMhs), built from:
   leaked :class:`~repro.errors.OutOfFuel`;
 * :mod:`repro.engine.stats` — :class:`EngineStats` snapshots
   (oracle questions, cache traffic, per-node timings, wall time,
-  verdict counts).
+  verdict counts);
+* :mod:`repro.engine.shard` — the multi-process sharded executor
+  (:class:`ShardExecutor` / the shared :class:`WorkerPool`): batch
+  work partitioned by fingerprint shard across worker processes, with
+  ordered merge and exact budget/stats/span re-aggregation at the
+  join (``docs/sharding.md``); reached through
+  ``Engine.eval_batch(workers=N)`` /
+  ``Engine.batch_contains(workers=N)``.
 
 Quick use::
 
@@ -96,6 +103,14 @@ from .plan import (
     plan_rank,
     plan_size,
 )
+from .shard import (
+    ShardExecutor,
+    ShardTaskError,
+    UnshardableDatabaseError,
+    WorkerPool,
+    derive_spec,
+    shard_index,
+)
 from .stats import CacheStats, EngineStats, MutableEngineStats, OptimizerStats
 from .verdict import FALSE, TRUE, UNKNOWN, Verdict, merge_verdicts
 
@@ -134,10 +149,15 @@ __all__ = [
     "Quantify",
     "ResultCache",
     "Scan",
+    "ShardExecutor",
+    "ShardTaskError",
     "Union",
+    "UnshardableDatabaseError",
     "Verdict",
+    "WorkerPool",
     "common_subplans",
     "compile_plan",
+    "derive_spec",
     "fingerprint",
     "fingerprint_fcf",
     "fingerprint_hsdb",
@@ -156,5 +176,6 @@ __all__ = [
     "plan_rank",
     "plan_size",
     "procedure_from_formula",
+    "shard_index",
     "term_rank",
 ]

@@ -184,6 +184,8 @@ class Engine:
         self._stats = MutableEngineStats()
         self._compiled_memo: dict = {}
         self._compiled_lock = threading.Lock()
+        self._shard_pools: dict = {}
+        self._shard_lock = threading.Lock()
         # Exclusive-time bookkeeping for per-node timings, kept
         # per-thread so concurrent evaluations through one shared
         # engine never corrupt each other's stacks.
@@ -295,7 +297,8 @@ class Engine:
             sp.set(verdict=verdict.status)
             return verdict
 
-    def eval_batch(self, plans: Sequence[Plan]) -> list[Verdict]:
+    def eval_batch(self, plans: Sequence[Plan], *,
+                   workers: int | None = None) -> list[Verdict]:
         """:meth:`eval` several plans; one diverging member cannot
         starve the rest.
 
@@ -303,7 +306,23 @@ class Engine:
         of the engine budget (fresh step counter, shared deadline and
         cancellation flag), so a member that trips its step budget
         yields ``UNKNOWN`` while the others still complete.
+
+        ``workers=N`` (N > 1) ships the batch across a process pool
+        (:class:`~repro.engine.shard.ShardExecutor`) — same verdicts,
+        same request order, multiple cores.  Databases with no
+        shippable spec fall back to this in-process path, and members
+        whose plans cannot serialize
+        (:class:`~repro.engine.plan.MachineFixpoint`) are evaluated
+        locally while their batch-mates fan out; see
+        ``docs/sharding.md``.
         """
+        plans = list(plans)
+        if workers is not None and workers > 1 and len(plans) > 1:
+            from .shard import UnshardableDatabaseError
+            try:
+                return self._shards(workers).eval_batch(self, plans)
+            except UnshardableDatabaseError:
+                pass  # no shippable spec: evaluate in-process below
         with span("engine.eval_batch", size=len(plans)):
             prepared = [self.prepare(p) for p in plans]
             token = _BATCH_SHARED.set(common_subplans(prepared))
@@ -329,7 +348,9 @@ class Engine:
 
     def batch_contains(self, plan: Plan, tuples: Iterable[Sequence],
                        parallel: bool = False,
-                       max_workers: int | None = None) -> list[bool]:
+                       max_workers: int | None = None, *,
+                       workers: int | None = None,
+                       budget: Budget | None = None) -> list[bool]:
         """Answer many membership questions against one plan, in order.
 
         The plan is evaluated once (warm: a cache probe); each tuple
@@ -348,9 +369,27 @@ class Engine:
         interrupts the batch mid-flight with
         :class:`~repro.errors.OutOfFuel` (reason ``cancelled`` /
         ``deadline``), mirroring :meth:`evaluate`'s raising contract.
+        ``budget`` substitutes an explicit batch budget for that fork
+        (used directly, not forked — the sharded executor's workers
+        govern their slice of a shipped batch with it).
+
+        ``workers=N`` (N > 1) shards the uncached tests across a
+        process pool instead of threads — genuine multi-core
+        parallelism with bit-for-bit the same answers, written back
+        into the same result-cache keys.  Unshardable databases and
+        unserializable plans fall back to the in-process paths below
+        (``docs/sharding.md``).
         """
         requests = [tuple(u) for u in tuples]
-        run = self.budget.fork()
+        if workers is not None and workers > 1 and len(requests) > 1:
+            from ..store.codec import UnserializablePlanError
+            from .shard import UnshardableDatabaseError
+            try:
+                return self._shards(workers).batch_contains(
+                    self, plan, requests, budget=budget)
+            except (UnshardableDatabaseError, UnserializablePlanError):
+                pass  # fall through to the in-process paths
+        run = budget if budget is not None else self.budget.fork()
         token = _ACTIVE_BUDGET.set(run)
         try:
             return self._batch_contains(plan, requests, parallel,
@@ -457,6 +496,33 @@ class Engine:
     def reset_stats(self) -> None:
         """Zero the engine's live counters (caches keep their contents)."""
         self._stats.reset()
+
+    # -- process pools -------------------------------------------------------
+
+    def _shards(self, workers: int):
+        """The memoized :class:`~repro.engine.shard.ShardExecutor` for
+        one worker count (pools are expensive; reuse keeps worker
+        caches warm across batches)."""
+        from .shard import ShardExecutor
+        with self._shard_lock:
+            executor = self._shard_pools.get(workers)
+            if executor is None:
+                executor = ShardExecutor(workers)
+                self._shard_pools[workers] = executor
+            return executor
+
+    def close(self) -> None:
+        """Release any worker-process pools this engine started.
+
+        Idempotent and safe on engines that never sharded (a no-op
+        then); the engine itself stays usable — a later ``workers=N``
+        call simply starts a fresh pool.
+        """
+        with self._shard_lock:
+            pools = list(self._shard_pools.values())
+            self._shard_pools = {}
+        for executor in pools:
+            executor.close()
 
     # -- internals ----------------------------------------------------------
 

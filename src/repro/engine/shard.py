@@ -1,0 +1,649 @@
+"""Multi-process sharded execution: beating the GIL on batch work.
+
+The engine's thread-pool batch path (:meth:`Engine.batch_contains
+<repro.engine.executor.Engine.batch_contains>` with ``parallel=True``)
+parallelizes *waiting*, not *computing*: every membership test holds
+the GIL while it canonicalizes paths, so on real hardware a CPU-bound
+batch runs on one core.  This module adds the process-pool backend —
+the architecture is the paper's own completeness argument turned into
+systems leverage: the four frontends provably compute one semantics,
+results are keyed by structural database *fingerprint* (genericity,
+Definition 2.4), and plans have a content-hash identity
+(:mod:`repro.store.codec`) — so work can be shipped to another process
+and the answers merged back with bit-for-bit confidence, checkable by
+the existing differential oracles.
+
+Architecture (``docs/sharding.md``):
+
+* **Shard key** — :func:`shard_index` hashes ``(database fingerprint,
+  member payload)`` with SHA-256 and reduces modulo the worker count.
+  Deterministic and content-based: the same batch shards the same way
+  in every process, on every run.
+* **Serialization boundary** — plans cross as
+  :func:`~repro.store.codec.canonical_plan_text`, databases as the
+  declarative :class:`~repro.serve.config.DatabaseSpec` JSON entry
+  (:func:`derive_spec` recovers one from a live builtin/fcf database),
+  budgets as :meth:`Budget.ship <repro.trace.Budget.ship>`, verdicts
+  and :class:`~repro.engine.stats.EngineStats` as their JSON codecs,
+  and trace spans as :meth:`Span.to_record
+  <repro.trace.spans.Span.to_record>` rows.
+* **Workers** — each worker process keeps a private warm
+  :class:`~repro.engine.cache.EngineCache` and one engine per
+  ``(spec, view, optimize, compiled)``; it verifies the rebuilt
+  database's fingerprint against the coordinator's before answering.
+* **The join** — verdicts/answers merge in request order (ordered
+  merge), worker budget counters are re-aggregated exactly onto the
+  coordinator's per-shard :meth:`~repro.trace.Budget.fork` via
+  :meth:`~repro.trace.Budget.absorb`, worker stats fold in through
+  :meth:`MutableEngineStats.absorb
+  <repro.engine.stats.MutableEngineStats.absorb>`, and worker spans
+  are re-parented under the coordinator's span via
+  :func:`~repro.trace.spans.replay_records` — the cross-process
+  extension of the PR 4 ``propagate_span`` contract.
+* **Fallbacks** — ``workers <= 1`` and databases without a shippable
+  spec run in-process; a plan that cannot serialize
+  (:class:`~repro.store.codec.UnserializablePlanError`, i.e.
+  :class:`~repro.engine.plan.MachineFixpoint`) is evaluated locally
+  while its batch-mates still fan out.
+
+Entry points: :meth:`Engine.eval_batch(workers=N)
+<repro.engine.executor.Engine.eval_batch>` /
+:meth:`Engine.batch_contains(workers=N)
+<repro.engine.executor.Engine.batch_contains>`, ``python -m repro
+check --workers N``, and the serving tier's ``[server] workers`` knob.
+:class:`WorkerPool` is the shared pool/shipping substrate
+(:mod:`repro.store.ingest` fans out over it too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from ..errors import OutOfFuel, RepresentationError, TypeSignatureError
+from ..trace import Budget, limits, span
+from ..trace.spans import active_recorder, current_span, replay_records
+
+__all__ = [
+    "ShardExecutor",
+    "ShardTaskError",
+    "UnshardableDatabaseError",
+    "WorkerPool",
+    "derive_spec",
+    "shard_index",
+]
+
+#: Builder identities (database ``name``) of the builtin hs-r-dbs,
+#: mapped to their ``kind: builtin`` config source names.
+_BUILTIN_SOURCES = {
+    "clique": "clique",
+    "rado": "rado",
+    "triangles": "triangles",
+    "K3+K2": "k3k2",
+}
+
+
+class UnshardableDatabaseError(TypeSignatureError):
+    """No shippable construction recipe exists for this database.
+
+    Raised by :func:`derive_spec` when a live database is neither a
+    known builtin nor an fcf-r-db; callers with a declarative spec
+    (the serving catalog, the ingest pipeline) pass ``spec=``
+    explicitly instead.  The engine entry points catch this and fall
+    back to in-process execution.
+    """
+
+
+class ShardTaskError(RuntimeError):
+    """A worker process failed to answer a shard task.
+
+    Carries the worker-side error text.  Raised at the join — worker
+    failures never crash the pool, they come back as error payloads.
+    """
+
+
+def shard_index(fingerprint: str, payload: str, shards: int) -> int:
+    """The shard-key contract: which of ``shards`` workers owns one
+    batch member.
+
+    SHA-256 over ``(database fingerprint, member payload)`` reduced
+    modulo the shard count — a pure function of content, so the same
+    member lands on the same shard in every process and every run
+    (``payload`` is the member's canonical plan text, plus the tuple
+    rendering for membership batches).
+    """
+    digest = hashlib.sha256(
+        f"{fingerprint}\x1f{payload}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % max(1, shards)
+
+
+def derive_spec(db) -> dict:
+    """A shippable ``{"name", "entry"}`` recipe for a live database.
+
+    The inverse problem of :func:`repro.serve.catalog._build_database`:
+    builtin hs-r-dbs are recognized by builder identity (their
+    ``name``), fcf-r-dbs serialize their finite parts directly (the
+    Definition 4.1 representation *is* the recipe).  Anything else —
+    a finite-embedded hs-r-db built in memory, a hand-rolled database —
+    raises :class:`UnshardableDatabaseError`; callers that know the
+    construction pass the spec explicitly.  Workers verify the rebuilt
+    database's fingerprint, so a wrong recipe can never produce a
+    silently wrong answer.
+    """
+    from ..fcf.database import FcfDatabase
+
+    if isinstance(db, FcfDatabase):
+        if not db.relations:
+            raise UnshardableDatabaseError(
+                "cannot ship an fcf database with no relations")
+        entry = {"kind": "fcf", "relations": [
+            {"rank": value.rank,
+             "tuples": [list(t) for t in sorted(value.tuples)],
+             **({"cofinite": True} if value.cofinite else {})}
+            for value in db.relations]}
+        return {"name": db.name, "entry": entry}
+    name = getattr(db, "name", "")
+    source = _BUILTIN_SOURCES.get(name)
+    if source is not None:
+        return {"name": name, "entry": {"kind": "builtin",
+                                        "source": source}}
+    raise UnshardableDatabaseError(
+        f"no shippable spec for database {name!r} "
+        f"({type(db).__name__}); pass spec= explicitly")
+
+
+# -- the process pool ---------------------------------------------------------
+
+def _mp_context():
+    """The multiprocessing context worker pools start from.
+
+    ``forkserver`` where available (Linux, macOS): children fork from a
+    clean single-threaded server process, so pools are safe to start
+    from threaded parents (the serving tier, the stress hammers) — the
+    classic fork-with-threads deadlock cannot happen — and, with this
+    module preloaded into the server, each worker forks already warm.
+    ``spawn`` elsewhere.
+    """
+    try:
+        ctx = multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform without forkserver
+        return multiprocessing.get_context("spawn")
+    try:
+        ctx.set_forkserver_preload(["repro.engine.shard"])
+    except Exception:  # pragma: no cover - best-effort warm start
+        pass
+    return ctx
+
+
+class WorkerPool:
+    """A lazily started process pool with an in-process fallback.
+
+    The shared fan-out substrate of the sharded executor, the check
+    campaign (``--workers``), and the ingest pipeline: ``workers <= 1``
+    means no pool is ever created and :meth:`submit`/:meth:`map` run
+    the callable inline — the graceful-degradation contract every
+    caller relies on.  Tasks and results must pickle (the shard
+    protocol keeps them JSON-safe); submitted callables must be
+    importable module-level functions.
+
+    Thread-safe: many threads may submit concurrently (the serving
+    tier does).  The underlying :class:`ProcessPoolExecutor` starts on
+    first parallel use and is shut down by :meth:`close` (also a
+    context manager).
+    """
+
+    def __init__(self, workers: int | None = None):
+        cpu = os.cpu_count() or 1
+        self.workers = max(1, int(workers if workers is not None else cpu))
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this pool fans out at all (``workers > 1``)."""
+        return self.workers > 1
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=_mp_context())
+            return self._pool
+
+    def submit(self, fn, *args) -> Future:
+        """Submit one task; inline (already-completed future) when
+        ``workers <= 1``."""
+        if not self.parallel:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # mirror the pool's contract
+                future.set_exception(exc)
+            return future
+        return self._ensure().submit(fn, *args)
+
+    def map(self, fn, tasks) -> list:
+        """Run ``fn`` over ``tasks``, preserving order; sequential and
+        in-process when ``workers <= 1`` (or for a single task)."""
+        tasks = list(tasks)
+        if not self.parallel or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        return list(self._ensure().map(fn, tasks))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; in-flight work is dropped)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- the worker side ----------------------------------------------------------
+
+#: Per-worker-process state: one warm :class:`EngineCache` shared by
+#: every engine this worker builds, plus the engines themselves keyed
+#: by ``(name, entry, view, optimize, compiled)``.  Worker processes
+#: execute one task at a time, so no locking is needed here.
+_WORKER_STATE: dict = {"cache": None, "engines": {}}
+
+
+def _worker_engine(name: str, entry_json: str, view: str,
+                   optimize: bool, compiled: bool):
+    """The (cached) worker-side engine over one rebuilt database."""
+    from ..serve.catalog import _build_database
+    from ..serve.config import _database_spec
+    from .cache import EngineCache
+    from .executor import Engine
+
+    key = (name, entry_json, view, optimize, compiled)
+    engines = _WORKER_STATE["engines"]
+    engine = engines.get(key)
+    if engine is not None:
+        return engine
+    if _WORKER_STATE["cache"] is None:
+        _WORKER_STATE["cache"] = EngineCache()
+    spec = _database_spec(name, json.loads(entry_json))
+    hsdb, fcf_db = _build_database(spec)
+    db = fcf_db if view == "fcf" else hsdb
+    if db is None:
+        raise TypeSignatureError(
+            f"database {name!r} (kind {spec.kind!r}) has no "
+            f"{view!r} view")
+    engine = Engine(db, cache=_WORKER_STATE["cache"],
+                    optimize=optimize, compiled=compiled)
+    engines[key] = engine
+    return engine
+
+
+def _worker_main(task: dict) -> dict:
+    """One shard task, answered with a JSON-safe payload.
+
+    Never raises: worker-side failures come back as
+    ``{"ok": False, "error": ...}`` so a bad member cannot poison the
+    pool for its batch-mates.
+    """
+    try:
+        return _run_task(task)
+    except BaseException as exc:  # ship the failure to the join
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _run_task(task: dict) -> dict:
+    from contextlib import ExitStack
+
+    from ..store.codec import plan_from_json, verdict_to_json
+    from ..trace import TraceRecorder, recording
+
+    epoch = time.monotonic()
+    recorder = None
+    with ExitStack() as stack:
+        if task.get("trace"):
+            recorder = TraceRecorder()
+            stack.enter_context(recording(recorder))
+        engine = _worker_engine(task["name"], task["entry"], task["view"],
+                                task["optimize"], task["compiled"])
+        if engine.fingerprint != task["fingerprint"]:
+            raise TypeSignatureError(
+                f"worker rebuilt database {task['name']!r} with "
+                f"fingerprint {engine.fingerprint[:12]}…, coordinator "
+                f"has {task['fingerprint'][:12]}…")
+        shipped = task.get("budget")
+        template = (Budget.from_shipped(shipped) if shipped is not None
+                    else Budget(max_steps=task["budget_steps"]))
+        engine.reset_stats()
+        payload: dict = {"ok": True}
+        if task["kind"] == "eval":
+            verdicts, member_steps, member_calls = [], [], []
+            with span("engine.shard_task", kind="eval",
+                      members=len(task["plans"])) as sp:
+                for text in task["plans"]:
+                    plan = plan_from_json(json.loads(text))
+                    member = template.fork()
+                    try:
+                        verdict = engine.eval(plan, budget=member)
+                    except RepresentationError as exc:
+                        # Exception parity with the sequential path:
+                        # ship the failure, let the coordinator re-raise.
+                        verdicts.append({"error": "representation",
+                                         "detail": str(exc)})
+                    else:
+                        verdicts.append(verdict_to_json(verdict))
+                    member_steps.append(member.steps)
+                    member_calls.append(member.oracle_calls)
+                sp.count("steps", sum(member_steps))
+            payload.update(verdicts=verdicts, member_steps=member_steps,
+                           member_oracle_calls=member_calls,
+                           steps=sum(member_steps),
+                           oracle_calls=sum(member_calls))
+        else:  # kind == "contains"
+            plan = plan_from_json(json.loads(task["plan"]))
+            requests = [tuple(u) for u in task["tuples"]]
+            run = template.fork()
+            raised: dict | None = None
+            answers: list = []
+            with span("engine.shard_task", kind="contains",
+                      members=len(requests)) as sp:
+                try:
+                    answers = engine.batch_contains(plan, requests,
+                                                    budget=run)
+                except OutOfFuel as exc:
+                    raised = {"type": "OutOfFuel", "reason": exc.reason,
+                              "steps": exc.steps, "detail": str(exc)}
+                except RepresentationError as exc:
+                    raised = {"type": "RepresentationError",
+                              "detail": str(exc)}
+                sp.count("steps", run.steps)
+            payload.update(answers=[bool(a) for a in answers],
+                           steps=run.steps,
+                           oracle_calls=run.oracle_calls)
+            if raised is not None:
+                payload["raises"] = raised
+        payload["stats"] = engine.stats().to_dict()
+    if recorder is not None:
+        payload["spans"] = [s.to_record(epoch)
+                            for s in recorder.trace().ordered()]
+    return payload
+
+
+# -- the coordinator ----------------------------------------------------------
+
+class ShardExecutor:
+    """The coordinator: partition, ship, and merge batch work.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count (default: the CPU count).  ``workers <= 1``
+        makes every method run in-process — the executor is then a
+        zero-cost pass-through.
+    budget_steps:
+        The step allowance of one shipped batch member when no budget
+        template is supplied (:data:`repro.trace.limits.SHARD_TASK`);
+        entry points that own a budget (the engine, the serving tier)
+        ship a :meth:`~repro.trace.Budget.ship` template instead.
+
+    One executor serves any number of databases — tasks carry their
+    spec, and worker processes cache engines per spec.  Thread-safe,
+    like the :class:`WorkerPool` it wraps.  The pool starts lazily on
+    first dispatch and is released by :meth:`close` (context manager
+    supported); an executor also survives being reused across batches,
+    which is what keeps worker caches warm.
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 budget_steps: int = limits.SHARD_TASK):
+        self.pool = WorkerPool(workers)
+        self.workers = self.pool.workers
+        self.budget_steps = budget_steps
+
+    def close(self) -> None:
+        """Release the worker processes (idempotent)."""
+        self.pool.close()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch helpers ----------------------------------------------------
+
+    def _task(self, engine, spec: dict, *, kind: str,
+              budget: Budget | None, trace: bool) -> dict:
+        view = "fcf" if not engine.is_hs else "hs"
+        return {
+            "kind": kind,
+            "name": spec["name"],
+            "entry": json.dumps(spec["entry"], sort_keys=True),
+            "view": view,
+            "fingerprint": engine.fingerprint,
+            "optimize": engine.optimize,
+            "compiled": engine.compiled,
+            "budget": budget.ship() if budget is not None else None,
+            "budget_steps": self.budget_steps,
+            "trace": trace,
+        }
+
+    @staticmethod
+    def _join(future) -> dict:
+        payload = future.result()
+        if not payload.get("ok"):
+            raise ShardTaskError(payload.get("error", "worker failed"))
+        return payload
+
+    @staticmethod
+    def _absorb_worker(engine, payload: dict) -> None:
+        """Fold one worker payload's stats into the coordinator engine."""
+        from .stats import EngineStats
+        engine._stats.absorb(EngineStats.from_dict(payload["stats"]))
+
+    # -- eval batches --------------------------------------------------------
+
+    def eval_batch(self, engine, plans, *, spec: dict | None = None,
+                   budget: Budget | None = None,
+                   member_budgets: list | None = None) -> list:
+        """:meth:`Engine.eval` many plans across the worker pool.
+
+        Members are partitioned by :func:`shard_index` over their
+        canonical plan text; each shard ships one task, evaluates its
+        members under worker-side forks of the shipped budget template
+        (``budget`` or the engine budget), and the verdicts merge back
+        **in request order**.  Members whose plans cannot serialize
+        (:class:`~repro.engine.plan.MachineFixpoint`) are evaluated
+        in-process while the shards run — the fallback costs only that
+        member's parallelism, never the batch's.
+
+        ``member_budgets`` (one coordinator :class:`Budget` per plan,
+        the serving tier's per-member tenant forks) receives each
+        member's consumed steps/oracle calls via
+        :meth:`~repro.trace.Budget.absorb`, so quota accounting is
+        exact across the process boundary.
+
+        Raises :class:`UnshardableDatabaseError` when no spec can be
+        derived (callers fall back to sequential evaluation) and
+        :class:`ShardTaskError` when a worker fails outright.
+        """
+        from ..store.codec import (
+            UnserializablePlanError,
+            canonical_plan_text,
+            verdict_from_json,
+        )
+
+        plans = list(plans)
+        if member_budgets is not None and len(member_budgets) != len(plans):
+            raise ValueError("member_budgets must match plans")
+        spec = spec if spec is not None else derive_spec(engine.db)
+        template = budget if budget is not None else engine.budget
+
+        texts: list[str | None] = []
+        local: list[int] = []
+        for pos, plan in enumerate(plans):
+            try:
+                texts.append(canonical_plan_text(engine.prepare(plan)))
+            except UnserializablePlanError:
+                texts.append(None)
+                local.append(pos)
+        shardable = [pos for pos in range(len(plans))
+                     if texts[pos] is not None]
+        nshards = min(self.workers, len(shardable))
+        if nshards <= 1:
+            return engine.eval_batch(plans)
+
+        shards: dict[int, list[int]] = {}
+        for pos in shardable:
+            shard = shard_index(engine.fingerprint, texts[pos], nshards)
+            shards.setdefault(shard, []).append(pos)
+
+        trace = active_recorder() is not None
+        results: list = [None] * len(plans)
+        with span("engine.shard_batch", size=len(plans),
+                  workers=len(shards), local=len(local)) as sp:
+            parent = current_span()
+            dispatched = []
+            base = time.monotonic()
+            for positions in shards.values():
+                shard_budget = template.fork()
+                task = self._task(engine, spec, kind="eval",
+                                  budget=shard_budget, trace=trace)
+                task["plans"] = [texts[pos] for pos in positions]
+                dispatched.append((positions, shard_budget,
+                                   self.pool.submit(_worker_main, task)))
+            # Unserializable members evaluate here while workers run.
+            for pos in local:
+                results[pos] = engine.eval(plans[pos])
+            failed: dict | None = None
+            for positions, shard_budget, future in dispatched:
+                payload = self._join(future)
+                shard_budget.absorb(steps=payload["steps"],
+                                    oracle_calls=payload["oracle_calls"])
+                self._absorb_worker(engine, payload)
+                if trace and payload.get("spans"):
+                    replay_records(payload["spans"], parent,
+                                   base_start=base)
+                sp.count("steps", payload["steps"])
+                rows = zip(positions, payload["verdicts"],
+                           payload["member_steps"],
+                           payload["member_oracle_calls"])
+                for pos, verdict, steps, calls in rows:
+                    if member_budgets is not None:
+                        member_budgets[pos].absorb(steps=steps,
+                                                   oracle_calls=calls)
+                    if isinstance(verdict, dict) and "error" in verdict:
+                        # Exception parity with Engine.eval_batch: a
+                        # RepresentationError propagates (after every
+                        # shard joins, so accounting stays exact).
+                        failed = failed or verdict
+                        continue
+                    results[pos] = verdict_from_json(verdict)
+            if failed is not None:
+                raise RepresentationError(failed["detail"])
+        return results
+
+    # -- membership batches --------------------------------------------------
+
+    def batch_contains(self, engine, plan, tuples, *,
+                       spec: dict | None = None,
+                       budget: Budget | None = None) -> list:
+        """Answer many membership questions across the worker pool.
+
+        The process-pool twin of the engine's thread path: the
+        coordinator probes its result cache first (warm answers never
+        ship), partitions the misses by :func:`shard_index` over
+        ``(plan text, tuple)``, and each worker evaluates the plan once
+        (its private cache keeps it warm across batches) and answers
+        its tuples sequentially.  Answers merge in request order and
+        are written back into the coordinator's result cache under the
+        same keys the sequential path uses — so a sharded batch warms
+        the cache for everyone, bit for bit.
+
+        ``budget`` is the batch budget (default: a fork of the engine
+        budget); every shard runs under its own worker-side fork of it
+        and the consumed counters are re-aggregated exactly at the
+        join.  Raises :class:`UnshardableDatabaseError` /
+        :class:`~repro.store.codec.UnserializablePlanError` for the
+        callers' in-process fallback.
+        """
+        from ..store.codec import canonical_plan_text
+        from .cache import ResultCache
+
+        requests = [tuple(u) for u in tuples]
+        spec = spec if spec is not None else derive_spec(engine.db)
+        prepared = engine.prepare(plan)
+        text = canonical_plan_text(prepared)
+        run = budget if budget is not None else engine.budget.fork()
+
+        answers: list = [None] * len(requests)
+        pending: list[int] = []
+        results_cache = engine.cache.results
+        missing = object()
+        for pos, u in enumerate(requests):
+            key = ResultCache.key(engine.fingerprint, prepared,
+                                  ("contains", u))
+            hit = results_cache.get(key, missing)
+            if hit is missing:
+                pending.append(pos)
+            else:
+                answers[pos] = hit
+
+        nshards = min(self.workers, len(pending))
+        if nshards <= 1:
+            return engine.batch_contains(plan, requests, budget=run)
+
+        shards: dict[int, list[int]] = {}
+        for pos in pending:
+            shard = shard_index(engine.fingerprint,
+                                f"{text}\x1f{requests[pos]!r}", nshards)
+            shards.setdefault(shard, []).append(pos)
+
+        trace = active_recorder() is not None
+        with span("engine.batch_contains", requests=len(requests),
+                  workers=len(shards)) as sp:
+            parent = current_span()
+            dispatched = []
+            base = time.monotonic()
+            for positions in shards.values():
+                task = self._task(engine, spec, kind="contains",
+                                  budget=run, trace=trace)
+                task["plan"] = text
+                task["tuples"] = [list(requests[pos])
+                                  for pos in positions]
+                dispatched.append((positions,
+                                   self.pool.submit(_worker_main, task)))
+            raised: dict | None = None
+            for positions, future in dispatched:
+                payload = self._join(future)
+                run.absorb(steps=payload["steps"],
+                           oracle_calls=payload["oracle_calls"])
+                self._absorb_worker(engine, payload)
+                if trace and payload.get("spans"):
+                    replay_records(payload["spans"], parent,
+                                   base_start=base)
+                sp.count("steps", payload["steps"])
+                if payload.get("raises") is not None:
+                    raised = raised or payload["raises"]
+                    continue
+                for pos, answer in zip(positions, payload["answers"]):
+                    answers[pos] = answer
+                    key = ResultCache.key(engine.fingerprint, prepared,
+                                          ("contains", requests[pos]))
+                    results_cache.put(key, answer)
+            if raised is not None:
+                # Exception parity with the sequential path (after
+                # every shard joins, so accounting stays exact).
+                if raised["type"] == "OutOfFuel":
+                    raise OutOfFuel(raised["detail"],
+                                    steps=raised["steps"],
+                                    reason=raised["reason"])
+                raise RepresentationError(raised["detail"])
+        return answers

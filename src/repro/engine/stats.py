@@ -368,6 +368,39 @@ class MutableEngineStats:
                     sorted(self.unknown_reasons.items())),
             )
 
+    def absorb(self, stats: EngineStats) -> None:
+        """Fold a *worker process's* snapshot into these live counters.
+
+        The join-side half of the sharded executor
+        (:mod:`repro.engine.shard`): workers ship the
+        :class:`EngineStats` of one task back as JSON and the
+        coordinator folds the engine-core counters — scalars, node
+        timings, verdict tallies, unknown reasons, and the worker's
+        compile count — into its own engine's live stats.  The cache
+        sections are deliberately **not** absorbed: they describe the
+        worker's private caches, whose occupancy would double-count
+        against the coordinator's own cache snapshots.
+        """
+        with self._lock:
+            self.oracle_questions += stats.oracle_questions
+            self.evaluations += stats.evaluations
+            self.batch_requests += stats.batch_requests
+            self.compiles += stats.optimizer.compiles
+            self.wall_time += stats.wall_time
+            for kind, count, seconds in stats.node_timings:
+                self.node_counts[kind] = self.node_counts.get(kind, 0) + count
+                self.node_seconds[kind] = (
+                    self.node_seconds.get(kind, 0.0) + seconds)
+            for status, n in (("true", stats.verdicts_true),
+                              ("false", stats.verdicts_false),
+                              ("unknown", stats.verdicts_unknown)):
+                if n:
+                    self.verdict_counts[status] = (
+                        self.verdict_counts.get(status, 0) + n)
+            for reason, n in stats.unknown_reasons:
+                self.unknown_reasons[reason] = (
+                    self.unknown_reasons.get(reason, 0) + n)
+
     def reset(self) -> None:
         """Zero every live counter."""
         with self._lock:

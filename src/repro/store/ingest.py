@@ -39,10 +39,10 @@ database contributes warm entries rather than just a fingerprint.
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..engine.shard import WorkerPool
 from ..engine.stats import EngineStats
 from ..errors import TypeSignatureError
 from ..trace import limits
@@ -210,11 +210,12 @@ def ingest_manifest(manifest: dict, store_path: str | Path, *,
     """Run the whole pipeline: every manifest database into the store.
 
     ``manifest`` is :func:`load_manifest` output (or an equivalent
-    dict).  ``workers > 1`` fans the per-database work out over a
-    :class:`~concurrent.futures.ProcessPoolExecutor`; the parent stays
-    the sole sqlite writer either way, so WAL never sees competing
-    ingest writers from one run.  ``budget_steps`` bounds each warm
-    query (:data:`~repro.trace.limits.INGEST_DB`); queries that trip it
+    dict).  ``workers > 1`` fans the per-database work out over the
+    engine's shared :class:`~repro.engine.shard.WorkerPool` (which
+    runs in-process for one worker or one task); the parent stays the
+    sole sqlite writer either way, so WAL never sees competing ingest
+    writers from one run.  ``budget_steps`` bounds each warm query
+    (:data:`~repro.trace.limits.INGEST_DB`); queries that trip it
     persist as ``UNKNOWN(out_of_fuel)`` rows in that budget class.
     """
     databases = manifest["databases"]
@@ -230,11 +231,8 @@ def ingest_manifest(manifest: dict, store_path: str | Path, *,
     with Store(store_path) as store, \
             span("store.ingest", databases=len(tasks),
                  workers=workers) as root:
-        if workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                payloads = list(pool.map(_ingest_worker, tasks))
-        else:
-            payloads = [_ingest_worker(task) for task in tasks]
+        with WorkerPool(workers) as pool:
+            payloads = pool.map(_ingest_worker, tasks)
 
         for payload in payloads:
             with span("store.ingest.db", database=payload["name"],

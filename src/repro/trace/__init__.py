@@ -50,6 +50,7 @@ from .spans import (
     install,
     propagate_span,
     recording,
+    replay_records,
     span,
     under_span,
     uninstall,
@@ -72,6 +73,7 @@ __all__ = [
     "install",
     "propagate_span",
     "recording",
+    "replay_records",
     "span",
     "under_span",
     "uninstall",

@@ -192,6 +192,76 @@ class Budget:
             _deadline_at=deadline_at,
             _cancel_event=self._cancel_event)
 
+    # -- process-boundary shipping -------------------------------------------
+
+    def ship(self) -> dict:
+        """The JSON-safe form of this budget's *limits* for a worker
+        process (:mod:`repro.engine.shard`).
+
+        Neither the cancellation event nor the absolute monotonic
+        deadline can cross a process boundary (each process has its own
+        monotonic clock), so a shipped budget carries the limits plus
+        the wall-clock *remainder*: the worker reconstructs a budget
+        whose deadline is measured on its own clock but can never
+        outlive the parent's.  A parent with no deadline ships
+        ``remaining_s: None`` (the worker inherits no deadline); an
+        already-expired parent ships ``0.0`` (the worker budget is born
+        expired).
+
+        Doctest::
+
+            >>> Budget(max_steps=5).ship()
+            {'max_steps': 5, 'max_oracle_calls': None, 'remaining_s': None}
+        """
+        return {"max_steps": self.max_steps,
+                "max_oracle_calls": self.max_oracle_calls,
+                "remaining_s": self.remaining_seconds}
+
+    @staticmethod
+    def from_shipped(data: dict) -> "Budget":
+        """Rebuild a worker-side budget from :meth:`ship` output.
+
+        The child is a cross-process analogue of :meth:`fork`: fresh
+        counters, the parent's step/oracle limits, and a deadline capped
+        *relative* to the parent's remaining wall-clock time (never
+        extended).  Cancellation does not propagate — a cancelled
+        coordinator abandons the worker's result at the join instead.
+
+        Doctest::
+
+            >>> child = Budget.from_shipped(Budget(max_steps=5).ship())
+            >>> child.steps, child.max_steps, child.deadline_at
+            (0, 5, None)
+        """
+        return Budget(data["max_steps"],
+                      max_oracle_calls=data["max_oracle_calls"],
+                      deadline=data["remaining_s"])
+
+    def absorb(self, steps: int = 0, oracle_calls: int = 0) -> None:
+        """Account work a child budget performed in *another process*.
+
+        The merge half of the :meth:`ship` contract: the worker reports
+        how many steps/oracle questions its rebuilt budget consumed, and
+        the coordinator adds them here so per-shard accounting is exact
+        — after absorbing every worker report, ``steps`` equals the sum
+        of all worker-side counters bit for bit.  Unlike :meth:`charge`
+        this never raises: the work has already happened; an absorb that
+        lands past ``max_steps`` records the overshoot rather than
+        losing it (the worker's own budget enforced the limit).
+
+        Doctest::
+
+            >>> parent = Budget(max_steps=10)
+            >>> parent.absorb(steps=4); parent.absorb(steps=3)
+            >>> parent.steps
+            7
+        """
+        if steps < 0 or oracle_calls < 0:
+            raise ValueError("absorbed counts must be non-negative")
+        with self._lock:
+            self.steps += steps
+            self.oracle_calls += oracle_calls
+
     # -- introspection -------------------------------------------------------
 
     @property

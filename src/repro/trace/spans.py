@@ -269,6 +269,71 @@ def under_span(parent):
             stack.pop()
 
 
+def replay_records(records, parent=None, *, base_start: float | None = None):
+    """Re-record spans serialized in *another process* under ``parent``.
+
+    The cross-process half of the :func:`propagate_span` contract
+    (:mod:`repro.engine.shard`): a worker process traces into its own
+    private recorder, serializes the spans with :meth:`Span.to_record`
+    (times in µs from the worker's task epoch), and ships them back;
+    the coordinator calls this at the join.  Each record becomes a
+    fresh local :class:`Span` with a **new** span id (worker ids live
+    in a different process and would collide), internal parent links
+    are remapped, worker roots are re-parented under ``parent``, and
+    depths are shifted so the replayed subtree nests where the shard
+    was dispatched.  ``base_start`` anchors the worker's relative
+    timestamps on this process's monotonic clock (defaults to "now").
+
+    No-op (returns ``[]``) when no recorder is installed.  Returns the
+    replayed spans in record order.
+
+    Doctest::
+
+        >>> from repro.trace import TraceRecorder, recording, span
+        >>> worker_rec = TraceRecorder()
+        >>> with recording(worker_rec):
+        ...     with span("shard.task") as sp:
+        ...         sp.count("steps", 3)
+        >>> records = [s.to_record() for s in worker_rec.trace().ordered()]
+        >>> rec = TraceRecorder()
+        >>> with recording(rec):
+        ...     with span("coordinator") as root:
+        ...         _ = replay_records(records, root)
+        >>> [(s.name, s.depth) for s in rec.trace().ordered()]
+        [('coordinator', 0), ('shard.task', 1)]
+    """
+    recorder = _recorder
+    if recorder is None or not records:
+        return []
+    if parent is NULL_SPAN:
+        parent = None
+    base = time.monotonic() if base_start is None else base_start
+    offset = 0 if parent is None else parent.depth + 1
+    root_depth = min(rec.get("depth", 0) for rec in records)
+    fresh: dict[int, Span] = {}
+    replayed = []
+    for rec in records:
+        sp = Span(name=rec["name"],
+                  attrs=dict(rec.get("attrs", {})),
+                  counters=dict(rec.get("counters", {})))
+        sp.span_id = next(_ids)
+        sp.depth = offset + rec.get("depth", 0) - root_depth
+        sp.start = base + rec.get("start_us", 0) / 1e6
+        dur = rec.get("dur_us")
+        sp.duration = None if dur is None else dur / 1e6
+        sp.status = rec.get("status", STATUS_OK)
+        fresh[rec["id"]] = sp
+        replayed.append(sp)
+    for rec, sp in zip(records, replayed):
+        worker_parent = rec.get("parent")
+        if worker_parent in fresh:
+            sp.parent_id = fresh[worker_parent].span_id
+        elif parent is not None:
+            sp.parent_id = parent.span_id
+        recorder.record(sp)
+    return replayed
+
+
 def propagate_span(fn):
     """Wrap ``fn`` to run under the *submitting* thread's current span.
 

@@ -120,3 +120,44 @@ class TestUnrepresentable:
     def test_differential_does_not_fail(self):
         outcome = differential(CaseContext(self.CASE))
         assert outcome.status in (OK, UNKNOWN)
+
+
+# ---------------------------------------------------------------------------
+# The shard oracle: process-pool execution agrees with in-process.
+# ---------------------------------------------------------------------------
+
+class TestShardOracle:
+    def test_registered_for_every_kind(self):
+        assert "shard" in oracles.ORACLES
+        for kind, battery in oracles.ORACLES_BY_KIND.items():
+            assert "shard" in battery, kind
+
+    def test_clean_on_seed7_prefix(self):
+        rng = random.Random(7)
+        for i in range(12):
+            outcome = oracles.shard(CaseContext(gen_case(rng, i)))
+            assert not outcome.failed, f"case {i}: {outcome.detail}"
+
+    def test_skips_unshardable_database(self, monkeypatch):
+        from repro.engine.shard import UnshardableDatabaseError
+
+        def refuse(db):
+            raise UnshardableDatabaseError("no recipe")
+
+        import repro.engine.shard as shard_mod
+        monkeypatch.setattr(shard_mod, "derive_spec", refuse)
+        outcome = oracles.shard(CaseContext(TAUTOLOGY))
+        assert outcome.status == oracles.SKIP
+
+    def test_catches_a_lying_pool(self, monkeypatch):
+        """A process pool that flips verdicts must FAIL the oracle."""
+        from repro.engine.verdict import Verdict
+
+        class Lying:
+            def eval_batch(self, engine, plans, **kwargs):
+                return [Verdict.of(not v.is_true) if v.known else v
+                        for v in (engine.eval(p) for p in plans)]
+
+        monkeypatch.setattr(oracles, "_shard_executor", Lying)
+        outcome = oracles.shard(CaseContext(TAUTOLOGY))
+        assert outcome.status == FAIL

@@ -79,6 +79,72 @@ class TestBrokenCampaign:
         assert replay(case) >= 1
 
 
+class TestShardedCampaign:
+    """``workers=N`` fans cases across processes, same report."""
+
+    def test_parity_with_sequential(self):
+        sequential = run_check(7, 16, verbose=False)
+        sharded = run_check(7, 16, workers=2, verbose=False)
+        for key in ("seed", "cases_run", "summary", "kinds",
+                    "failures"):
+            assert sharded[key] == sequential[key], key
+        assert sharded["workers"] == 2
+        assert "workers" not in sequential  # sequential reports stay as-is
+
+    def test_workers_one_takes_the_sequential_path(self):
+        report = run_check(7, 5, workers=1, verbose=False)
+        assert "workers" not in report
+        assert report["cases_run"] == 5
+
+    def test_sharded_failures_shrink_in_the_parent(self, tmp_path,
+                                                   monkeypatch):
+        # An inline pool keeps the worker callable in-process so the
+        # injected bug is visible to it; the merge, regeneration,
+        # shrinking, and reproducer emission are the real sharded code.
+        import repro.engine.shard as shard_mod
+
+        class InlinePool:
+            def __init__(self, workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, tasks):
+                return [fn(task) for task in tasks]
+
+        monkeypatch.setattr(shard_mod, "WorkerPool", InlinePool)
+        real = oracles.fo_evaluate
+        monkeypatch.setattr(oracles, "fo_evaluate",
+                            lambda db, f: not real(db, f))
+        emit = tmp_path / "reproducers"
+        report = run_check(7, 12, workers=2, emit_dir=str(emit),
+                           verbose=False)
+        assert report["workers"] == 2
+        assert report["failures"], "injected bug went unnoticed"
+        sequential = run_check(7, 12, emit_dir=str(tmp_path / "seq"),
+                               verbose=False)
+        assert ([f["case"] for f in report["failures"]]
+                == [f["case"] for f in sequential["failures"]])
+        for entry in report["failures"]:
+            assert entry["oracle"] == "differential"
+            assert entry["shrunk_tuples"] <= 5
+            assert os.path.exists(entry["reproducer"])
+
+    def test_cli_workers_flag(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        code = main(["--seed=7", "--cases=8", "--workers=2",
+                     f"--out={out}", "--quiet"])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["workers"] == 2
+        assert report["cases_run"] == 8
+        capsys.readouterr()
+
+
 class TestCli:
     def test_main_returns_zero_on_clean_run(self, tmp_path, capsys):
         out = tmp_path / "r.json"

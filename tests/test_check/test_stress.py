@@ -22,6 +22,7 @@ from repro.check.stress import (
     hammer_cache,
     hammer_engine,
     hammer_memo,
+    hammer_shard,
     hammer_trace,
     run_stress,
 )
@@ -32,7 +33,7 @@ SMALL = {"threads": 4, "ops": 200}
 class TestHammerRegistry:
     def test_all_hammers_registered(self):
         assert set(HAMMERS) == {"budget", "memo", "cache", "trace",
-                                "engine"}
+                                "engine", "shard"}
         for fn in HAMMERS.values():
             assert callable(fn)
 
@@ -94,6 +95,14 @@ class TestIndividualHammers:
         hammer_budget(2, threads=2, ops=50)
         assert sys.getswitchinterval() == before
 
+    def test_shard_hammer_is_clean(self):
+        """A quick process-pool round: two threads, one dispatch each,
+        through one shared two-worker executor."""
+        report = hammer_shard(7, threads=2, ops=1000)
+        assert report["failures"] == []
+        assert report["workers"] == 2
+        assert report["absorbed_steps"] >= 0
+
 
 class TestRunStress:
     def test_single_round_report_shape(self, tmp_path):
@@ -118,6 +127,16 @@ class TestRunStress:
         for name in HAMMERS:
             assert name in text
         assert "no failures" in text
+
+    def test_hammers_filter_selects_subset(self):
+        report = run_stress(3, threads=2, ops=50,
+                            hammers=("budget", "memo"))
+        assert set(report["hammers"]) == {"budget", "memo"}
+        assert report["failures"] == []
+
+    def test_hammers_filter_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown hammers"):
+            run_stress(3, threads=2, ops=50, hammers=("budget", "bogus"))
 
     def test_format_lists_failures(self):
         report = {"mode": "stress", "seed": 9, "threads": 8,
@@ -150,6 +169,16 @@ class TestCli:
                              "2", "--ops", "20", "--quiet"])
         assert status == 0
         assert "seed=3" in capsys.readouterr().out
+
+    def test_hammers_flag_restricts_the_round(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        status = check_main(["--stress", "--seed=5", "--threads=2",
+                             "--ops=20", "--hammers=budget,trace",
+                             f"--out={out}", "--quiet"])
+        assert status == 0
+        capsys.readouterr()
+        report = json.loads(out.read_text())
+        assert set(report["hammers"]) == {"budget", "trace"}
 
     def test_exit_status_reflects_failures(self, monkeypatch, capsys):
         def broken(report_seed, threads, ops):

@@ -237,3 +237,47 @@ class TestObservability:
         with pytest.raises(ServeError) as exc:
             client.trace("three")
         assert exc.value.status == 400
+
+
+class TestShardedBatches:
+    """``[server] workers > 1`` routes ``/eval_batch`` through the
+    process-pool :class:`~repro.engine.shard.ShardExecutor`."""
+
+    QUERIES = ["exists x. R1(x, x)",
+               "forall x. exists y. R1(x, y)",
+               "((",                            # parse error rides along
+               "exists x. forall y. R1(x, y)",
+               "forall x. forall y. (R1(x, y) -> R1(y, x))"]
+
+    @staticmethod
+    def _config(workers):
+        from repro.serve import default_config
+        spec = default_config().to_dict()
+        spec["server"]["workers"] = workers
+        return config_from_dict(spec)
+
+    @staticmethod
+    def _strip(lines):
+        return [{k: v for k, v in line.items() if k != "wall_us"}
+                for line in lines]
+
+    def test_bit_for_bit_with_sequential_server(self):
+        with start_in_thread(self._config(1)) as seq_server:
+            sequential = self._strip(list(ServeClient(
+                seq_server.base_url).eval_batch("rado", self.QUERIES)))
+        with start_in_thread(self._config(3)) as server:
+            client = ServeClient(server.base_url)
+            assert client.stats()["server"]["shard_workers"] == 3
+            sharded = self._strip(list(
+                client.eval_batch("rado", self.QUERIES)))
+            # Warm repeat: replayed from the store/cache, still equal.
+            warm = self._strip(list(
+                client.eval_batch("rado", self.QUERIES)))
+        assert sharded == sequential
+        assert warm == sequential
+        assert [m["index"] for m in sharded[:-1]] == [0, 1, 2, 3, 4]
+
+    def test_sequential_server_reports_one_shard_worker(self):
+        with start_in_thread(self._config(1)) as server:
+            stats = ServeClient(server.base_url).stats()
+        assert stats["server"]["shard_workers"] == 1

@@ -271,3 +271,75 @@ class TestAtomicCharging:
         with pytest.raises(OutOfFuel):
             b.charge_oracle()
         assert b.oracle_calls == 2
+
+
+class TestShipAbsorb:
+    """The cross-process half of the budget contract (PR 10)."""
+
+    def test_ship_carries_limits_not_counters(self):
+        b = Budget(max_steps=50, max_oracle_calls=7)
+        b.charge(9)
+        shipped = b.ship()
+        assert shipped == {"max_steps": 50, "max_oracle_calls": 7,
+                           "remaining_s": None}
+
+    def test_from_shipped_is_a_fresh_fork(self):
+        child = Budget.from_shipped(Budget(max_steps=5).ship())
+        assert (child.steps, child.oracle_calls) == (0, 0)
+        assert child.max_steps == 5
+        assert child.deadline_at is None
+        child.charge(5)
+        with pytest.raises(OutOfFuel):
+            child.charge()
+
+    def test_shipped_deadline_is_relative_and_never_extends(self):
+        parent = Budget(max_steps=None, deadline=30.0)
+        shipped = parent.ship()
+        assert 0.0 < shipped["remaining_s"] <= 30.0
+        child = Budget.from_shipped(shipped)
+        assert child.remaining_seconds <= parent.remaining_seconds + 0.01
+
+    def test_expired_parent_ships_an_expired_child(self):
+        parent = Budget(max_steps=None, deadline=0.0)
+        time.sleep(0.002)
+        child = Budget.from_shipped(parent.ship())
+        with pytest.raises(OutOfFuel) as exc:
+            child.check()
+        assert exc.value.reason == DEADLINE
+
+    def test_absorb_is_exact_and_never_raises(self):
+        parent = Budget(max_steps=10)
+        parent.absorb(steps=8, oracle_calls=2)
+        parent.absorb(steps=7)  # past max_steps: recorded, not raised
+        assert (parent.steps, parent.oracle_calls) == (15, 2)
+
+    def test_absorb_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            Budget().absorb(steps=-1)
+
+    def test_concurrent_absorb_is_exact(self):
+        import threading
+        parent = Budget(max_steps=None)
+        threads, rounds = 8, 500
+        barrier = threading.Barrier(threads)
+
+        def work():
+            barrier.wait()
+            for __ in range(rounds):
+                parent.absorb(steps=3, oracle_calls=1)
+
+        ts = [threading.Thread(target=work) for __ in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert parent.steps == threads * rounds * 3
+        assert parent.oracle_calls == threads * rounds
+
+    def test_roundtrip_matches_fork_semantics(self):
+        # ship/from_shipped across a (simulated) process boundary gives
+        # the same allowances fork() gives in-process.
+        parent = Budget(max_steps=123, max_oracle_calls=45)
+        local, remote = parent.fork(), Budget.from_shipped(parent.ship())
+        assert local.max_steps == remote.max_steps == 123
+        assert (local.max_oracle_calls == remote.max_oracle_calls == 45)
